@@ -1,0 +1,67 @@
+"""Workload builders shared by the experiment benches."""
+
+from __future__ import annotations
+
+import random
+
+from repro.regex import capture, concat, eps, parse, sigma_star, sym, union
+from repro.regex.ast import RegexFormula
+from repro.va import VA, regex_to_va, trim
+
+
+def compile_formula(formula: "RegexFormula | str") -> VA:
+    if isinstance(formula, str):
+        formula = parse(formula)
+    return trim(regex_to_va(formula))
+
+
+def shared_block_pair(
+    shared: int, private: int, alphabet: str = "ab", separator: str = "c"
+) -> tuple[VA, VA]:
+    """A pair of sequential VAs sharing exactly ``shared`` variables, each
+    with ``private`` extra variables; every variable is optional, so the
+    FPT join must reason about used-sets (the hard part of Lemma 3.2)."""
+
+    def build(prefix: str) -> RegexFormula:
+        sigma = sigma_star(alphabet)
+        parts = []
+        for i in range(1, shared + 1):
+            if parts:
+                parts.append(sym(separator))
+            parts.append(union(capture(f"s{i}", sigma), eps()))
+        for i in range(1, private + 1):
+            if parts:
+                parts.append(sym(separator))
+            parts.append(union(capture(f"{prefix}{i}", sigma), eps()))
+        return concat(*parts) if len(parts) > 1 else parts[0]
+
+    return compile_formula(build("l")), compile_formula(build("r"))
+
+
+def dfunc_va(disjuncts: int, alphabet: str = "ab") -> VA:
+    """A disjunctive functional VA with the given number of functional
+    components, each over its own variable."""
+    sigma = sigma_star(alphabet)
+    parts = [
+        concat(capture(f"d{i}", sigma), sigma)
+        for i in range(1, disjuncts + 1)
+    ]
+    return compile_formula(union(*parts) if len(parts) > 1 else parts[0])
+
+
+def block_document(
+    blocks: int,
+    chunk_length: int = 3,
+    alphabet: str = "ab",
+    separator: str = "c",
+    rng=None,
+) -> str:
+    """A document of exactly ``blocks`` separator-delimited chunks of
+    ``chunk_length`` letters — match the block count to the formula's
+    block count or nothing will match."""
+    rng = rng or random.Random(0)
+    chunks = [
+        "".join(rng.choice(alphabet) for _ in range(chunk_length))
+        for _ in range(blocks)
+    ]
+    return separator.join(chunks)

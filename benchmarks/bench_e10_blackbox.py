@@ -1,0 +1,89 @@
+"""E10 — Corollary 5.3 / Example 5.4: black-box spanners inside RA trees.
+
+Shape to confirm: replacing a regular leaf (αnr) by an opaque degree-2
+black box (the sentiment module) keeps the evaluation polynomial — the
+black box is materialised per document (polynomial output by degree
+boundedness) and folded in by the ad-hoc machinery.
+"""
+
+import random
+import time
+
+from repro.algebra import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    PlannerConfig,
+    Project,
+    RAQuery,
+    SentimentSpanner,
+    StringEqualitySpanner,
+)
+from repro.utils import fit_power_law, format_table
+from repro.workloads import (
+    alpha_student_mail,
+    alpha_student_phone,
+    generate_students,
+)
+
+SIZES = (5, 10, 20, 30)
+
+
+def blackbox_query() -> RAQuery:
+    tree = Project(Difference(Join(Leaf("sm"), Leaf("sp")), Leaf("posrec")), "keep")
+    inst = Instantiation(
+        spanners={
+            "sm": alpha_student_mail(),
+            "sp": alpha_student_phone(),
+            "posrec": SentimentSpanner(
+                "xstdnt", "xposrec", lexicon={"good", "great", "excellent"}
+            ),
+        },
+        projections={"keep": frozenset({"xstdnt"})},
+    )
+    return RAQuery(tree, inst, PlannerConfig(max_shared=2))
+
+
+def _sweep():
+    query = blackbox_query()
+    rows, xs, ys = [], [], []
+    for n_students in SIZES:
+        doc = generate_students(
+            n_students, random.Random(10), with_phone=0.9, with_recommendation=0.5
+        )
+        start = time.perf_counter()
+        count = sum(1 for _ in query.enumerate(doc))
+        elapsed = time.perf_counter() - start
+        rows.append([len(doc), count, f"{elapsed * 1e3:.0f}"])
+        xs.append(len(doc))
+        ys.append(max(elapsed, 1e-7))
+    return rows, xs, ys
+
+
+def bench_e10_blackbox_scaling(benchmark, report):
+    rows, xs, ys = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    exponent = fit_power_law(xs, ys)
+    table = format_table(
+        ["doc_chars", "results", "total_ms"],
+        rows,
+        title=f"E10 black-box (PosRec) inside the Figure-2 tree: power-law "
+        f"exponent ≈ {exponent:.2f} (polynomial, Cor. 5.3)",
+    )
+    report("E10_blackbox", table)
+    assert exponent < 5.0
+
+
+def bench_e10_string_equality_join(benchmark):
+    # The classic beyond-regular black box joined with a regular anchor.
+    from repro.algebra import evaluate_ra
+
+    tree = Join(Leaf("eq"), Leaf("anchor"))
+    inst = Instantiation(
+        spanners={
+            "eq": StringEqualitySpanner("x", "y"),
+            "anchor": __import__("repro").parse("[ab]*x{[ab][ab]}[ab]*"),
+        }
+    )
+    doc = "abbaabba"
+    benchmark(lambda: len(evaluate_ra(tree, inst, doc)))

@@ -1,0 +1,96 @@
+"""E12 — Prop. 4.10 + Theorem 4.4: hardness survives the syntactic
+restrictions.
+
+Shapes to confirm:
+* Tovey instances (disjunction-free minuend, ≤3 disjuncts per variable)
+  still drive the baseline difference exponential in the variable count;
+* the W[1] family's cost grows with the parameter k even at fixed
+  document size.
+"""
+
+import random
+import time
+
+from repro.algebra import semantic_difference
+from repro.reductions import (
+    build_tovey_instance,
+    build_w1_instance,
+    is_satisfiable,
+    random_3cnf,
+    random_tovey_cnf,
+    weighted_satisfiable,
+)
+from repro.utils import format_table, growth_factors
+from repro.va import evaluate_va, regex_to_va, trim
+
+TOVEY_SIZES = (4, 6, 8, 10)
+W1_WEIGHTS = (1, 2, 3)
+
+
+def _solve_tovey(n_vars: int, seed: int = 2):
+    cnf = random_tovey_cnf(n_vars, random.Random(seed))
+    instance = build_tovey_instance(cnf)
+    start = time.perf_counter()
+    r1 = evaluate_va(trim(regex_to_va(instance.gamma1)), instance.document)
+    r2 = evaluate_va(trim(regex_to_va(instance.gamma2)), instance.document)
+    difference = semantic_difference(r1, r2)
+    elapsed = time.perf_counter() - start
+    assert (not difference.is_empty) == is_satisfiable(cnf)
+    return elapsed, len(r1), len(difference)
+
+
+def _solve_w1(weight: int, seed: int = 2):
+    cnf = random_3cnf(6, 5, random.Random(seed))
+    instance = build_w1_instance(cnf, weight)
+    start = time.perf_counter()
+    r1 = evaluate_va(trim(regex_to_va(instance.gamma1)), instance.document)
+    r2 = evaluate_va(trim(regex_to_va(instance.gamma2)), instance.document)
+    difference = semantic_difference(r1, r2)
+    elapsed = time.perf_counter() - start
+    expected = weighted_satisfiable(cnf, weight) is not None
+    assert (not difference.is_empty) == expected
+    return elapsed, len(r1), len(r2)
+
+
+def _sweep_tovey():
+    rows, times = [], []
+    for n in TOVEY_SIZES:
+        elapsed, assignments, models = _solve_tovey(n)
+        rows.append([n, assignments, models, f"{elapsed * 1e3:.1f}"])
+        times.append(elapsed)
+    return rows, times
+
+
+def _sweep_w1():
+    rows = []
+    for k in W1_WEIGHTS:
+        elapsed, selections, violations = _solve_w1(k)
+        rows.append([k, selections, violations, f"{elapsed * 1e3:.1f}"])
+    return rows
+
+
+def bench_e12_tovey_sweep(benchmark, report):
+    rows, times = benchmark.pedantic(_sweep_tovey, rounds=1, iterations=1)
+    table = format_table(
+        ["vars", "|⟦γ1⟧|", "|difference|", "time_ms"],
+        rows,
+        title="E12a Prop.-4.10 instances (disjunction-free structure): "
+        f"baseline still exponential, growth {[f'{g:.1f}' for g in growth_factors(times)]}",
+    )
+    report("E12a_tovey_hardness", table)
+    assert rows[-1][1] == 2 ** TOVEY_SIZES[-1]
+
+
+def bench_e12_w1_sweep(benchmark, report):
+    rows = benchmark.pedantic(_sweep_w1, rounds=1, iterations=1)
+    table = format_table(
+        ["weight_k", "|⟦γ1⟧| (= C(n,k))", "|⟦γ2⟧|", "time_ms"],
+        rows,
+        title="E12b Thm-4.4 family (6 SAT vars, k shared spanner "
+        "variables): cost grows with the parameter k",
+    )
+    report("E12b_w1_hardness", table)
+
+
+def bench_e12_tovey_single(benchmark):
+    benchmark(lambda: _solve_tovey(8))

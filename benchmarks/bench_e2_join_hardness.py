@@ -1,0 +1,56 @@
+"""E2 — Theorem 3.1: the join of two sequential regex formulas is NP-hard.
+
+Shape to confirm: the baseline (materialise both operands, join) grows
+exponentially with the number of SAT variables on the reduction instances
+— the operand relations have 2^n and 3^m mappings — while the DPLL oracle
+confirms every verdict.
+"""
+
+import random
+import time
+
+from repro.algebra import semantic_join
+from repro.reductions import build_join_instance, is_satisfiable, random_3cnf
+from repro.utils import format_table, growth_factors
+from repro.va import evaluate_va, regex_to_va, trim
+
+SIZES = (3, 4, 5, 6, 7)
+
+
+def _solve(n_vars: int, seed: int = 0):
+    cnf = random_3cnf(n_vars, n_vars + 2, random.Random(seed))
+    instance = build_join_instance(cnf)
+    start = time.perf_counter()
+    r1 = evaluate_va(trim(regex_to_va(instance.gamma1)), instance.document)
+    r2 = evaluate_va(trim(regex_to_va(instance.gamma2)), instance.document)
+    joined = semantic_join(r1, r2)
+    elapsed = time.perf_counter() - start
+    assert (not joined.is_empty) == is_satisfiable(cnf)
+    return elapsed, len(r1), len(r2), len(joined)
+
+
+def _sweep():
+    rows, times = [], []
+    for n in SIZES:
+        elapsed, left, right, out = _solve(n)
+        rows.append([n, left, right, out, f"{elapsed * 1e3:.1f}"])
+        times.append(elapsed)
+    return rows, times
+
+
+def bench_e2_join_hardness_sweep(benchmark, report):
+    rows, times = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    factors = growth_factors(times)
+    table = format_table(
+        ["sat_vars", "|⟦γ1⟧|", "|⟦γ2⟧|", "|join|", "time_ms"],
+        rows,
+        title="E2 join hardness (Thm 3.1 reduction, baseline join); "
+        f"per-variable growth factors {[f'{f:.1f}' for f in factors]}",
+    )
+    report("E2_join_hardness", table)
+    # exponential signature: the left operand doubles per variable
+    assert rows[-1][1] == 2 ** SIZES[-1]
+
+
+def bench_e2_single_instance(benchmark):
+    benchmark(lambda: _solve(5))

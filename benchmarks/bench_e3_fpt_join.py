@@ -1,0 +1,81 @@
+"""E3 — Lemma 3.2 / Theorem 3.3: FPT join compilation.
+
+Shapes to confirm:
+* for a fixed number of shared variables k, compile time and output size
+  grow polynomially with the operand sizes;
+* sweeping k shows the ~4^k component-pair factor — exponential in k only
+  (the FPT signature; Theorem 3.1 says this cannot be avoided).
+"""
+
+import time
+
+from repro.algebra import fpt_join
+from repro.utils import fit_power_law, format_table
+from repro.va import evaluate_va
+
+from bench_common import block_document, shared_block_pair
+
+SHARED_SWEEP = (0, 1, 2, 3)
+PRIVATE_SWEEP = (1, 3, 5, 7)
+
+
+def _compile_pair(shared: int, private: int):
+    left, right = shared_block_pair(shared, private)
+    start = time.perf_counter()
+    joined = fpt_join(left, right)
+    elapsed = time.perf_counter() - start
+    return elapsed, left.n_states + right.n_states, joined.n_states, joined
+
+
+def _sweep_shared():
+    rows, times = [], []
+    for k in SHARED_SWEEP:
+        elapsed, in_states, out_states, _ = _compile_pair(k, private=2)
+        rows.append([k, in_states, out_states, f"{elapsed * 1e3:.1f}"])
+        times.append(elapsed)
+    return rows, times
+
+
+def _sweep_size():
+    rows, sizes, times = [], [], []
+    for private in PRIVATE_SWEEP:
+        elapsed, in_states, out_states, _ = _compile_pair(1, private)
+        rows.append([private, in_states, out_states, f"{elapsed * 1e3:.1f}"])
+        sizes.append(in_states)
+        times.append(elapsed)
+    return rows, sizes, times
+
+
+def bench_e3_shared_variable_sweep(benchmark, report):
+    rows, times = benchmark.pedantic(_sweep_shared, rounds=1, iterations=1)
+    table = format_table(
+        ["shared_k", "input_states", "output_states", "compile_ms"],
+        rows,
+        title="E3a FPT join: sweep shared variables k (private=2) — "
+        "expect ~4^k growth in k",
+    )
+    report("E3a_fpt_join_shared_sweep", table)
+
+
+def bench_e3_operand_size_sweep(benchmark, report):
+    rows, sizes, times = benchmark.pedantic(_sweep_size, rounds=1, iterations=1)
+    exponent = fit_power_law(sizes, [max(t, 1e-7) for t in times])
+    table = format_table(
+        ["private_vars", "input_states", "output_states", "compile_ms"],
+        rows,
+        title=f"E3b FPT join: operand-size sweep (k=1 fixed) — compile-time "
+        f"power-law exponent ≈ {exponent:.2f} (polynomial)",
+    )
+    report("E3b_fpt_join_size_sweep", table)
+    assert exponent < 4.0
+
+
+def bench_e3_compile_and_evaluate(benchmark):
+    left, right = shared_block_pair(2, 2)
+    doc = block_document(4, 3)  # 4 blocks to match the 4-block formulas
+
+    def run():
+        joined = fpt_join(left, right)
+        return len(evaluate_va(joined, doc))
+
+    benchmark(run)

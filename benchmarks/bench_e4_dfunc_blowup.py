@@ -1,0 +1,50 @@
+"""E4 — Proposition 3.11: the sequential → disjunctive-functional
+translation blows up exponentially.
+
+Shape to confirm: on the (x_i{Σ*} ∨ y_i{Σ*})-concatenation family the
+number of functional components is exactly 2^n (for both the regex-formula
+and the automaton translation), while the sequential original stays at
+3n+1 states.
+"""
+
+from repro.regex import count_disjuncts
+from repro.utils import format_table
+from repro.va import count_functional_components, to_disjunctive_functional_va, trim
+from repro.workloads import prop311_formula, prop311_va
+
+COUNT_SIZES = (1, 2, 4, 6, 8, 10)
+MATERIALISE_SIZES = (1, 2, 3, 4, 5, 6)
+
+
+def _sweep():
+    rows = []
+    for n in COUNT_SIZES:
+        formula_disjuncts = count_disjuncts(prop311_formula(n))
+        va = trim(prop311_va(n))
+        if n in MATERIALISE_SIZES:
+            components = count_functional_components(va)
+            dfunc_states = to_disjunctive_functional_va(va).n_states
+        else:
+            components, dfunc_states = "(skipped)", "(skipped)"
+        rows.append([n, va.n_states, formula_disjuncts, components, dfunc_states])
+    return rows
+
+
+def bench_e4_blowup_curve(benchmark, report):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["n", "seq_va_states", "regex_disjuncts", "va_components", "dfunc_va_states"],
+        rows,
+        title="E4 sequential → disjunctive functional blow-up (Prop. 3.11 "
+        "family) — disjuncts/components are exactly 2^n",
+    )
+    report("E4_dfunc_blowup", table)
+    for row in rows:
+        assert row[2] == 2 ** row[0]
+        if isinstance(row[3], int):
+            assert row[3] == 2 ** row[0]
+
+
+def bench_e4_translate_n6(benchmark):
+    va = trim(prop311_va(6))
+    benchmark(lambda: to_disjunctive_functional_va(va).n_states)

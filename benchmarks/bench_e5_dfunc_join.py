@@ -1,0 +1,53 @@
+"""E5 — Proposition 3.12 / Corollary 3.13: joining disjunctive functional
+VAs is polynomial.
+
+Shape to confirm: compile time for the join of two dfunc VAs grows
+polynomially (about quadratically: one product per component pair) with
+the number of disjuncts — contrast with E2's exponential unrestricted
+join.
+"""
+
+import time
+
+from repro.algebra import dfunc_join
+from repro.utils import fit_power_law, format_table
+from repro.va import evaluate_va
+
+from bench_common import dfunc_va
+
+DISJUNCT_SWEEP = (1, 2, 4, 6, 8)
+
+
+def _sweep():
+    rows, xs, ys = [], [], []
+    for d in DISJUNCT_SWEEP:
+        left, right = dfunc_va(d), dfunc_va(d)
+        start = time.perf_counter()
+        joined = dfunc_join(left, right)
+        elapsed = time.perf_counter() - start
+        rows.append([d, left.n_states, joined.n_states, f"{elapsed * 1e3:.1f}"])
+        xs.append(d)
+        ys.append(max(elapsed, 1e-7))
+    return rows, xs, ys
+
+
+def bench_e5_disjunct_sweep(benchmark, report):
+    rows, xs, ys = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    exponent = fit_power_law(xs, ys)
+    table = format_table(
+        ["disjuncts", "operand_states", "join_states", "compile_ms"],
+        rows,
+        title=f"E5 dfunc join (Prop. 3.12): compile-time exponent in the "
+        f"disjunct count ≈ {exponent:.2f} (expect ≈ 2, pairwise products)",
+    )
+    report("E5_dfunc_join", table)
+    assert exponent < 4.0
+
+
+def bench_e5_join_and_evaluate(benchmark):
+    left, right = dfunc_va(4), dfunc_va(4)
+
+    def run():
+        return len(evaluate_va(dfunc_join(left, right), "abab"))
+
+    benchmark(run)

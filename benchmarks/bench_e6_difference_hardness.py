@@ -1,0 +1,55 @@
+"""E6 — Theorem 4.1: the difference of two *functional* regex formulas is
+NP-hard.
+
+Shape to confirm: the baseline (materialise, subtract) grows exponentially
+with the number of SAT variables on the reduction instances (γ1 has 2^n
+mappings on a^n); the DPLL oracle confirms every verdict.
+"""
+
+import random
+import time
+
+from repro.algebra import semantic_difference
+from repro.reductions import build_difference_instance, is_satisfiable, random_3cnf
+from repro.utils import format_table, growth_factors
+from repro.va import evaluate_va, regex_to_va, trim
+
+SIZES = (4, 6, 8, 10, 12)
+
+
+def _solve(n_vars: int, seed: int = 1):
+    cnf = random_3cnf(n_vars, n_vars + 2, random.Random(seed))
+    instance = build_difference_instance(cnf)
+    start = time.perf_counter()
+    r1 = evaluate_va(trim(regex_to_va(instance.gamma1)), instance.document)
+    r2 = evaluate_va(trim(regex_to_va(instance.gamma2)), instance.document)
+    difference = semantic_difference(r1, r2)
+    elapsed = time.perf_counter() - start
+    assert (not difference.is_empty) == is_satisfiable(cnf)
+    return elapsed, len(r1), len(r2), len(difference)
+
+
+def _sweep():
+    rows, times = [], []
+    for n in SIZES:
+        elapsed, left, right, out = _solve(n)
+        rows.append([n, left, right, out, f"{elapsed * 1e3:.1f}"])
+        times.append(elapsed)
+    return rows, times
+
+
+def bench_e6_difference_hardness_sweep(benchmark, report):
+    rows, times = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    factors = growth_factors(times)
+    table = format_table(
+        ["sat_vars", "|⟦γ1⟧|", "|⟦γ2⟧|", "|models|", "time_ms"],
+        rows,
+        title="E6 difference hardness (Thm 4.1 reduction, baseline "
+        f"difference); growth factors {[f'{f:.1f}' for f in factors]}",
+    )
+    report("E6_difference_hardness", table)
+    assert rows[-1][1] == 2 ** SIZES[-1]
+
+
+def bench_e6_single_instance(benchmark):
+    benchmark(lambda: _solve(8))

@@ -1,0 +1,104 @@
+"""E7 — Lemma 4.2 / Theorems 4.3 + 4.4: the ad-hoc difference compilation.
+
+Shapes to confirm:
+* for a fixed number k of common variables, compile+evaluate time grows
+  polynomially with the document length (Theorem 4.3);
+* sweeping k at fixed document shows super-polynomial growth in k — the
+  W[1]-hardness signature of Theorem 4.4 (the polynomial's degree must
+  depend on k).
+"""
+
+import random
+import time
+
+from repro.algebra import adhoc_difference
+from repro.utils import fit_power_law, format_table
+from repro.va import evaluate_va
+
+from bench_common import block_document, compile_formula
+
+from repro.regex import capture, concat, sigma_star, sym
+
+CHUNK_SWEEP = (2, 4, 8, 16)
+K_SWEEP = (1, 2, 3)
+
+
+def _prefix_pair(shared: int):
+    """Minuend: every s_i is an arbitrary prefix of block i (many
+    mappings).  Subtrahend: every s_i is pinned to block i's first letter
+    (one mapping).  They share all ``shared`` variables, so a minuend
+    mapping survives unless it picks the pinned prefix everywhere."""
+    sigma = sigma_star("ab")
+
+    def blocks(make):
+        parts = []
+        for i in range(1, shared + 1):
+            if parts:
+                parts.append(sym("c"))
+            parts.append(make(i))
+        return concat(*parts) if len(parts) > 1 else parts[0]
+
+    minuend = compile_formula(blocks(lambda i: concat(capture(f"s{i}", sigma), sigma)))
+    subtrahend = compile_formula(
+        blocks(lambda i: concat(capture(f"s{i}", sym("a")), sigma))
+    )
+    return minuend, subtrahend
+
+
+def _run(shared: int, chunk_length: int):
+    left, right = _prefix_pair(shared)
+    doc = block_document(shared, chunk_length, alphabet="a", rng=random.Random(3))
+    start = time.perf_counter()
+    compiled = adhoc_difference(left, right, doc)
+    result = evaluate_va(compiled, doc)
+    elapsed = time.perf_counter() - start
+    return elapsed, len(doc), compiled.n_states, len(result)
+
+
+def _sweep_doc():
+    rows, xs, ys = [], [], []
+    for chunk_length in CHUNK_SWEEP:
+        elapsed, chars, states, out = _run(shared=1, chunk_length=chunk_length)
+        rows.append([chars, states, out, f"{elapsed * 1e3:.1f}"])
+        xs.append(chars)
+        ys.append(max(elapsed, 1e-7))
+    return rows, xs, ys
+
+
+def _sweep_k():
+    rows, times = [], []
+    for k in K_SWEEP:
+        elapsed, chars, states, out = _run(shared=k, chunk_length=3)
+        rows.append([k, states, out, f"{elapsed * 1e3:.1f}"])
+        times.append(elapsed)
+    return rows, times
+
+
+def bench_e7_document_sweep(benchmark, report):
+    rows, xs, ys = benchmark.pedantic(_sweep_doc, rounds=1, iterations=1)
+    exponent = fit_power_law(xs, ys)
+    table = format_table(
+        ["doc_chars", "adhoc_states", "results", "compile+eval_ms"],
+        rows,
+        title=f"E7a ad-hoc difference: document sweep (k=1) — power-law "
+        f"exponent ≈ {exponent:.2f} (polynomial, Thm 4.3)",
+    )
+    report("E7a_adhoc_difference_doc_sweep", table)
+    assert exponent < 5.0
+
+
+def bench_e7_shared_variable_sweep(benchmark, report):
+    rows, times = benchmark.pedantic(_sweep_k, rounds=1, iterations=1)
+    table = format_table(
+        ["shared_k", "adhoc_states", "results", "compile+eval_ms"],
+        rows,
+        title="E7b ad-hoc difference: k sweep (3-letter blocks) — growth in k is "
+        "super-polynomial (W[1] signature, Thm 4.4)",
+    )
+    report("E7b_adhoc_difference_k_sweep", table)
+
+
+def bench_e7_single(benchmark):
+    left, right = _prefix_pair(2)
+    doc = block_document(2, 6, alphabet="a", rng=random.Random(3))
+    benchmark(lambda: evaluate_va(adhoc_difference(left, right, doc), doc))

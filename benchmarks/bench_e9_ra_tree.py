@@ -1,0 +1,83 @@
+"""E9 — Theorem 5.2: extraction complexity of a fixed RA tree.
+
+Shape to confirm: the full Figure-2 query (join + difference + projection,
+all nodes sharing ≤ 2 variables) evaluates with polynomially growing time
+and per-result delay as the document grows.
+"""
+
+import random
+import time
+
+from repro.algebra import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    PlannerConfig,
+    Project,
+    RAQuery,
+)
+from repro.utils import fit_power_law, format_table, record_enumeration
+from repro.workloads import (
+    alpha_recommendation,
+    alpha_student_mail,
+    alpha_student_phone,
+    generate_students,
+)
+
+SIZES = (5, 10, 20, 30)
+
+
+def figure2_query() -> RAQuery:
+    tree = Project(Difference(Join(Leaf("sm"), Leaf("sp")), Leaf("nr")), "keep")
+    inst = Instantiation(
+        spanners={
+            "sm": alpha_student_mail(),
+            "sp": alpha_student_phone(),
+            "nr": alpha_recommendation(),
+        },
+        projections={"keep": frozenset({"xstdnt"})},
+    )
+    return RAQuery(tree, inst, PlannerConfig(max_shared=2))
+
+
+def _sweep():
+    query = figure2_query()
+    rows, xs, ys = [], [], []
+    for n_students in SIZES:
+        doc = generate_students(
+            n_students, random.Random(9), with_phone=0.9, with_recommendation=0.3
+        )
+        start = time.perf_counter()
+        stats = record_enumeration(query.enumerate(doc))
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                len(doc),
+                stats.count,
+                f"{elapsed * 1e3:.0f}",
+                f"{stats.max_inter_delay * 1e3:.2f}",
+            ]
+        )
+        xs.append(len(doc))
+        ys.append(max(elapsed, 1e-7))
+    return rows, xs, ys
+
+
+def bench_e9_figure2_scaling(benchmark, report):
+    rows, xs, ys = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    exponent = fit_power_law(xs, ys)
+    table = format_table(
+        ["doc_chars", "results", "total_ms", "max_inter_delay_ms"],
+        rows,
+        title=f"E9 Figure-2 RA tree (join+difference+projection, k≤2): "
+        f"total-time power-law exponent ≈ {exponent:.2f} (polynomial)",
+    )
+    report("E9_ra_tree", table)
+    assert exponent < 5.0
+
+
+def bench_e9_single(benchmark):
+    query = figure2_query()
+    doc = generate_students(10, random.Random(9), with_phone=0.9, with_recommendation=0.3)
+    benchmark(lambda: len(query.evaluate(doc)))

@@ -1,0 +1,41 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench records its measurement table through the ``report`` fixture;
+tables are written to ``benchmarks/results/<id>.txt`` and echoed in the
+terminal summary, so ``pytest benchmarks/ --benchmark-only | tee …``
+captures both pytest-benchmark's timing table and the per-experiment
+series that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Record a named measurement table: ``report("E1", table_text)``."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        _REPORTS.append((name, text))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment reports")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"──── {name} " + "─" * max(0, 60 - len(name)))
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

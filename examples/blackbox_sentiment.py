@@ -1,0 +1,85 @@
+"""Black-box spanners beyond regular power (Corollary 5.3): string
+equality, dictionary lookup, and an opaque sentiment module inside one
+query.
+
+Run:  python examples/blackbox_sentiment.py
+"""
+
+from repro import compile_spanner
+from repro.algebra import (
+    DictionarySpanner,
+    Instantiation,
+    Join,
+    Leaf,
+    PlannerConfig,
+    RAQuery,
+    SentimentSpanner,
+    StringEqualitySpanner,
+)
+from repro.core import Document
+
+
+def string_equality_demo() -> None:
+    """String equality is NOT expressible in RA over regular spanners
+    [8, 13] — but it is tractable and degree-2, so the ad-hoc planner can
+    still join with it (Corollary 5.3)."""
+    doc = Document("abcabd")
+    print("== repeated trigrams via the string-equality black box ==")
+    tree = Join(Join(Leaf("eq"), Leaf("first")), Leaf("second"))
+    inst = Instantiation(
+        spanners={
+            "eq": StringEqualitySpanner("x", "y"),
+            # anchor x and y to length-3 spans with y strictly after x
+            "first": compile_spanner("[a-d]*x{[a-d][a-d]}[a-d]*"),
+            "second": compile_spanner("[a-d][a-d]*y{[a-d][a-d]}[a-d]*|[a-d]*y{[a-d][a-d]}"),
+        }
+    )
+    query = RAQuery(tree, inst, PlannerConfig(max_shared=2))
+    seen = set()
+    for mapping in query.enumerate(doc):
+        x, y = mapping["x"], mapping["y"]
+        if x.begin < y.begin:
+            key = (doc.substring(x), x.begin, y.begin)
+            if key not in seen:
+                seen.add(key)
+                print(f"  {doc.substring(x)!r} repeats at positions {x.begin} and {y.begin}")
+
+
+def review_pipeline() -> None:
+    """Example-5.4 style: opaque sentiment + dictionary inside the tree."""
+    doc = Document(
+        "Rodion great insight but chaotic\n"
+        "Pyotr solid work overall\n"
+        "Sofya excellent thesis on spanners\n"
+    )
+    print("\n== reviewers praised by the sentiment module ==")
+    sentiment = SentimentSpanner("who", "evidence", lexicon={"great", "excellent"})
+    for mapping in sentiment.enumerate(doc):
+        print(
+            f"  {doc.substring(mapping['who'])}:"
+            f" {doc.substring(mapping['evidence'])!r}"
+        )
+
+    print("\n== joined with a topic dictionary (two black boxes) ==")
+    tree = Join(Leaf("sent"), Leaf("topics"))
+    inst = Instantiation(
+        spanners={
+            "sent": sentiment,
+            "topics": DictionarySpanner("topic", {"thesis", "insight", "work"}),
+        }
+    )
+    query = RAQuery(tree, inst, PlannerConfig(max_shared=0))
+    rows = set()
+    for mapping in query.enumerate(doc):
+        who = doc.substring(mapping["who"])
+        topic = doc.substring(mapping["topic"])
+        # keep topic mentions on the same line as the praised reviewer
+        if mapping["who"].end <= mapping["topic"].begin:
+            rows.add((who, topic))
+    for who, topic in sorted(rows):
+        print(f"  {who} ↔ {topic}")
+
+
+if __name__ == "__main__":
+    string_equality_demo()
+    review_pipeline()

@@ -1,0 +1,50 @@
+"""Quickstart: compile a regex formula, extract, combine with the algebra.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_spanner
+from repro.algebra import adhoc_difference, fpt_join
+from repro.va import evaluate_va
+
+
+def main() -> None:
+    document = "Ada Lovelace ada@lab.org\nCharles Babbage\nAlan Turing alan@cs.uk\n"
+
+    # 1. A schemaless extractor: the first name is optional, the email too.
+    #    Sequential (every variable bound at most once per match), so
+    #    enumeration has polynomial delay (Theorem 2.5).
+    line = "([A-Za-z@. \\n]*\\n|ε)"  # anchor at any line start
+    person = compile_spanner(
+        line
+        + "(first{[A-Z][a-z]+} |ε)last{[A-Z][a-z]+}"
+        + "( mail{[a-z]+@[a-z.]+}|ε)"
+        + "\\n[A-Za-z@. \\n]*"
+    )
+    print("== extracted people (schemaless: domains differ) ==")
+    relation = person.evaluate(document)
+    print(relation.to_table(person_doc := __import__("repro").as_document(document)))
+
+    # 2. Algebra: join against an extractor of .uk emails, entirely
+    #    compiled into one automaton (FPT in the shared variables,
+    #    Lemma 3.2).  Note the schemaless semantics at work: a person
+    #    *without* a mail binding is compatible with any uk-mail mapping
+    #    (their domains are disjoint), so Babbage picks up Turing's email —
+    #    exactly the §2.4 compatibility rule.
+    uk_mail = compile_spanner(
+        "[A-Za-z@. \\n]* mail{[a-z]+@[a-z.]*uk}\\n[A-Za-z@. \\n]*"
+    )
+    joined = fpt_join(person.va, uk_mail.va)
+    print("\n== person ⋈ uk-mail (schemaless compatibility!) ==")
+    for mapping in evaluate_va(joined, document):
+        print(" ", {v: person_doc.substring(s) for v, s in mapping.items()})
+
+    # 3. Difference: ad-hoc compilation against this document (Lemma 4.2).
+    without_uk = adhoc_difference(person.va, uk_mail.va, document)
+    print("\n== people without a .uk email (ad-hoc difference) ==")
+    for mapping in evaluate_va(without_uk, document):
+        print(" ", {v: person_doc.substring(s) for v, s in mapping.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The hardness reductions as a (very inefficient) SAT solver.
+
+Theorems 3.1 and 4.1 encode 3SAT into spanner-algebra nonemptiness; running
+the encodings backwards turns the spanner evaluator into a SAT solver —
+and makes the exponential cost of unrestricted joins/differences tangible.
+
+Run:  python examples/sat_reduction_demo.py
+"""
+
+import time
+
+from repro.algebra import semantic_difference, semantic_join
+from repro.reductions import (
+    PAPER_PHI,
+    build_difference_instance,
+    build_join_instance,
+    dpll_satisfiable,
+)
+from repro.va import evaluate_va, regex_to_va, trim
+
+
+def solve_by_join(cnf) -> dict | None:
+    """Decide satisfiability through the Theorem-3.1 join encoding."""
+    instance = build_join_instance(cnf)
+    r1 = evaluate_va(trim(regex_to_va(instance.gamma1)), instance.document)
+    r2 = evaluate_va(trim(regex_to_va(instance.gamma2)), instance.document)
+    joined = semantic_join(r1, r2)
+    for mapping in joined:
+        return instance.decode(mapping)
+    return None
+
+
+def solve_by_difference(cnf) -> dict | None:
+    """Decide satisfiability through the Theorem-4.1 difference encoding."""
+    instance = build_difference_instance(cnf)
+    r1 = evaluate_va(trim(regex_to_va(instance.gamma1)), instance.document)
+    r2 = evaluate_va(trim(regex_to_va(instance.gamma2)), instance.document)
+    for mapping in semantic_difference(r1, r2):
+        return instance.decode(mapping)
+    return None
+
+
+def main() -> None:
+    cnf = PAPER_PHI
+    print("φ =", cnf)
+
+    print("\n-- Theorem 3.1: satisfiability as join nonemptiness --")
+    start = time.perf_counter()
+    model = solve_by_join(cnf)
+    elapsed = time.perf_counter() - start
+    print(f"  model via join:        {model}  ({elapsed*1e3:.1f} ms)")
+
+    print("\n-- Theorem 4.1: satisfiability as difference nonemptiness --")
+    start = time.perf_counter()
+    model = solve_by_difference(cnf)
+    elapsed = time.perf_counter() - start
+    print(f"  model via difference:  {model}  ({elapsed*1e3:.1f} ms)")
+
+    start = time.perf_counter()
+    model = dpll_satisfiable(cnf)
+    elapsed = time.perf_counter() - start
+    print(f"  model via DPLL:        {model}  ({elapsed*1e3:.1f} ms)")
+
+    print(
+        "\nBoth spanner routes materialise relations exponential in the"
+        "\nnumber of SAT variables — the benches (E2/E6) trace that curve;"
+        "\nthe paper's restrictions (bounded shared variables, disjunctive"
+        "\nfunctional, synchronized) are exactly what rules these"
+        "\nencodings out while keeping practical queries fast."
+    )
+
+
+if __name__ == "__main__":
+    main()

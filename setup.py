@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The environment ships setuptools without the ``wheel`` package, so the
+PEP-517 editable route (which builds a wheel) is unavailable offline.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``pip install -e .`` on modern toolchains via pyproject.toml) work
+everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

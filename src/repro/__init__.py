@@ -1,0 +1,116 @@
+"""repro — Relational Algebra over Document Spanners.
+
+A complete, executable reproduction of *"Complexity Bounds for Relational
+Algebra over Document Spanners"* (Peterfreund, Freydenberger, Kimelfeld,
+Kröll; PODS 2019):
+
+* schemaless document spanners: documents, spans, mappings, relations;
+* regex formulas with capture variables — parser, combinators, reference
+  semantics, and the functional / sequential / disjunctive-functional /
+  synchronized classification;
+* vset-automata — compilation from regex formulas, configuration analysis,
+  semi-functionalisation (Lemma 3.6), and polynomial-delay enumeration
+  (Theorem 2.5);
+* the algebra — FPT join compilation (Lemma 3.2), disjunctive-functional
+  join (Prop. 3.12), ad-hoc document-dependent difference (Lemma 4.2) and
+  synchronized difference (Theorem 4.8), RA trees with the
+  extraction-complexity evaluator (Theorem 5.2) and black-box spanners
+  (Corollary 5.3);
+* the hardness reductions (Theorems 3.1, 4.1, 4.4; Prop. 4.10) as
+  executable workload generators.
+
+Quickstart::
+
+    from repro import compile_spanner
+
+    students = compile_spanner("(xfirst{[A-Z][a-z]*} )?xlast{[A-Z][a-z]*}: x{[0-9]+}")
+    for mapping in students.enumerate("Ada Lovelace: 1815"):
+        print(mapping)
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Document,
+    Mapping,
+    Span,
+    SpanRelation,
+    Spanner,
+    SpannerError,
+    as_document,
+    span,
+)
+from .regex import parse
+from .regex.ast import RegexFormula
+from .va import VA, VASpanner, regex_to_va, trim
+from .algebra import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    PlannerConfig,
+    Project,
+    RAQuery,
+    UnionNode,
+    adhoc_difference,
+    fpt_join,
+    synchronized_difference,
+)
+
+__version__ = "1.0.0"
+
+
+def compile_spanner(source: "str | RegexFormula | VA", alphabet=None) -> VASpanner:
+    """Compile a regex formula (text or AST) or a VA into an executable
+    spanner with polynomial-delay enumeration.
+
+    Args:
+        source: the textual regex-formula syntax, a parsed
+            :class:`~repro.regex.ast.RegexFormula`, or a sequential
+            :class:`~repro.va.automaton.VA`.
+        alphabet: optional explicit alphabet enabling ``.`` in the textual
+            syntax.
+
+    Returns:
+        A :class:`~repro.va.evaluation.VASpanner`.
+
+    Raises:
+        NotSequentialError: if the input is not sequential — the
+            polynomial-delay guarantee (Theorem 2.5) needs sequentiality.
+    """
+    if isinstance(source, str):
+        source = parse(source, alphabet=alphabet)
+    if isinstance(source, RegexFormula):
+        source = regex_to_va(source)
+    return VASpanner(trim(source))
+
+
+__all__ = [
+    "Difference",
+    "Document",
+    "Instantiation",
+    "Join",
+    "Leaf",
+    "Mapping",
+    "PlannerConfig",
+    "Project",
+    "RAQuery",
+    "RegexFormula",
+    "Span",
+    "SpanRelation",
+    "Spanner",
+    "SpannerError",
+    "UnionNode",
+    "VA",
+    "VASpanner",
+    "adhoc_difference",
+    "as_document",
+    "compile_spanner",
+    "fpt_join",
+    "parse",
+    "regex_to_va",
+    "span",
+    "synchronized_difference",
+    "trim",
+    "__version__",
+]

@@ -1,0 +1,89 @@
+"""The relational algebra over schemaless spanners: semantic operators,
+static/ad-hoc compilations, RA trees, the extraction-complexity planner,
+and black-box spanners."""
+
+from .blackbox import (
+    DictionarySpanner,
+    SentimentSpanner,
+    StringEqualitySpanner,
+    TokenizerSpanner,
+    is_degree_bounded,
+)
+from .difference import adhoc_difference, survivors
+from .join import (
+    dfunc_join,
+    factorized_product,
+    fpt_join,
+    used_set_components,
+)
+from .operators import (
+    DifferenceSpanner,
+    JoinSpanner,
+    ProjectionSpanner,
+    UnionSpanner,
+    semantic_difference,
+    semantic_join,
+    semantic_projection,
+    semantic_union,
+)
+from .positive import compile_projection, compile_union
+from .planner import (
+    DEFAULT_DEGREE_BOUND,
+    PlannerConfig,
+    RAQuery,
+    compile_ra,
+    enumerate_ra,
+    evaluate_ra,
+)
+from .ra_tree import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    Project,
+    RANode,
+    UnionNode,
+)
+from .sync_difference import (
+    SyncDifferenceStats,
+    synchronized_difference,
+)
+
+__all__ = [
+    "DEFAULT_DEGREE_BOUND",
+    "Difference",
+    "DifferenceSpanner",
+    "DictionarySpanner",
+    "Instantiation",
+    "Join",
+    "JoinSpanner",
+    "Leaf",
+    "PlannerConfig",
+    "Project",
+    "ProjectionSpanner",
+    "RANode",
+    "RAQuery",
+    "SentimentSpanner",
+    "StringEqualitySpanner",
+    "SyncDifferenceStats",
+    "TokenizerSpanner",
+    "UnionNode",
+    "UnionSpanner",
+    "adhoc_difference",
+    "compile_projection",
+    "compile_ra",
+    "compile_union",
+    "dfunc_join",
+    "enumerate_ra",
+    "evaluate_ra",
+    "factorized_product",
+    "fpt_join",
+    "is_degree_bounded",
+    "semantic_difference",
+    "semantic_join",
+    "semantic_projection",
+    "semantic_union",
+    "survivors",
+    "synchronized_difference",
+    "used_set_components",
+]

@@ -1,0 +1,186 @@
+"""Black-box schemaless spanners (Corollary 5.3, Example 5.4).
+
+The extraction-complexity framework lets any *tractable* (polynomial-time
+per document) and *degree-bounded* (|dom(µ)| ≤ constant) spanner appear as
+a leaf of an RA tree: the planner materialises its (then polynomial-size)
+relation and folds it in as an ad-hoc automaton.
+
+This module provides the black boxes the paper names or implies:
+
+* :class:`StringEqualitySpanner` — the classic spanner **not** expressible
+  in RA over regular spanners [8, 13]: pairs of spans with equal content;
+* :class:`DictionarySpanner` — dictionary lookup (a SystemT primitive);
+* :class:`TokenizerSpanner` — maximal non-delimiter tokens (tokenizer
+  primitive);
+* :class:`SentimentSpanner` — the toy "PosRec"-style tagger of Example
+  5.4: pairs a context span with a same-line span containing a lexicon
+  word.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..core.document import Document, as_document
+from ..core.mapping import Mapping, Variable
+from ..core.spanner import Spanner
+from ..core.spans import Span
+
+
+class StringEqualitySpanner(Spanner):
+    """All pairs of spans with equal substrings: ``{x ↦ s1, y ↦ s2 :
+    d[s1] = d[s2]}``.
+
+    Degree 2; evaluation is polynomial (quadratically many spans, grouped
+    by content).  Optionally restricted to non-empty spans, since the
+    empty string trivially equates all positions.
+    """
+
+    def __init__(self, first: Variable = "x", second: Variable = "y", include_empty: bool = False):
+        self.first = first
+        self.second = second
+        self.include_empty = include_empty
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset((self.first, self.second))
+
+    def degree(self) -> int:
+        return 2
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        doc = as_document(document)
+        by_content: dict[str, list[Span]] = {}
+        for span in doc.spans():
+            if span.is_empty and not self.include_empty:
+                continue
+            by_content.setdefault(doc.substring(span), []).append(span)
+        for spans in by_content.values():
+            for s1 in spans:
+                for s2 in spans:
+                    yield Mapping({self.first: s1, self.second: s2})
+
+    def __repr__(self) -> str:
+        return f"StringEqualitySpanner({self.first}, {self.second})"
+
+
+class DictionarySpanner(Spanner):
+    """Spans whose content is a dictionary word (degree 1)."""
+
+    def __init__(self, var: Variable, words: Iterable[str]):
+        self.var = var
+        self.words = frozenset(words)
+        self._max_len = max((len(w) for w in self.words), default=0)
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset((self.var,))
+
+    def degree(self) -> int:
+        return 1
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        doc = as_document(document)
+        text = doc.text
+        for i in range(len(text)):
+            for length in range(1, min(self._max_len, len(text) - i) + 1):
+                if text[i : i + length] in self.words:
+                    yield Mapping({self.var: Span(i + 1, i + 1 + length)})
+
+    def __repr__(self) -> str:
+        return f"DictionarySpanner({self.var}, {len(self.words)} words)"
+
+
+class TokenizerSpanner(Spanner):
+    """Maximal runs of non-delimiter characters (degree 1) — the
+    tokenizer primitive of SystemT-style systems (§1)."""
+
+    def __init__(self, var: Variable = "token", delimiters: str = " \t\n"):
+        self.var = var
+        self.delimiters = frozenset(delimiters)
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset((self.var,))
+
+    def degree(self) -> int:
+        return 1
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        doc = as_document(document)
+        text = doc.text
+        start: int | None = None
+        for index, char in enumerate(text):
+            if char in self.delimiters:
+                if start is not None:
+                    yield Mapping({self.var: Span(start + 1, index + 1)})
+                    start = None
+            elif start is None:
+                start = index
+        if start is not None:
+            yield Mapping({self.var: Span(start + 1, len(text) + 1)})
+
+    def __repr__(self) -> str:
+        return f"TokenizerSpanner({self.var})"
+
+
+class SentimentSpanner(Spanner):
+    """The Example-5.4 style black box: for every line containing a
+    lexicon word, pair the line-leading context span (``subject_var``,
+    e.g. the student name: the first token of the line) with the span of
+    the lexicon word (``evidence_var``).
+
+    Degree 2 and linear-time — the stand-in for an opaque ML sentiment
+    module ("PosRec").
+    """
+
+    def __init__(
+        self,
+        subject_var: Variable = "xstdnt",
+        evidence_var: Variable = "xposrec",
+        lexicon: Iterable[str] = ("good", "great", "excellent", "outstanding"),
+        newline: str = "\n",
+    ):
+        self.subject_var = subject_var
+        self.evidence_var = evidence_var
+        self.lexicon = frozenset(lexicon)
+        self.newline = newline
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset((self.subject_var, self.evidence_var))
+
+    def degree(self) -> int:
+        return 2
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        doc = as_document(document)
+        text = doc.text
+        line_start = 0
+        for line in text.split(self.newline):
+            subject = self._first_token_span(line, line_start)
+            if subject is not None:
+                for word in self.lexicon:
+                    offset = 0
+                    while True:
+                        hit = line.find(word, offset)
+                        if hit < 0:
+                            break
+                        evidence = Span(line_start + hit + 1, line_start + hit + 1 + len(word))
+                        yield Mapping({self.subject_var: subject, self.evidence_var: evidence})
+                        offset = hit + 1
+            line_start += len(line) + 1
+
+    @staticmethod
+    def _first_token_span(line: str, line_start: int) -> Span | None:
+        stripped = line.lstrip(" ")
+        if not stripped:
+            return None
+        begin = line_start + (len(line) - len(stripped))
+        end = begin + len(stripped.split(" ", 1)[0])
+        return Span(begin + 1, end + 1)
+
+    def __repr__(self) -> str:
+        return f"SentimentSpanner({self.subject_var}, {self.evidence_var})"
+
+
+def is_degree_bounded(spanner: Spanner, bound: int) -> bool:
+    """Whether the spanner declares a degree within ``bound``
+    (Corollary 5.3's precondition)."""
+    return spanner.degree() <= bound

@@ -1,0 +1,238 @@
+"""Static join compilations (Lemma 3.2 / Theorem 3.3; Prop. 3.12).
+
+Three layers:
+
+* :func:`factorized_product` — the core product construction (the paper's
+  Lemma 3.8 via [13, Lemma 3.10]).  It synchronises the two operands on the
+  per-position *operation sets* over a given variable set, which makes it
+  robust to operands that perform the shared operations in different
+  micro-orders inside one position.  **Contract**: for every synchronised
+  variable, either both operands use it on all their accepting runs, or
+  neither ever does — the used-set decompositions below establish exactly
+  this before calling.
+
+* :func:`fpt_join` — Lemma 3.2: the join of two *sequential* VAs, FPT in
+  the number ``k`` of common variables.  Each operand is
+  semi-functionalised for the common variables X (Lemma 3.6) and split
+  into ≤ 2^k components by the exact subset of X its accepting runs use;
+  compatible component pairs are producted with synchronisation on the
+  variables used by both.  (The split is how we handle the schemaless
+  subtlety that a mapping *using* a shared variable joins with one that
+  does not.)
+
+* :func:`dfunc_join` — Proposition 3.12: the join of two disjunctive
+  functional VAs in polynomial time, by pairwise products of the
+  functional components (no semi-functionalisation needed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..core.errors import NotSequentialError
+from ..core.mapping import Variable
+from .. import va as _va
+from ..va.automaton import VA, Label, State, VarOp
+from ..va.configurations import accepting_used_sets
+from ..va.matchgraph import FactorizedVA, OpSet
+from ..va.operations import trim, union_all, empty_va
+from ..va.properties import is_sequential
+from ..va.semi_functional import make_semi_functional
+
+
+def _canonical_op_order(ops: OpSet) -> list[VarOp]:
+    """A replay order for one position's operations: closes of variables
+    opened earlier first, then the open/close pairs of empty spans, then
+    fresh opens — every open precedes its close."""
+    closes_only: list[VarOp] = []
+    opens_only: list[VarOp] = []
+    pairs: list[Variable] = []
+    opened = {op.var for op in ops if op.is_open}
+    closed = {op.var for op in ops if not op.is_open}
+    for var in sorted(opened & closed):
+        pairs.append(var)
+    for op in sorted(ops, key=str):
+        if op.var in opened and op.var in closed:
+            continue
+        if op.is_open:
+            opens_only.append(op)
+        else:
+            closes_only.append(op)
+    ordered = list(closes_only)
+    for var in pairs:
+        ordered.append(VarOp(var, True))
+        ordered.append(VarOp(var, False))
+    ordered.extend(opens_only)
+    return ordered
+
+
+class _ProductBuilder:
+    """Accumulates the states/transitions of a product automaton,
+    expanding operation sets into canonical chains of fresh states."""
+
+    def __init__(self) -> None:
+        self.transitions: list[tuple[State, Label, State]] = []
+        self._fresh = itertools.count()
+
+    def chain(self, source: State, ops: OpSet, final_label: Label, target: State) -> None:
+        """Add ``source --ops…--> (final_label) --> target``."""
+        current = source
+        for op in _canonical_op_order(ops):
+            nxt = ("chain", next(self._fresh))
+            self.transitions.append((current, op, nxt))
+            current = nxt
+        self.transitions.append((current, final_label, target))
+
+
+def factorized_product(
+    first: VA, second: VA, sync_variables: Iterable[Variable]
+) -> VA:
+    """The synchronised product of two VAs (Lemma 3.8 / [13, Lemma 3.10]).
+
+    Both automata run in parallel over the same document; at every position
+    their operation sets must agree on ``Γ_sync``.  The output's accepting
+    runs produce ``µ1 ∪ µ2`` for accepting runs with identical placement of
+    the synchronised variables.
+
+    See the module docstring for the usage contract; :func:`fpt_join` and
+    :func:`dfunc_join` are the safe entry points.
+    """
+    sync = frozenset(sync_variables)
+    fva1, fva2 = FactorizedVA(first), FactorizedVA(second)
+    va1, va2 = fva1.va, fva2.va
+    if not va1.accepting or not va2.accepting:
+        return empty_va()
+
+    def sync_part(ops: OpSet) -> OpSet:
+        return frozenset(op for op in ops if op.var in sync)
+
+    builder = _ProductBuilder()
+    accept_state: State = ("acc",)
+    accepting_used = False
+    initial: State = ("s", va1.initial, va2.initial)
+    seen: set[State] = {initial}
+    stack: list[State] = [initial]
+    while stack:
+        state = stack.pop()
+        _, p1, p2 = state
+        # Letter transitions: both sides read the same letter with
+        # agreeing synchronised operations.
+        macro1 = fva1.macro_transitions(p1)
+        macro2 = fva2.macro_transitions(p2)
+        for letter in macro1.keys() & macro2.keys():
+            for ops1, r1 in macro1[letter]:
+                key1 = sync_part(ops1)
+                for ops2, r2 in macro2[letter]:
+                    if sync_part(ops2) != key1:
+                        continue
+                    target: State = ("s", r1, r2)
+                    builder.chain(state, ops1 | ops2, letter, target)
+                    if target not in seen:
+                        seen.add(target)
+                        stack.append(target)
+        # Acceptance: both sides finish with agreeing synchronised ops.
+        finals1 = fva1.accepting_opsets(p1)
+        finals2 = fva2.accepting_opsets(p2)
+        for ops1 in finals1:
+            key1 = sync_part(ops1)
+            for ops2 in finals2:
+                if sync_part(ops2) != key1:
+                    continue
+                builder.chain(state, ops1 | ops2, None, accept_state)
+                accepting_used = True
+    if not accepting_used:
+        return empty_va()
+    product = VA(initial, (accept_state,), builder.transitions)
+    return trim(product).relabelled()
+
+
+def used_set_components(va: VA, shared: frozenset[Variable]) -> dict[frozenset[Variable], VA]:
+    """Split a sequential VA into ≤ 2^|shared| sub-automata, one per subset
+    ``Y ⊆ shared`` of shared variables its accepting runs use.
+
+    The returned components are trimmed, equivalent to the input in union,
+    and each is "functional relative to Y": every accepting run operates on
+    exactly ``Y`` among the shared variables.
+    """
+    prepared = make_semi_functional(trim(va), shared)
+    if not prepared.accepting:
+        return {}
+    used_sets = accepting_used_sets(prepared, shared)
+    groups: dict[frozenset[Variable], list[State]] = {}
+    for state, used in used_sets.items():
+        groups.setdefault(used, []).append(state)
+    return {
+        used: trim(prepared.with_accepting(states))
+        for used, states in groups.items()
+    }
+
+
+def fpt_join(first: VA, second: VA) -> VA:
+    """Lemma 3.2: a sequential VA equivalent to ``A1 ⋈ A2``.
+
+    Runtime and output size are polynomial in the operand sizes and
+    exponential only in ``k = |Vars(A1) ∩ Vars(A2)|`` (at most ``4^k``
+    component products).
+
+    Raises:
+        NotSequentialError: if either operand is not sequential (the join
+            of arbitrary sequential *regex formulas* is NP-hard, Theorem
+            3.1 — the hardness lives in the unbounded shared-variable
+            case, which this compilation excludes by fiat of its cost).
+    """
+    if not is_sequential(first) or not is_sequential(second):
+        raise NotSequentialError("fpt_join requires sequential operands")
+    shared = first.variables & second.variables
+    if not shared:
+        # No synchronisation constraints at all: single plain product.
+        return factorized_product(first, second, frozenset())
+    parts1 = used_set_components(first, shared)
+    parts2 = used_set_components(second, shared)
+    products: list[VA] = []
+    for used1, comp1 in parts1.items():
+        for used2, comp2 in parts2.items():
+            product = factorized_product(comp1, comp2, used1 & used2)
+            if product.accepting:
+                products.append(product)
+    if not products:
+        return empty_va()
+    if len(products) == 1:
+        return products[0]
+    return union_all(products).relabelled()
+
+
+def _functional_disjuncts(va: VA) -> list[VA]:
+    """The functional components of a disjunctive functional VA.
+
+    Accepts any sequential VA and splits by used-set; for a genuinely
+    disjunctive-functional input this recovers (a normal form of) its
+    functional components.
+    """
+    return list(used_set_components(va, va.variables).values())
+
+
+def dfunc_join(first: VA, second: VA) -> VA:
+    """Proposition 3.12: join of two disjunctive functional VAs as a
+    disjunctive functional VA, in polynomial time in the total number of
+    functional components.
+
+    Every pair of functional components is producted with synchronisation
+    on the pair's common variables — the schema-based join of [13, Lemma
+    3.10], where compatibility needs no used-set reasoning because
+    functional components use all their variables on every run.
+    """
+    parts1 = _functional_disjuncts(first)
+    parts2 = _functional_disjuncts(second)
+    products: list[VA] = []
+    for comp1 in parts1:
+        for comp2 in parts2:
+            sync = comp1.variables & comp2.variables
+            product = factorized_product(comp1, comp2, sync)
+            if product.accepting:
+                products.append(product)
+    if not products:
+        return empty_va()
+    if len(products) == 1:
+        return products[0]
+    return union_all(products).relabelled()

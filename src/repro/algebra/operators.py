@@ -1,0 +1,137 @@
+"""Semantic (materialising) spanner combinators — the baseline algebra.
+
+These combinators implement §2.4's operators by materialising their
+operands' relations and combining them set-theoretically.  They are:
+
+* the **ground truth** every compiled construction is tested against;
+* the **naive baseline** of the benchmarks (they pay the full output size
+  of both operands, which the hardness reductions drive exponential);
+* the fallback for operands with no better representation (black boxes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..core.document import Document, as_document
+from ..core.mapping import Mapping, Variable
+from ..core.relation import SpanRelation
+from ..core.spanner import Spanner
+
+
+class UnionSpanner(Spanner):
+    """``P1 ∪ P2`` by materialisation."""
+
+    def __init__(self, first: Spanner, second: Spanner):
+        self.first = first
+        self.second = second
+
+    def variables(self) -> frozenset[Variable]:
+        return self.first.variables() | self.second.variables()
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        doc = as_document(document)
+        seen: set[Mapping] = set()
+        for source in (self.first, self.second):
+            for mapping in source.enumerate(doc):
+                if mapping not in seen:
+                    seen.add(mapping)
+                    yield mapping
+
+    def __repr__(self) -> str:
+        return f"({self.first!r} ∪ {self.second!r})"
+
+
+class ProjectionSpanner(Spanner):
+    """``π_Y P`` by materialisation."""
+
+    def __init__(self, source: Spanner, keep: Iterable[Variable]):
+        self.source = source
+        self.keep = frozenset(keep)
+
+    def variables(self) -> frozenset[Variable]:
+        return self.source.variables() & self.keep
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        seen: set[Mapping] = set()
+        for mapping in self.source.enumerate(as_document(document)):
+            projected = mapping.restrict(self.keep)
+            if projected not in seen:
+                seen.add(projected)
+                yield projected
+
+    def __repr__(self) -> str:
+        return f"π_{sorted(self.keep)}({self.source!r})"
+
+
+class JoinSpanner(Spanner):
+    """``P1 ⋈ P2`` by full materialisation of both operands.
+
+    This is the baseline whose worst case Theorem 3.1 pins at NP-hard:
+    with unboundedly many shared variables there can be exponentially many
+    candidate pairs and no output-efficient shortcut (unless P = NP).
+    """
+
+    def __init__(self, first: Spanner, second: Spanner):
+        self.first = first
+        self.second = second
+
+    def variables(self) -> frozenset[Variable]:
+        return self.first.variables() | self.second.variables()
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        doc = as_document(document)
+        left = list(self.first.enumerate(doc))
+        seen: set[Mapping] = set()
+        for right_mapping in self.second.enumerate(doc):
+            for left_mapping in left:
+                if left_mapping.is_compatible(right_mapping):
+                    joined = left_mapping.union(right_mapping)
+                    if joined not in seen:
+                        seen.add(joined)
+                        yield joined
+
+    def __repr__(self) -> str:
+        return f"({self.first!r} ⋈ {self.second!r})"
+
+
+class DifferenceSpanner(Spanner):
+    """``P1 \\ P2`` by full materialisation of both operands (baseline
+    pinned NP-hard in general by Theorem 4.1)."""
+
+    def __init__(self, first: Spanner, second: Spanner):
+        self.first = first
+        self.second = second
+
+    def variables(self) -> frozenset[Variable]:
+        return self.first.variables()
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        doc = as_document(document)
+        right = list(self.second.enumerate(doc))
+        for mapping in self.first.enumerate(doc):
+            if not any(mapping.is_compatible(other) for other in right):
+                yield mapping
+
+    def __repr__(self) -> str:
+        return f"({self.first!r} \\ {self.second!r})"
+
+
+def semantic_union(first: SpanRelation, second: SpanRelation) -> SpanRelation:
+    """Relation-level union (re-exported for symmetry)."""
+    return first.union(second)
+
+
+def semantic_join(first: SpanRelation, second: SpanRelation) -> SpanRelation:
+    """Relation-level natural join."""
+    return first.join(second)
+
+
+def semantic_difference(first: SpanRelation, second: SpanRelation) -> SpanRelation:
+    """Relation-level SPARQL difference."""
+    return first.difference(second)
+
+
+def semantic_projection(relation: SpanRelation, keep: Iterable[Variable]) -> SpanRelation:
+    """Relation-level projection."""
+    return relation.project(keep)

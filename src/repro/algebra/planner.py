@@ -1,0 +1,198 @@
+"""The extraction-complexity evaluator (Theorem 5.2, Corollary 5.3).
+
+Evaluates an instantiated RA tree on a document with polynomial delay,
+provided every join and difference node shares at most ``max_shared``
+variables between its subtrees (Theorem 5.2's precondition — checked, not
+assumed).
+
+Strategy (the paper's two compilation modes):
+
+* positive operators and joins compile *statically* (document-independent
+  VAs: ``union_va``, ``project_va``, ``fpt_join``);
+* differences compile *ad hoc* for the document at hand
+  (:func:`~repro.algebra.difference.adhoc_difference`) — Section 4 shows
+  no static compilation can work;
+* black-box leaves (tractable, degree-bounded :class:`Spanner` objects)
+  are materialised per document and folded in as straight-line automata
+  (Corollary 5.3) — the ad-hoc mode is what makes this possible.
+
+The result of the bottom-up compilation is a single sequential VA for the
+document, enumerated by the Theorem-2.5 evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.document import Document, as_document
+from ..core.errors import SpannerError
+from ..core.mapping import Mapping, Variable
+from ..core.relation import SpanRelation
+from ..core.spanner import Spanner
+from ..regex.ast import RegexFormula
+from ..va.automaton import VA
+from ..va.compile_regex import regex_to_va
+from ..va.evaluation import enumerate_mappings
+from ..va.operations import project_va, relation_va, trim, union_va
+from .difference import adhoc_difference
+from .join import fpt_join
+from .ra_tree import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    Project,
+    RANode,
+    UnionNode,
+)
+
+#: Default cap on black-box spanner degree (Corollary 5.3 asks for *some*
+#: constant; 4 covers all shipped black boxes with room to spare).
+DEFAULT_DEGREE_BOUND = 4
+
+
+@dataclass
+class PlannerConfig:
+    """Knobs of the RA-tree evaluator.
+
+    Attributes:
+        max_shared: Theorem 5.2's bound ``k`` on common variables across
+            every join/difference node; ``None`` disables the check (the
+            evaluation stays correct but forfeits the delay guarantee).
+        degree_bound: Corollary 5.3's bound on black-box degrees.
+    """
+
+    max_shared: int | None = None
+    degree_bound: int = DEFAULT_DEGREE_BOUND
+
+
+def compile_ra(
+    tree: RANode,
+    instantiation: Instantiation,
+    document: Document | str,
+    config: PlannerConfig | None = None,
+) -> VA:
+    """Compile an instantiated RA tree into one ad-hoc sequential VA for
+    ``document``."""
+    config = config or PlannerConfig()
+    doc = as_document(document)
+    instantiation.validate(tree)
+    return _compile(tree, instantiation, doc, config)
+
+
+def _compile(
+    node: RANode, inst: Instantiation, doc: Document, config: PlannerConfig
+) -> VA:
+    if isinstance(node, Leaf):
+        return _compile_leaf(inst.spanner(node.name), doc, config)
+    if isinstance(node, Project):
+        child = _compile(node.child, inst, doc, config)
+        keep = (
+            inst.projection(node.projection)
+            if isinstance(node.projection, str)
+            else node.projection
+        )
+        return trim(project_va(child, keep))
+    if isinstance(node, UnionNode):
+        return union_va(
+            _compile(node.left, inst, doc, config),
+            _compile(node.right, inst, doc, config),
+        )
+    if isinstance(node, Join):
+        left = _compile(node.left, inst, doc, config)
+        right = _compile(node.right, inst, doc, config)
+        _check_shared(left, right, config, "join")
+        return fpt_join(left, right)
+    if isinstance(node, Difference):
+        left = _compile(node.left, inst, doc, config)
+        right = _compile(node.right, inst, doc, config)
+        _check_shared(left, right, config, "difference")
+        return adhoc_difference(left, right, doc)
+    raise TypeError(f"unknown RA node type {type(node).__name__}")
+
+
+def _compile_leaf(atom, doc: Document, config: PlannerConfig) -> VA:
+    if isinstance(atom, RegexFormula):
+        return trim(regex_to_va(atom))
+    if isinstance(atom, VA):
+        return trim(atom)
+    if isinstance(atom, Spanner):
+        degree = atom.degree()
+        if degree > config.degree_bound:
+            raise SpannerError(
+                f"black-box spanner {atom!r} has degree {degree} > bound "
+                f"{config.degree_bound}; Corollary 5.3 requires degree-bounded "
+                "black boxes (raise PlannerConfig.degree_bound if intentional)"
+            )
+        return relation_va(atom.evaluate(doc), doc)
+    raise TypeError(f"cannot instantiate a placeholder with {type(atom).__name__}")
+
+
+def _check_shared(left: VA, right: VA, config: PlannerConfig, what: str) -> None:
+    if config.max_shared is None:
+        return
+    shared = left.variables & right.variables
+    if len(shared) > config.max_shared:
+        raise SpannerError(
+            f"{what} node shares {len(shared)} variables {sorted(shared)}, "
+            f"exceeding the configured bound {config.max_shared} (Theorem 5.2)"
+        )
+
+
+def enumerate_ra(
+    tree: RANode,
+    instantiation: Instantiation,
+    document: Document | str,
+    config: PlannerConfig | None = None,
+) -> Iterator[Mapping]:
+    """Enumerate ``⟦I[τ]⟧(d)`` with polynomial delay (Theorem 5.2)."""
+    doc = as_document(document)
+    compiled = compile_ra(tree, instantiation, doc, config)
+    return enumerate_mappings(compiled, doc)
+
+
+def evaluate_ra(
+    tree: RANode,
+    instantiation: Instantiation,
+    document: Document | str,
+    config: PlannerConfig | None = None,
+) -> SpanRelation:
+    """Materialise ``⟦I[τ]⟧(d)``."""
+    return SpanRelation(enumerate_ra(tree, instantiation, document, config))
+
+
+class RAQuery:
+    """A fixed RA tree bundled with an instantiation — the unit whose
+    *extraction complexity* §5 studies.
+
+    Usage::
+
+        query = RAQuery(tree, instantiation, PlannerConfig(max_shared=2))
+        for mapping in query.enumerate(document):
+            ...
+    """
+
+    def __init__(
+        self,
+        tree: RANode,
+        instantiation: Instantiation,
+        config: PlannerConfig | None = None,
+    ):
+        instantiation.validate(tree)
+        self.tree = tree
+        self.instantiation = instantiation
+        self.config = config or PlannerConfig()
+
+    def compile(self, document: Document | str) -> VA:
+        """The ad-hoc VA for one document."""
+        return compile_ra(self.tree, self.instantiation, document, self.config)
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        return enumerate_ra(self.tree, self.instantiation, document, self.config)
+
+    def evaluate(self, document: Document | str) -> SpanRelation:
+        return evaluate_ra(self.tree, self.instantiation, document, self.config)
+
+    def __repr__(self) -> str:
+        return f"RAQuery({self.tree})"

@@ -1,0 +1,32 @@
+"""Static compilation of the positive operators other than join.
+
+Union and projection of sequential VAs compile in linear time into
+sequential VAs ([13, 20]); these are thin, documented wrappers around the
+structural operations of :mod:`repro.va.operations`, giving the algebra
+layer a uniform vocabulary: ``compile_union``, ``compile_projection``,
+``fpt_join`` (in :mod:`repro.algebra.join`), and the ad-hoc differences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import NotSequentialError
+from ..core.mapping import Variable
+from ..va.automaton import VA
+from ..va.operations import project_va, trim, union_va
+from ..va.properties import is_sequential
+
+
+def compile_union(first: VA, second: VA, check: bool = False) -> VA:
+    """A sequential VA equivalent to ``A1 ∪ A2`` (linear time)."""
+    if check and not (is_sequential(first) and is_sequential(second)):
+        raise NotSequentialError("compile_union requires sequential operands")
+    return union_va(first, second)
+
+
+def compile_projection(va: VA, variables: Iterable[Variable], check: bool = False) -> VA:
+    """A sequential VA equivalent to ``π_Y(A)`` (linear time)."""
+    if check and not is_sequential(va):
+        raise NotSequentialError("compile_projection requires a sequential operand")
+    return trim(project_va(va, variables))

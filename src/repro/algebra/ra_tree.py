@@ -1,0 +1,176 @@
+"""RA trees and instantiations (paper §5, Figure 2).
+
+An *RA tree* is an operator tree whose leaves are placeholders for atomic
+schemaless spanners; an *instantiation* assigns a concrete spanner
+representation (regex formula, VA, or black-box :class:`Spanner`) to every
+placeholder and a variable set to every projection.  The *extraction
+complexity* of §5 fixes the tree and takes the instantiation plus the
+document as input — which is exactly the API of
+:func:`repro.algebra.planner.evaluate_ra`.
+
+Example — the tree of Figure 2::
+
+    tree = Project(
+        Difference(Join(Leaf("sm"), Leaf("sp")), Leaf("nr")),
+        projection="keep",
+    )
+    inst = Instantiation(
+        spanners={"sm": alpha_sm, "sp": alpha_sp, "nr": alpha_nr},
+        projections={"keep": {"xstdnt"}},
+    )
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping as TMapping, Union as TUnion
+
+from ..core.errors import ArityError
+from ..core.mapping import Variable
+from ..core.spanner import Spanner
+from ..regex.ast import RegexFormula
+from ..va.automaton import VA
+
+#: Anything an instantiation may bind to a placeholder.
+AtomicSpanner = TUnion[RegexFormula, VA, Spanner]
+
+
+class RANode(abc.ABC):
+    """A node of an RA tree."""
+
+    @abc.abstractmethod
+    def children(self) -> tuple["RANode", ...]:
+        """The ordered children (out-degree = operator arity)."""
+
+    def walk(self) -> Iterator["RANode"]:
+        """All nodes, pre-order."""
+        stack: list[RANode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def placeholders(self) -> tuple[str, ...]:
+        """The leaf names, left to right."""
+        return tuple(node.name for node in self.walk() if isinstance(node, Leaf))
+
+    def projection_slots(self) -> tuple[str, ...]:
+        """The named projection slots requiring an instantiated variable
+        set."""
+        return tuple(
+            node.projection
+            for node in self.walk()
+            if isinstance(node, Project) and isinstance(node.projection, str)
+        )
+
+
+@dataclass(frozen=True)
+class Leaf(RANode):
+    """A placeholder for an atomic spanner, identified by name."""
+
+    name: str
+
+    def children(self) -> tuple[RANode, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Project(RANode):
+    """``π`` — projection.  ``projection`` is either an explicit frozenset
+    of variables or a slot name resolved by the instantiation (the paper's
+    "assigns a set of variables to every projection")."""
+
+    child: RANode
+    projection: frozenset[Variable] | str
+
+    def __init__(self, child: RANode, projection):
+        object.__setattr__(self, "child", child)
+        if isinstance(projection, str):
+            object.__setattr__(self, "projection", projection)
+        else:
+            object.__setattr__(self, "projection", frozenset(projection))
+
+    def children(self) -> tuple[RANode, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        label = self.projection if isinstance(self.projection, str) else sorted(self.projection)
+        return f"π[{label}]({self.child})"
+
+
+@dataclass(frozen=True)
+class UnionNode(RANode):
+    """``∪`` — union."""
+
+    left: RANode
+    right: RANode
+
+    def children(self) -> tuple[RANode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∪ {self.right})"
+
+
+@dataclass(frozen=True)
+class Join(RANode):
+    """``⋈`` — natural join."""
+
+    left: RANode
+    right: RANode
+
+    def children(self) -> tuple[RANode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ⋈ {self.right})"
+
+
+@dataclass(frozen=True)
+class Difference(RANode):
+    """``\\`` — SPARQL-style difference."""
+
+    left: RANode
+    right: RANode
+
+    def children(self) -> tuple[RANode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} \\ {self.right})"
+
+
+@dataclass
+class Instantiation:
+    """An assignment of atomic spanners to placeholders and variable sets
+    to named projection slots (the paper's ``I``)."""
+
+    spanners: dict[str, AtomicSpanner] = field(default_factory=dict)
+    projections: dict[str, frozenset[Variable]] = field(default_factory=dict)
+
+    def spanner(self, name: str) -> AtomicSpanner:
+        try:
+            return self.spanners[name]
+        except KeyError:
+            raise ArityError(f"no spanner instantiates placeholder {name!r}") from None
+
+    def projection(self, slot: str) -> frozenset[Variable]:
+        try:
+            return frozenset(self.projections[slot])
+        except KeyError:
+            raise ArityError(f"no variable set instantiates projection {slot!r}") from None
+
+    def validate(self, tree: RANode) -> None:
+        """Check the instantiation covers exactly the tree's needs."""
+        needed = set(tree.placeholders())
+        missing = needed - self.spanners.keys()
+        if missing:
+            raise ArityError(f"placeholders without spanners: {sorted(missing)}")
+        slots = set(tree.projection_slots())
+        missing_slots = slots - self.projections.keys()
+        if missing_slots:
+            raise ArityError(f"projection slots without variables: {sorted(missing_slots)}")

@@ -1,0 +1,115 @@
+"""Command-line interface: extract spans from documents with regex
+formulas.
+
+Usage::
+
+    python -m repro.cli extract 'x{[a-z]+}@y{[a-z.]+}' --text 'ab@cd.e'
+    python -m repro.cli extract "$(cat formula.rgx)" --file corpus.txt --json
+    python -m repro.cli classify 'x{a}(y{b}|ε)'
+    python -m repro.cli dot 'x{a*}b' > automaton.dot
+
+Subcommands:
+
+* ``extract``  — evaluate a formula on a document (table or JSON output);
+* ``classify`` — report the formula's syntactic classes (§2.2/§3.2/§4.2);
+* ``dot``      — compile to a vset-automaton and emit Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.document import Document
+from .core.errors import SpannerError
+from .io.dot import va_to_dot
+from .io.serialize import dumps_relation
+from .regex.parser import parse
+from .regex.properties import classify
+from .va.compile_regex import regex_to_va
+from .va.evaluation import VASpanner
+from .va.operations import trim
+
+
+def _read_document(args: argparse.Namespace) -> Document:
+    if args.text is not None:
+        return Document(args.text)
+    if args.file is not None:
+        with open(args.file, encoding="utf-8") as handle:
+            return Document(handle.read())
+    return Document(sys.stdin.read())
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    formula = parse(args.formula, alphabet=args.alphabet)
+    document = _read_document(args)
+    spanner = VASpanner(trim(regex_to_va(formula)))
+    relation = spanner.evaluate(document)
+    if args.json:
+        print(dumps_relation(relation, indent=2))
+    else:
+        print(relation.to_table(document if args.show_content else None))
+        print(f"\n{len(relation)} mapping(s)")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    formula = parse(args.formula, alphabet=args.alphabet)
+    print(f"formula:    {formula.to_text()}")
+    print(f"variables:  {', '.join(sorted(formula.variables)) or '(none)'}")
+    print(f"size:       {formula.size()} nodes")
+    for name, value in classify(formula).items():
+        print(f"{name + ':':24s}{'yes' if value else 'no'}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    formula = parse(args.formula, alphabet=args.alphabet)
+    print(va_to_dot(trim(regex_to_va(formula))))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Document-spanner extraction (PODS 2019 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("formula", help="regex formula, e.g. 'x{[a-z]+}@y{[a-z.]+}'")
+        p.add_argument("--alphabet", help="explicit alphabet enabling '.'", default=None)
+
+    extract = sub.add_parser("extract", help="evaluate a formula on a document")
+    add_common(extract)
+    source = extract.add_mutually_exclusive_group()
+    source.add_argument("--text", help="document given inline")
+    source.add_argument("--file", help="document read from a file")
+    extract.add_argument("--json", action="store_true", help="JSON output")
+    extract.add_argument(
+        "--show-content", action="store_true", help="show span contents in the table"
+    )
+    extract.set_defaults(func=_cmd_extract)
+
+    classify_cmd = sub.add_parser("classify", help="report the formula's classes")
+    add_common(classify_cmd)
+    classify_cmd.set_defaults(func=_cmd_classify)
+
+    dot = sub.add_parser("dot", help="emit the compiled automaton as Graphviz DOT")
+    add_common(dot)
+    dot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SpannerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Core substrate: documents, spans, mappings, relations, spanner ABC."""
+
+from .document import Document, as_document
+from .errors import (
+    ArityError,
+    EvaluationError,
+    MappingError,
+    NotFunctionalError,
+    NotSequentialError,
+    NotSynchronizedError,
+    RegexSyntaxError,
+    SpanError,
+    SpannerError,
+    VariableError,
+)
+from .mapping import EMPTY_MAPPING, Mapping, Variable, compatible, merge
+from .relation import EMPTY_RELATION, SpanRelation
+from .spanner import ConstantSpanner, RelationSpanner, Spanner
+from .spans import Span, all_spans, count_spans, span
+
+__all__ = [
+    "ArityError",
+    "ConstantSpanner",
+    "Document",
+    "EMPTY_MAPPING",
+    "EMPTY_RELATION",
+    "EvaluationError",
+    "Mapping",
+    "MappingError",
+    "NotFunctionalError",
+    "NotSequentialError",
+    "NotSynchronizedError",
+    "RegexSyntaxError",
+    "RelationSpanner",
+    "Span",
+    "SpanError",
+    "SpanRelation",
+    "Spanner",
+    "SpannerError",
+    "Variable",
+    "VariableError",
+    "all_spans",
+    "as_document",
+    "compatible",
+    "count_spans",
+    "merge",
+    "span",
+]

@@ -1,0 +1,88 @@
+"""Documents: finite strings over a finite alphabet (paper §2.1).
+
+A :class:`Document` is a thin immutable wrapper around ``str`` that adds the
+paper's 1-based span addressing (``d[i, j>`` denotes ``σ_i … σ_{j-1}``) plus
+a few convenience queries used throughout the library.  Wrapping instead of
+subclassing ``str`` keeps slicing semantics explicit: plain integer slicing
+on a Document is deliberately not supported — use spans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import SpanError
+from .spans import Span, all_spans
+
+
+class Document:
+    """An input document: an immutable string with span-based access."""
+
+    __slots__ = ("_text",)
+
+    def __init__(self, text: str):
+        self._text = text
+
+    @property
+    def text(self) -> str:
+        """The raw underlying string."""
+        return self._text
+
+    def __len__(self) -> int:
+        return len(self._text)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Document):
+            return self._text == other._text
+        if isinstance(other, str):
+            return self._text == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Document", self._text))
+
+    def __repr__(self) -> str:
+        preview = self._text if len(self._text) <= 40 else self._text[:37] + "..."
+        return f"Document({preview!r})"
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._text)
+
+    def letter(self, position: int) -> str:
+        """The letter ``σ_position`` (1-based), as in the paper."""
+        if not 1 <= position <= len(self._text):
+            raise SpanError(
+                f"letter position {position} out of range 1..{len(self._text)}"
+            )
+        return self._text[position - 1]
+
+    def substring(self, s: Span) -> str:
+        """The substring ``d[i, j>`` covered by span ``s``."""
+        if s.end > len(self._text) + 1:
+            raise SpanError(f"span {s} exceeds document of length {len(self._text)}")
+        return self._text[s.begin - 1 : s.end - 1]
+
+    def full_span(self) -> Span:
+        """The span ``[1, |d|+1>`` covering the whole document."""
+        return Span(1, len(self._text) + 1)
+
+    def spans(self) -> Iterator[Span]:
+        """All spans of this document (``spans(d)`` in the paper)."""
+        return all_spans(len(self._text))
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of letters actually occurring in this document."""
+        return frozenset(self._text)
+
+
+def as_document(value: "Document | str") -> Document:
+    """Coerce a ``str`` or :class:`Document` into a :class:`Document`.
+
+    Public API entry points accept either, so user code can pass plain
+    strings everywhere.
+    """
+    if isinstance(value, Document):
+        return value
+    if isinstance(value, str):
+        return Document(value)
+    raise TypeError(f"expected str or Document, got {type(value).__name__}")

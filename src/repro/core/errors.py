@@ -1,0 +1,63 @@
+"""Exception hierarchy for the spanner library.
+
+Every error raised by this package derives from :class:`SpannerError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class SpannerError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpanError(SpannerError, ValueError):
+    """An ill-formed span, e.g. ``[i, j>`` with ``j < i`` or ``i < 1``."""
+
+
+class MappingError(SpannerError, ValueError):
+    """An ill-formed mapping, e.g. merging incompatible mappings."""
+
+
+class RegexSyntaxError(SpannerError, ValueError):
+    """The textual regex-formula syntax could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class NotSequentialError(SpannerError, ValueError):
+    """An algorithm requiring a sequential regex formula / VA got a
+    non-sequential one.
+
+    Most upper-bound constructions in the paper (Theorem 2.5, Lemma 3.2,
+    Lemma 4.2, Theorem 4.8) are only correct — and only tractable — for
+    sequential inputs, so we refuse loudly instead of producing garbage.
+    """
+
+
+class NotFunctionalError(SpannerError, ValueError):
+    """An algorithm requiring a functional regex formula / VA got a
+    non-functional one."""
+
+
+class NotSynchronizedError(SpannerError, ValueError):
+    """Theorem 4.8 requires the subtrahend to be synchronized for the
+    common variables; this error reports a violation."""
+
+
+class ArityError(SpannerError, ValueError):
+    """An RA-tree instantiation does not match the tree's placeholders."""
+
+
+class EvaluationError(SpannerError, RuntimeError):
+    """An internal invariant of an evaluation algorithm was violated."""
+
+
+class VariableError(SpannerError, ValueError):
+    """An invalid variable usage, e.g. re-opening an already open variable
+    in a context that forbids it."""

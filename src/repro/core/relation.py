@@ -1,0 +1,154 @@
+"""Span relations: finite sets of mappings — a spanner's output on one
+document (paper §2.1).
+
+:class:`SpanRelation` is the materialised form of ``⟦q⟧(d)``.  It behaves
+like an immutable set of :class:`~repro.core.mapping.Mapping` objects and
+carries the semantic (set-based) implementations of the algebraic operators
+of §2.4, which serve as the *ground truth* against which every compiled
+construction in :mod:`repro.algebra` is tested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .document import Document
+from .mapping import Mapping, Variable
+
+
+class SpanRelation:
+    """An immutable set of mappings.
+
+    Unlike classical relations, the mappings need not share a domain
+    (schemaless semantics).
+    """
+
+    __slots__ = ("_mappings",)
+
+    def __init__(self, mappings: Iterable[Mapping] = ()):
+        self._mappings = frozenset(mappings)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._mappings)
+
+    def __iter__(self) -> Iterator[Mapping]:
+        # Sorted for reproducible iteration/printing across runs.
+        return iter(sorted(self._mappings, key=lambda m: m.items()))
+
+    def __contains__(self, mapping: object) -> bool:
+        return mapping in self._mappings
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SpanRelation):
+            return self._mappings == other._mappings
+        if isinstance(other, (set, frozenset)):
+            return self._mappings == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._mappings)
+
+    def __repr__(self) -> str:
+        if not self._mappings:
+            return "SpanRelation(∅)"
+        rows = ", ".join(repr(m) for m in list(self)[:6])
+        more = "" if len(self) <= 6 else f", … ({len(self)} total)"
+        return f"SpanRelation({rows}{more})"
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this relation has no mappings at all."""
+        return not self._mappings
+
+    def variables(self) -> frozenset[Variable]:
+        """The union of all mapping domains."""
+        out: set[Variable] = set()
+        for m in self._mappings:
+            out |= m.domain
+        return frozenset(out)
+
+    # -- the algebra of §2.4 (semantic / materialised form) ------------------
+
+    def union(self, other: "SpanRelation") -> "SpanRelation":
+        """Set union ``P1 ∪ P2``."""
+        return SpanRelation(self._mappings | other._mappings)
+
+    def project(self, variables: Iterable[Variable]) -> "SpanRelation":
+        """Projection ``π_Y``: restrict every mapping to ``Y``.
+
+        Distinct mappings may collapse; duplicates are removed (the output
+        is still a set).
+        """
+        keep = set(variables)
+        return SpanRelation(m.restrict(keep) for m in self._mappings)
+
+    def join(self, other: "SpanRelation") -> "SpanRelation":
+        """Natural join ``P1 ⋈ P2``: unions of all compatible pairs."""
+        out: set[Mapping] = set()
+        for m1 in self._mappings:
+            for m2 in other._mappings:
+                if m1.is_compatible(m2):
+                    out.add(m1.union(m2))
+        return SpanRelation(out)
+
+    def difference(self, other: "SpanRelation") -> "SpanRelation":
+        """SPARQL difference ``P1 \\ P2``: mappings of P1 compatible with
+        **no** mapping of P2.
+
+        Note this is *not* set difference: a mapping of P1 is killed by any
+        compatible mapping of P2, including ones with disjoint domains.
+        """
+        return SpanRelation(
+            m1
+            for m1 in self._mappings
+            if not any(m1.is_compatible(m2) for m2 in other._mappings)
+        )
+
+    def select(self, predicate: Callable[[Mapping], bool]) -> "SpanRelation":
+        """Keep only mappings satisfying ``predicate`` (utility, not in the
+        paper's algebra)."""
+        return SpanRelation(m for m in self._mappings if predicate(m))
+
+    def rename(self, renaming: dict[Variable, Variable]) -> "SpanRelation":
+        """Rename variables in every mapping."""
+        return SpanRelation(m.rename(renaming) for m in self._mappings)
+
+    # -- presentation ---------------------------------------------------------
+
+    def to_table(
+        self, document: Document | None = None, columns: list[Variable] | None = None
+    ) -> str:
+        """Render as an aligned text table in the style of Example 2.1.
+
+        Empty cells stand for *undefined* variables.  When ``document`` is
+        given, each span is also shown with the substring it covers.
+        """
+        if columns is None:
+            columns = sorted(self.variables())
+        header = [" "] + list(columns)
+        rows: list[list[str]] = []
+        for idx, m in enumerate(self, start=1):
+            row = [f"µ{idx}:"]
+            for var in columns:
+                sp = m.get(var)
+                if sp is None:
+                    row.append("")
+                elif document is not None:
+                    row.append(f"{sp} {document.substring(sp)!r}")
+                else:
+                    row.append(str(sp))
+            rows.append(row)
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+            for c in range(len(header))
+        ]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+#: The empty relation.
+EMPTY_RELATION = SpanRelation()

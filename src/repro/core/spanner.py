@@ -1,0 +1,142 @@
+"""The schemaless-spanner abstraction (paper §2.1).
+
+A *schemaless spanner* is a function mapping every document to a finite set
+of mappings.  This module defines the abstract interface shared by all
+spanner representations in the library (regex formulas, vset-automata,
+RA-tree queries, black boxes), plus small generic adapters.
+
+The central methods:
+
+* :meth:`Spanner.evaluate` — materialise ``⟦q⟧(d)`` as a
+  :class:`~repro.core.relation.SpanRelation` (the paper's ``VqW(d)``).
+* :meth:`Spanner.enumerate` — stream the mappings one by one; for the
+  representations with polynomial-delay guarantees (sequential VAs,
+  Theorem 2.5) this is the guaranteed-delay path.
+* :meth:`Spanner.is_nonempty` — the nonemptiness decision problem of §2.5.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from .document import Document, as_document
+from .mapping import Mapping, Variable
+from .relation import SpanRelation
+
+
+class Spanner(abc.ABC):
+    """Abstract base class of all schemaless-spanner representations."""
+
+    @abc.abstractmethod
+    def variables(self) -> frozenset[Variable]:
+        """The variables this representation *mentions* (``Vars(q)``).
+
+        Under the schemaless semantics individual output mappings may use
+        only a subset of these.
+        """
+
+    @abc.abstractmethod
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        """Yield the mappings of ``⟦q⟧(d)``, without duplicates.
+
+        Subclasses with enumeration guarantees (e.g. sequential VAs)
+        document their delay bound here.
+        """
+
+    def evaluate(self, document: Document | str) -> SpanRelation:
+        """Materialise ``⟦q⟧(d)`` as a relation."""
+        return SpanRelation(self.enumerate(as_document(document)))
+
+    def is_nonempty(self, document: Document | str) -> bool:
+        """Decide whether ``⟦q⟧(d) ≠ ∅`` (first result only)."""
+        for _ in self.enumerate(as_document(document)):
+            return True
+        return False
+
+    def degree(self) -> int:
+        """Upper bound on ``|dom(µ)|`` over all outputs (Corollary 5.3).
+
+        The default bound is the number of mentioned variables; black-box
+        spanners may override with a tighter constant.
+        """
+        return len(self.variables())
+
+    # -- fluent algebra (semantic combinators; see repro.algebra for the
+    #    compiled fast paths) ------------------------------------------------
+
+    def join(self, other: "Spanner") -> "Spanner":
+        """``self ⋈ other`` (§2.4), as a materialising combinator."""
+        from ..algebra.operators import JoinSpanner
+
+        return JoinSpanner(self, other)
+
+    def union(self, other: "Spanner") -> "Spanner":
+        """``self ∪ other`` (§2.4)."""
+        from ..algebra.operators import UnionSpanner
+
+        return UnionSpanner(self, other)
+
+    def minus(self, other: "Spanner") -> "Spanner":
+        """``self \\ other`` — the SPARQL-style difference (§2.4)."""
+        from ..algebra.operators import DifferenceSpanner
+
+        return DifferenceSpanner(self, other)
+
+    def project(self, variables) -> "Spanner":
+        """``π_Y(self)`` (§2.4)."""
+        from ..algebra.operators import ProjectionSpanner
+
+        return ProjectionSpanner(self, variables)
+
+    def __and__(self, other: "Spanner") -> "Spanner":
+        return self.join(other)
+
+    def __or__(self, other: "Spanner") -> "Spanner":
+        return self.union(other)
+
+    def __sub__(self, other: "Spanner") -> "Spanner":
+        return self.minus(other)
+
+
+class RelationSpanner(Spanner):
+    """A spanner wrapping an explicit per-document function.
+
+    Used for black boxes and test fixtures: supply any function
+    ``Document -> iterable of Mapping``.
+    """
+
+    def __init__(self, func, variables: frozenset[Variable] | set[Variable], name: str = "blackbox"):
+        self._func = func
+        self._variables = frozenset(variables)
+        self._name = name
+
+    def variables(self) -> frozenset[Variable]:
+        return self._variables
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        doc = as_document(document)
+        seen: set[Mapping] = set()
+        for mapping in self._func(doc):
+            if mapping not in seen:
+                seen.add(mapping)
+                yield mapping
+
+    def __repr__(self) -> str:
+        return f"RelationSpanner({self._name})"
+
+
+class ConstantSpanner(Spanner):
+    """A spanner returning a fixed relation on every document (test utility)."""
+
+    def __init__(self, relation: SpanRelation):
+        self._relation = relation
+
+    def variables(self) -> frozenset[Variable]:
+        return self._relation.variables()
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        return iter(self._relation)
+
+    def __repr__(self) -> str:
+        return f"ConstantSpanner({len(self._relation)} mappings)"

@@ -1,0 +1,92 @@
+"""Spans: intervals of positions inside a document (paper §2.1).
+
+A span ``[i, j>`` with ``1 <= i <= j`` marks the substring ``d[i..j-1]`` of a
+document ``d`` (1-based, end-exclusive, exactly as in Fagin et al. and the
+paper).  ``[i, i>`` is an *empty* span; note that ``[i, i>`` and ``[j, j>``
+with ``i != j`` are **different objects** even though both denote the empty
+string — span identity is positional, not textual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import SpanError
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Span:
+    """A span ``[begin, end>`` of a document, 1-based and end-exclusive.
+
+    Attributes:
+        begin: first position covered (1-based).
+        end: one past the last position covered; ``end == begin`` for an
+            empty span.
+    """
+
+    begin: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.begin < 1:
+            raise SpanError(f"span begin must be >= 1, got {self.begin}")
+        if self.end < self.begin:
+            raise SpanError(
+                f"span end must be >= begin, got [{self.begin}, {self.end}>"
+            )
+
+    def __str__(self) -> str:  # the paper's [i, j> notation
+        return f"[{self.begin}, {self.end}>"
+
+    def __len__(self) -> int:
+        return self.end - self.begin
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this span denotes the empty string."""
+        return self.begin == self.end
+
+    def contains(self, other: "Span") -> bool:
+        """Whether ``other`` lies fully inside this span."""
+        return self.begin <= other.begin and other.end <= self.end
+
+    def overlaps(self, other: "Span") -> bool:
+        """Whether the two spans share at least one position.
+
+        Empty spans overlap nothing (they cover no position).
+        """
+        return max(self.begin, other.begin) < min(self.end, other.end)
+
+    def precedes(self, other: "Span") -> bool:
+        """Whether this span ends at or before ``other`` begins."""
+        return self.end <= other.begin
+
+    def shift(self, offset: int) -> "Span":
+        """Return this span translated by ``offset`` positions."""
+        return Span(self.begin + offset, self.end + offset)
+
+
+def span(begin: int, end: int) -> Span:
+    """Convenience constructor mirroring the paper's ``[i, j>`` notation."""
+    return Span(begin, end)
+
+
+def all_spans(length: int) -> Iterator[Span]:
+    """Yield every span of a document of the given length.
+
+    ``spans(d)`` in the paper: all ``[i, j>`` with ``1 <= i <= j <= len+1``.
+    There are ``(length+1)(length+2)/2`` of them.
+    """
+    if length < 0:
+        raise SpanError(f"document length must be >= 0, got {length}")
+    for i in range(1, length + 2):
+        for j in range(i, length + 2):
+            yield Span(i, j)
+
+
+def count_spans(length: int) -> int:
+    """Number of spans of a document of the given length."""
+    if length < 0:
+        raise SpanError(f"document length must be >= 0, got {length}")
+    return (length + 1) * (length + 2) // 2

@@ -1,0 +1,26 @@
+"""Interchange: JSON (de)serialisation and Graphviz DOT export."""
+
+from .dot import match_graph_to_dot, va_to_dot
+from .serialize import (
+    dumps_relation,
+    dumps_va,
+    loads_relation,
+    loads_va,
+    relation_from_dict,
+    relation_to_dict,
+    va_from_dict,
+    va_to_dict,
+)
+
+__all__ = [
+    "dumps_relation",
+    "dumps_va",
+    "loads_relation",
+    "loads_va",
+    "match_graph_to_dot",
+    "relation_from_dict",
+    "relation_to_dict",
+    "va_from_dict",
+    "va_to_dict",
+    "va_to_dot",
+]

@@ -1,0 +1,78 @@
+"""Graphviz DOT export for vset-automata and match graphs.
+
+For inspecting the constructions: semi-functional splits, product
+automata, and ad-hoc compilations are far easier to debug as pictures.
+The output is plain DOT text — render with ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from ..va.automaton import VA, Label, VarOp
+from ..va.matchgraph import MatchGraph
+
+
+def _label_text(label: Label) -> str:
+    if label is None:
+        return "ε"
+    if isinstance(label, VarOp):
+        return str(label)
+    if label == " ":
+        return "␣"
+    return str(label)
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def va_to_dot(va: VA, name: str = "spanner") -> str:
+    """Render an automaton as a DOT digraph.
+
+    Accepting states are doublecircled; variable operations are dashed
+    edges (they consume no input); the initial state gets an entry arrow.
+    """
+    canonical = va.relabelled()
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        '  __start [shape=point, label=""];',
+    ]
+    for state in sorted(canonical.states, key=repr):
+        shape = "doublecircle" if canonical.is_accepting(state) else "circle"
+        lines.append(f"  {state} [shape={shape}];")
+    lines.append(f"  __start -> {canonical.initial};")
+    for src, label, dst in canonical.transitions:
+        style = ", style=dashed" if isinstance(label, VarOp) or label is None else ""
+        lines.append(f"  {src} -> {dst} [label={_quote(_label_text(label))}{style}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def match_graph_to_dot(graph: MatchGraph, name: str = "matchgraph") -> str:
+    """Render a layered match graph: one rank per document position."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    node_names: dict[tuple[int, object], str] = {}
+
+    def node(layer: int, state: object) -> str:
+        key = (layer, state)
+        if key not in node_names:
+            node_names[key] = f"n{len(node_names)}"
+            final = graph.final_opsets.get(state) if layer == len(graph.layers) - 1 else None
+            shape = "doublecircle" if final else "circle"
+            lines.append(
+                f"  {node_names[key]} [shape={shape}, label={_quote(f'{layer}:{state}')}];"
+            )
+        return node_names[key]
+
+    for layer_index, level in enumerate(graph.edges):
+        letter = graph.document.letter(layer_index + 1)
+        for src, grouped in level.items():
+            for ops, targets in grouped.items():
+                ops_text = "{" + ",".join(sorted(map(str, ops))) + "}"
+                for dst in targets:
+                    lines.append(
+                        f"  {node(layer_index, src)} -> {node(layer_index + 1, dst)}"
+                        f" [label={_quote(f'{ops_text}·{letter}')}];"
+                    )
+    lines.append("}")
+    return "\n".join(lines)

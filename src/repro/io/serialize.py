@@ -1,0 +1,126 @@
+"""JSON serialisation of vset-automata and span relations.
+
+Vset-automata are exchange artifacts in practice (the paper's §1 points at
+machine-learned automata with tens of thousands of states); this module
+provides a stable JSON wire format plus round-trip loaders.
+
+Format (version 1)::
+
+    {"format": "repro-va", "version": 1,
+     "initial": 0, "accepting": [2],
+     "transitions": [[0, {"open": "x"}, 1], [1, {"letter": "a"}, 1],
+                     [1, {"close": "x"}, 2], [0, {"eps": true}, 2]]}
+
+States are canonicalised to integers on save.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.errors import SpannerError
+from ..core.mapping import Mapping
+from ..core.relation import SpanRelation
+from ..core.spans import Span
+from ..va.automaton import VA, Label, VarOp
+
+_FORMAT = "repro-va"
+_RELATION_FORMAT = "repro-relation"
+_VERSION = 1
+
+
+def _label_to_json(label: Label) -> dict[str, Any]:
+    if label is None:
+        return {"eps": True}
+    if isinstance(label, VarOp):
+        return {"open": label.var} if label.is_open else {"close": label.var}
+    return {"letter": label}
+
+
+def _label_from_json(obj: dict[str, Any]) -> Label:
+    if "eps" in obj:
+        return None
+    if "open" in obj:
+        return VarOp(obj["open"], True)
+    if "close" in obj:
+        return VarOp(obj["close"], False)
+    if "letter" in obj:
+        return obj["letter"]
+    raise SpannerError(f"unrecognised transition label {obj!r}")
+
+
+def va_to_dict(va: VA) -> dict[str, Any]:
+    """A JSON-ready dict for the automaton (states canonicalised)."""
+    canonical = va.relabelled()
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "initial": canonical.initial,
+        "accepting": sorted(canonical.accepting),
+        "states": canonical.n_states,
+        "transitions": [
+            [src, _label_to_json(label), dst]
+            for src, label, dst in canonical.transitions
+        ],
+    }
+
+
+def va_from_dict(obj: dict[str, Any]) -> VA:
+    """Inverse of :func:`va_to_dict` (validates the header)."""
+    if obj.get("format") != _FORMAT:
+        raise SpannerError(f"not a {_FORMAT} document: format={obj.get('format')!r}")
+    if obj.get("version") != _VERSION:
+        raise SpannerError(f"unsupported version {obj.get('version')!r}")
+    transitions = [
+        (src, _label_from_json(label), dst)
+        for src, label, dst in obj.get("transitions", [])
+    ]
+    return VA(
+        obj["initial"],
+        obj.get("accepting", []),
+        transitions,
+        range(obj.get("states", 0)),
+    )
+
+
+def dumps_va(va: VA, indent: int | None = None) -> str:
+    """Serialise a VA to a JSON string."""
+    return json.dumps(va_to_dict(va), indent=indent, sort_keys=True)
+
+
+def loads_va(text: str) -> VA:
+    """Parse a VA from its JSON string."""
+    return va_from_dict(json.loads(text))
+
+
+def relation_to_dict(relation: SpanRelation) -> dict[str, Any]:
+    """A JSON-ready dict for a materialised relation."""
+    return {
+        "format": _RELATION_FORMAT,
+        "version": _VERSION,
+        "mappings": [
+            {var: [span.begin, span.end] for var, span in mapping.items()}
+            for mapping in relation
+        ],
+    }
+
+
+def relation_from_dict(obj: dict[str, Any]) -> SpanRelation:
+    """Inverse of :func:`relation_to_dict`."""
+    if obj.get("format") != _RELATION_FORMAT:
+        raise SpannerError(
+            f"not a {_RELATION_FORMAT} document: format={obj.get('format')!r}"
+        )
+    return SpanRelation(
+        Mapping({var: Span(*pair) for var, pair in entry.items()})
+        for entry in obj.get("mappings", [])
+    )
+
+
+def dumps_relation(relation: SpanRelation, indent: int | None = None) -> str:
+    return json.dumps(relation_to_dict(relation), indent=indent, sort_keys=True)
+
+
+def loads_relation(text: str) -> SpanRelation:
+    return relation_from_dict(json.loads(text))

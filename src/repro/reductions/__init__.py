@@ -1,0 +1,41 @@
+"""The paper's hardness reductions, as executable workload generators."""
+
+from .difference_hardness import DifferenceHardnessInstance, build_difference_instance
+from .join_hardness import JoinHardnessInstance, build_join_instance
+from .sat import (
+    CNF,
+    PAPER_PHI,
+    all_models,
+    dpll_satisfiable,
+    is_satisfiable,
+    pigeonhole_cnf,
+    random_3cnf,
+    random_tovey_cnf,
+    to_tovey,
+    weighted_satisfiable,
+)
+from .tovey import ToveyInstance, build_tovey_instance
+from .w1_hardness import W1HardnessInstance, build_w1_instance, codeword, codeword_width
+
+__all__ = [
+    "CNF",
+    "DifferenceHardnessInstance",
+    "JoinHardnessInstance",
+    "PAPER_PHI",
+    "ToveyInstance",
+    "W1HardnessInstance",
+    "all_models",
+    "build_difference_instance",
+    "build_join_instance",
+    "build_tovey_instance",
+    "build_w1_instance",
+    "codeword",
+    "codeword_width",
+    "dpll_satisfiable",
+    "is_satisfiable",
+    "pigeonhole_cnf",
+    "random_3cnf",
+    "random_tovey_cnf",
+    "to_tovey",
+    "weighted_satisfiable",
+]

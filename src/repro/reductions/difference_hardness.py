@@ -1,0 +1,96 @@
+"""Theorem 4.1: 3SAT ⤳ nonemptiness of the difference of two *functional*
+regex formulas on the document ``a^n``.
+
+Construction (verbatim from the proof):
+
+* document ``d = a^n`` (one letter per SAT variable);
+* ``β_i = (x_i{ε} · a) ∨ x_i{a}`` — position ``i`` encodes variable ``i``:
+  capturing the empty span ``[i, i>`` means *false*, capturing ``[i, i+1>``
+  means *true*;
+* ``γ1 = β_1 ⋯ β_n`` — all assignments;
+* ``γ2 = ⋁_j γ2^j`` where ``γ2^j`` pins the literals of clause ``C_j`` to
+  their falsifying values (``x_ℓ{ε}·a`` for a positive literal,
+  ``x_ℓ{a}`` for a negative one) and leaves the other positions as β —
+  so ``⟦γ2⟧`` is exactly the assignments violating some clause.
+
+``⟦γ1 \\ γ2⟧(a^n)`` is then the set of satisfying assignments.  Both
+formulas are functional with the same variable set, showing the difference
+is intractable even in the schema-based fragment where all the positive
+operators compile statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.document import Document
+from ..core.mapping import Mapping
+from ..core.spans import Span
+from ..regex.ast import RegexFormula
+from ..regex.builder import capture, concat, empty, eps, lit, union
+from .sat import CNF, Assignment
+
+
+def _beta(index: int) -> RegexFormula:
+    """``β_i = (x_i{ε}·a) ∨ x_i{a}``."""
+    var = f"x{index}"
+    return union(
+        concat(capture(var, eps()), lit("a")),
+        capture(var, lit("a")),
+    )
+
+
+def _pinned(index: int, value: bool) -> RegexFormula:
+    """``δ``: position ``index`` pinned to ``value``."""
+    var = f"x{index}"
+    if value:
+        return capture(var, lit("a"))
+    return concat(capture(var, eps()), lit("a"))
+
+
+@dataclass(frozen=True)
+class DifferenceHardnessInstance:
+    """The reduction's output: two functional regex formulas over the same
+    variables and the document ``a^n``."""
+
+    cnf: CNF
+    gamma1: RegexFormula
+    gamma2: RegexFormula
+    document: Document
+
+    def decode(self, mapping: Mapping) -> Assignment:
+        """Read the assignment off a surviving mapping: ``[i, i+1> ↦ true``,
+        ``[i, i> ↦ false``."""
+        assignment: Assignment = {}
+        for sat_var in range(1, self.cnf.n_vars + 1):
+            span = mapping[f"x{sat_var}"]
+            assignment[sat_var] = span == Span(sat_var, sat_var + 1)
+        return assignment
+
+    def encode(self, assignment: Assignment) -> Mapping:
+        """The γ1-mapping encoding a total assignment."""
+        spans = {}
+        for sat_var in range(1, self.cnf.n_vars + 1):
+            if assignment[sat_var]:
+                spans[f"x{sat_var}"] = Span(sat_var, sat_var + 1)
+            else:
+                spans[f"x{sat_var}"] = Span(sat_var, sat_var)
+        return Mapping(spans)
+
+
+def build_difference_instance(cnf: CNF) -> DifferenceHardnessInstance:
+    """Run the Theorem-4.1 reduction on a 3CNF formula."""
+    n = cnf.n_vars
+    gamma1 = concat(*(_beta(i) for i in range(1, n + 1)))
+    disjuncts: list[RegexFormula] = []
+    for clause in cnf.clauses:
+        pinned = {abs(literal): literal < 0 for literal in clause}
+        # A positive literal must be false, a negative one true, for the
+        # clause to be violated.
+        factors = [
+            _pinned(i, pinned[i]) if i in pinned else _beta(i)
+            for i in range(1, n + 1)
+        ]
+        disjuncts.append(concat(*factors))
+    gamma2 = union(*disjuncts) if disjuncts else empty()
+    return DifferenceHardnessInstance(cnf, gamma1, gamma2, Document("a" * n))

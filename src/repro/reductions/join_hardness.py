@@ -1,0 +1,109 @@
+"""Theorem 3.1: 3SAT ⤳ nonemptiness of the join of two sequential regex
+formulas, on the one-letter document ``a``.
+
+Construction (verbatim from the proof):
+
+* every SAT variable ``x_i`` gets ``2m`` capture variables ``x_i^{j,ℓ}``
+  for clause indices ``j`` and polarities ``ℓ ∈ {t, f}``;
+* ``γ1 = γ_{x1} ⋯ γ_{xn} · a`` where
+  ``γ_{x_i} = (x_i^{1,t}{ε} ⋯ x_i^{m,t}{ε}) ∨ (x_i^{1,f}{ε} ⋯ x_i^{m,f}{ε})``
+  — each SAT variable commits to one polarity for *all* clauses at once;
+* ``γ2 = a · (δ_1 ⋯ δ_m)`` where ``δ_j`` disjoins ``x_i^{j,t}{ε}`` for each
+  positive literal ``x_i ∈ C_j`` and ``x_i^{j,f}{ε}`` for each negative one
+  — γ2 picks one satisfied literal per clause.
+
+γ1's captures live at position 1, γ2's at position 2, so compatibility of
+``µ1 ⋈ µ2`` degenerates to **domain disjointness**: γ2's picks must dodge
+γ1's committed polarities, i.e. every clause contains a literal whose
+polarity γ1 did *not* commit — exactly a satisfying assignment (read off
+µ2: ``x_i^{j,ℓ} ∈ dom(µ2) ⟹ τ(x_i) = ℓ``).
+
+Both formulas are sequential but far from functional — this is the paper's
+witness that the schemaless generalisation breaks the [13] tractability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.document import Document
+from ..core.mapping import Mapping
+from ..regex.ast import RegexFormula
+from ..regex.builder import capture, concat, eps, lit, union
+from .sat import CNF, Assignment
+
+
+def _cap_var(sat_var: int, clause: int, polarity: bool) -> str:
+    """The capture variable ``x_i^{j,ℓ}``."""
+    return f"x{sat_var}_c{clause}_{'t' if polarity else 'f'}"
+
+
+@dataclass(frozen=True)
+class JoinHardnessInstance:
+    """The reduction's output: two sequential regex formulas and the
+    single-letter document."""
+
+    cnf: CNF
+    gamma1: RegexFormula
+    gamma2: RegexFormula
+    document: Document
+
+    def decode(self, joined: Mapping) -> Assignment:
+        """Recover a satisfying assignment from a mapping of
+        ``⟦γ1 ⋈ γ2⟧(d)``.
+
+        γ1's side commits one polarity ``p`` for *all* clause copies of a
+        variable; the assignment is ``τ(x) = ¬p``.  In the joined domain
+        γ2's per-clause picks are merged in, so a polarity counts as
+        committed only when **all** its clause copies are present.  If both
+        polarities are full (γ2 picked the variable in every clause), the
+        pick polarity occurs in every clause and satisfies the formula
+        single-handedly, so we choose it.
+        """
+        m = self.cnf.n_clauses
+        domain = joined.domain
+        assignment: Assignment = {}
+        for sat_var in range(1, self.cnf.n_vars + 1):
+            full = {
+                polarity: all(
+                    _cap_var(sat_var, j, polarity) in domain
+                    for j in range(1, m + 1)
+                )
+                for polarity in (True, False)
+            }
+            if full[True] and full[False]:
+                # Ambiguous: take the polarity whose literal occurs in
+                # every clause (it must exist for both sides to be full).
+                assignment[sat_var] = all(
+                    sat_var in clause for clause in self.cnf.clauses
+                )
+            else:
+                # Exactly one polarity is fully committed by γ1; negate it.
+                assignment[sat_var] = not full[True]
+        return assignment
+
+
+def build_join_instance(cnf: CNF) -> JoinHardnessInstance:
+    """Run the Theorem-3.1 reduction on a 3CNF formula."""
+    m = cnf.n_clauses
+    # γ1: one polarity-committing block per SAT variable, then the letter.
+    blocks = []
+    for sat_var in range(1, cnf.n_vars + 1):
+        true_chain = concat(
+            *(capture(_cap_var(sat_var, j, True), eps()) for j in range(1, m + 1))
+        )
+        false_chain = concat(
+            *(capture(_cap_var(sat_var, j, False), eps()) for j in range(1, m + 1))
+        )
+        blocks.append(union(true_chain, false_chain))
+    gamma1 = concat(*blocks, lit("a"))
+    # γ2: the letter, then one satisfied-literal pick per clause.
+    deltas = []
+    for j, clause in enumerate(cnf.clauses, start=1):
+        picks = [
+            capture(_cap_var(abs(literal), j, literal > 0), eps())
+            for literal in clause
+        ]
+        deltas.append(union(*picks))
+    gamma2 = concat(lit("a"), *deltas)
+    return JoinHardnessInstance(cnf, gamma1, gamma2, Document("a"))

@@ -1,0 +1,263 @@
+"""CNF formulas, generators, and solvers.
+
+The hardness proofs of the paper (Theorems 3.1, 4.1, 4.4; Prop. 4.10) are
+reductions from variants of satisfiability.  This module supplies the
+source problems:
+
+* :class:`CNF` — formulas in conjunctive normal form, with literals encoded
+  as ±(index+1) (DIMACS style);
+* random instance generators, including the Tovey form (every clause 2-3
+  literals, every variable in ≤ 3 clauses) used by Prop. 4.10 and the
+  weighted variant behind Theorem 4.4;
+* a DPLL solver plus brute-force model enumeration — the oracles against
+  which every reduction is cross-checked.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, Sequence
+
+#: A literal: +v for the variable with 1-based index v, -v for its negation.
+Literal = int
+Clause = tuple[Literal, ...]
+Assignment = dict[int, bool]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula over variables ``1..n_vars``."""
+
+    n_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.n_vars:
+                    raise ValueError(f"literal {literal} out of range 1..{self.n_vars}")
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        """Whether the assignment satisfies every clause."""
+        for clause in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def variable_occurrences(self) -> dict[int, int]:
+        """Number of clauses each variable appears in."""
+        counts = {v: 0 for v in range(1, self.n_vars + 1)}
+        for clause in self.clauses:
+            for var in {abs(lit) for lit in clause}:
+                counts[var] += 1
+        return counts
+
+    def is_tovey_form(self) -> bool:
+        """Every clause has 2 or 3 literals and every variable appears in
+        at most 3 clauses (the still-NP-complete fragment of [31])."""
+        if any(len(clause) not in (2, 3) for clause in self.clauses):
+            return False
+        return all(count <= 3 for count in self.variable_occurrences().values())
+
+    def __str__(self) -> str:
+        def lit(l: Literal) -> str:
+            return f"x{l}" if l > 0 else f"¬x{-l}"
+
+        return " ∧ ".join(
+            "(" + " ∨ ".join(lit(l) for l in clause) + ")" for clause in self.clauses
+        )
+
+
+# -- generators -----------------------------------------------------------------
+
+
+def random_3cnf(n_vars: int, n_clauses: int, rng: random.Random) -> CNF:
+    """A uniformly random 3CNF: each clause picks 3 distinct variables and
+    random polarities."""
+    if n_vars < 3:
+        raise ValueError("random_3cnf needs at least 3 variables")
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_vars + 1), 3)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in variables))
+    return CNF(n_vars, tuple(clauses))
+
+
+def random_tovey_cnf(n_vars: int, rng: random.Random) -> CNF:
+    """A random Tovey-form CNF: clauses of size 2–3, each variable used at
+    most 3 times (Prop. 4.10's source problem)."""
+    budget = {v: 3 for v in range(1, n_vars + 1)}
+    clauses: list[Clause] = []
+    available = [v for v in budget]
+    while True:
+        usable = [v for v in available if budget[v] > 0]
+        size = rng.choice((2, 3))
+        if len(usable) < size:
+            break
+        chosen = rng.sample(usable, size)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        clauses.append(clause)
+        for v in chosen:
+            budget[v] -= 1
+        # Stop early with probability growing in the clause count, so
+        # instances are not always saturated.
+        if len(clauses) >= n_vars and rng.random() < 0.3:
+            break
+    cnf = CNF(n_vars, tuple(clauses))
+    assert cnf.is_tovey_form()
+    return cnf
+
+
+def pigeonhole_cnf(holes: int) -> CNF:
+    """The (unsatisfiable) pigeonhole principle PHP(holes+1, holes) — a
+    classic family of certifiably UNSAT instances for the benches."""
+    pigeons = holes + 1
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses: list[Clause] = []
+    for p in range(pigeons):
+        clauses.append(tuple(var(p, h) for h in range(holes)))
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append((-var(p1, h), -var(p2, h)))
+    return CNF(pigeons * holes, tuple(clauses))
+
+
+def to_tovey(cnf: CNF) -> CNF:
+    """Tovey's reduction [31]: limit every variable to ≤ 3 occurrences by
+    cloning over-used variables and chaining the clones with equivalence
+    (implication-cycle) clauses.  Preserves satisfiability."""
+    occurrences: dict[int, list[tuple[int, int]]] = {}
+    for ci, clause in enumerate(cnf.clauses):
+        for li, literal in enumerate(clause):
+            occurrences.setdefault(abs(literal), []).append((ci, li))
+    next_var = cnf.n_vars + 1
+    new_clauses = [list(clause) for clause in cnf.clauses]
+    extra: list[Clause] = []
+    for var, sites in occurrences.items():
+        if len(sites) <= 2:
+            continue  # ≤2 clause uses + no cycle keeps it within 3
+        clones = [var]
+        for _ in range(len(sites) - 1):
+            clones.append(next_var)
+            next_var += 1
+        for clone, (ci, li) in zip(clones, sites):
+            original = new_clauses[ci][li]
+            new_clauses[ci][li] = clone if original > 0 else -clone
+        # Implication cycle clone1 → clone2 → … → clone1 forces equality;
+        # each clone then occurs in exactly 3 clauses (1 original + 2 cycle).
+        for a, b in zip(clones, clones[1:] + clones[:1]):
+            extra.append((-a, b))
+    result = CNF(next_var - 1, tuple(tuple(c) for c in new_clauses) + tuple(extra))
+    return result
+
+
+# -- solvers ----------------------------------------------------------------------
+
+
+def dpll_satisfiable(cnf: CNF) -> Assignment | None:
+    """A satisfying assignment, or ``None`` — plain DPLL with unit
+    propagation (iterative, no recursion limits)."""
+    model = _dpll(list(cnf.clauses), {})
+    if model is None:
+        return None
+    # Fill unconstrained variables with False for a total assignment.
+    return {v: model.get(v, False) for v in range(1, cnf.n_vars + 1)}
+
+
+def _dpll(clauses: list[Clause], assignment: Assignment) -> Assignment | None:
+    stack: list[tuple[list[Clause], Assignment]] = [(clauses, assignment)]
+    while stack:
+        current_clauses, current = stack.pop()
+        simplified = _propagate(current_clauses, current)
+        if simplified is None:
+            continue
+        current_clauses, current = simplified
+        if not current_clauses:
+            return current
+        # Branch on the first literal of the first clause.
+        literal = current_clauses[0][0]
+        var = abs(literal)
+        for value in ((literal > 0), not (literal > 0)):
+            branch = dict(current)
+            branch[var] = value
+            stack.append((current_clauses, branch))
+    return None
+
+
+def _propagate(
+    clauses: Sequence[Clause], assignment: Assignment
+) -> tuple[list[Clause], Assignment] | None:
+    """Unit propagation; returns simplified clauses + extended assignment,
+    or None on conflict."""
+    assignment = dict(assignment)
+    while True:
+        remaining: list[Clause] = []
+        unit: Literal | None = None
+        for clause in clauses:
+            undecided: list[Literal] = []
+            satisfied = False
+            for literal in clause:
+                value = assignment.get(abs(literal))
+                if value is None:
+                    undecided.append(literal)
+                elif value == (literal > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not undecided:
+                return None  # conflict
+            if len(undecided) == 1 and unit is None:
+                unit = undecided[0]
+            remaining.append(tuple(undecided))
+        if unit is None:
+            return remaining, assignment
+        assignment[abs(unit)] = unit > 0
+        clauses = remaining
+
+
+def is_satisfiable(cnf: CNF) -> bool:
+    """Decision form of :func:`dpll_satisfiable`."""
+    return dpll_satisfiable(cnf) is not None
+
+
+def all_models(cnf: CNF) -> Iterator[Assignment]:
+    """Every satisfying total assignment, by brute force — exponential;
+    for small cross-check instances only."""
+    for bits in range(2 ** cnf.n_vars):
+        assignment = {
+            v: bool(bits >> (v - 1) & 1) for v in range(1, cnf.n_vars + 1)
+        }
+        if cnf.evaluate(assignment):
+            yield assignment
+
+
+def weighted_satisfiable(cnf: CNF, weight: int) -> Assignment | None:
+    """A satisfying assignment with **exactly** ``weight`` true variables
+    (the W[1]-complete parameterised problem behind Theorem 4.4), or
+    ``None``.  Exhaustive over weight-k subsets — fine for the small
+    parameters the W[1] experiments use."""
+    for true_vars in combinations(range(1, cnf.n_vars + 1), weight):
+        assignment = {v: False for v in range(1, cnf.n_vars + 1)}
+        for v in true_vars:
+            assignment[v] = True
+        if cnf.evaluate(assignment):
+            return assignment
+    return None
+
+
+#: The running example of the paper's proofs:
+#: φ = (x ∨ y ∨ z) ∧ (¬x ∨ y ∨ ¬z), with x=1, y=2, z=3.
+PAPER_PHI = CNF(3, ((1, 2, 3), (-1, 2, -3)))

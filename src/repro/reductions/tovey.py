@@ -1,0 +1,91 @@
+"""Proposition 4.10: hardness of the difference survives severe syntactic
+restrictions — a functional, disjunction-free minuend and a subtrahend
+that is a disjunction of disjunction-free formulas with every variable in
+at most 3 disjuncts.
+
+Source problem: satisfiability of CNFs in Tovey form [31] (clauses of 2–3
+literals, every variable in ≤ 3 clauses).  Construction (verbatim):
+
+* document ``d = (bab)^n``;
+* ``γ1 = (b x_1{a*} a* b) ⋯ (b x_n{a*} a* b)`` — functional and
+  disjunction-free; position block ``i`` encodes variable ``i`` (capture
+  ``a`` = true, capture ``ε`` = false);
+* for every clause ``C_i``, ``γ2^i`` pins its literals' blocks to the
+  falsifying value and matches the other blocks literally (``bab``);
+  ``γ2 = ⋁_i γ2^i`` — each variable appears in as many disjuncts as
+  clauses it occurs in, hence ≤ 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.document import Document
+from ..core.mapping import Mapping
+from ..core.spans import Span
+from ..regex.ast import RegexFormula
+from ..regex.builder import capture, concat, empty, eps, lit, star, sym, union
+from .sat import CNF, Assignment
+
+
+def _block(index: int) -> RegexFormula:
+    """``b x_i{a*} a* b`` — the free block for variable ``i``."""
+    return concat(sym("b"), capture(f"x{index}", star(sym("a"))), star(sym("a")), sym("b"))
+
+
+def _pinned_block(index: int, value: bool) -> RegexFormula:
+    """``δ``: block ``i`` pinned to a truth value (disjunction-free)."""
+    var = f"x{index}"
+    if value:
+        return concat(sym("b"), capture(var, sym("a")), sym("b"))
+    return concat(sym("b"), capture(var, eps()), sym("a"), sym("b"))
+
+
+@dataclass(frozen=True)
+class ToveyInstance:
+    """The reduction's output on a Tovey-form CNF."""
+
+    cnf: CNF
+    gamma1: RegexFormula
+    gamma2: RegexFormula
+    document: Document
+
+    def decode(self, mapping: Mapping) -> Assignment:
+        """Variable ``i`` is true iff ``x_i`` captured the non-empty span
+        of block ``i``."""
+        assignment: Assignment = {}
+        for sat_var in range(1, self.cnf.n_vars + 1):
+            span = mapping[f"x{sat_var}"]
+            assignment[sat_var] = len(span) == 1
+        return assignment
+
+    def encode(self, assignment: Assignment) -> Mapping:
+        """The γ1-mapping of a total assignment (block ``i`` spans
+        positions ``3i-2 … 3i``; the ``a`` sits at ``3i-1``)."""
+        spans = {}
+        for sat_var in range(1, self.cnf.n_vars + 1):
+            a_position = 3 * sat_var - 1
+            if assignment[sat_var]:
+                spans[f"x{sat_var}"] = Span(a_position, a_position + 1)
+            else:
+                spans[f"x{sat_var}"] = Span(a_position, a_position)
+        return Mapping(spans)
+
+
+def build_tovey_instance(cnf: CNF) -> ToveyInstance:
+    """Run the Prop.-4.10 reduction.  The CNF must be in Tovey form (use
+    :func:`repro.reductions.sat.to_tovey` to normalise first)."""
+    if not cnf.is_tovey_form():
+        raise ValueError("build_tovey_instance requires a Tovey-form CNF")
+    n = cnf.n_vars
+    gamma1 = concat(*(_block(i) for i in range(1, n + 1)))
+    disjuncts: list[RegexFormula] = []
+    for clause in cnf.clauses:
+        pinned = {abs(literal): literal < 0 for literal in clause}
+        factors = [
+            _pinned_block(i, pinned[i]) if i in pinned else lit("bab")
+            for i in range(1, n + 1)
+        ]
+        disjuncts.append(concat(*factors))
+    gamma2 = union(*disjuncts) if disjuncts else empty()
+    return ToveyInstance(cnf, gamma1, gamma2, Document("bab" * n))

@@ -1,0 +1,123 @@
+"""Theorem 4.4 (Appendix B.2): weight-k 3SAT ⤳ difference nonemptiness with
+``|Vars(γ1) ∩ Vars(γ2)| = k`` — the W[1]-hardness witness showing the
+polynomial degree of Theorem 4.3 *must* grow with the number of common
+variables.
+
+Construction (following B.2):
+
+* the document is ``d = s_1 ⋯ s_n`` where every ``s_i`` is a distinct
+  fixed-width codeword over ``{a, b}`` (length ``O(log n)``);
+* ``α1 = αS* y_1{αS} αS* ⋯ y_k{αS} αS*`` selects ``k`` codewords in
+  increasing position order — the variables set to true (weight-k
+  assignments);
+* for every clause ``C_i``, ``α_{C_i}`` describes the weight-k selections
+  that *violate* the clause: positive literals' codewords excluded from
+  every selection slot, negated literals' codewords pinned into specific
+  slots (one disjunct per placement of the pinned slots);
+* ``α2 = ⋁_i α_{C_i}``.
+
+Then ``⟦α1 \\ α2⟧(d) ≠ ∅`` iff the formula has a satisfying assignment of
+weight exactly ``k``.  Only ``y_1 … y_k`` are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..core.document import Document
+from ..core.mapping import Mapping
+from ..regex.ast import RegexFormula
+from ..regex.builder import capture, chars, concat, empty, lit, star, union
+from .sat import CNF, Assignment
+
+
+def codeword(index: int, width: int) -> str:
+    """The fixed-width ``{a, b}`` codeword of the 1-based index."""
+    bits = format(index - 1, f"0{width}b")
+    return "".join("b" if bit == "1" else "a" for bit in bits)
+
+
+def codeword_width(n: int) -> int:
+    """Codeword width for ``n`` distinct variables."""
+    return max(1, (n - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class W1HardnessInstance:
+    """The reduction's output, parameterised by the weight ``k``."""
+
+    cnf: CNF
+    weight: int
+    gamma1: RegexFormula
+    gamma2: RegexFormula
+    document: Document
+
+    @property
+    def shared_variables(self) -> frozenset[str]:
+        return frozenset(f"y{u}" for u in range(1, self.weight + 1))
+
+    def decode(self, mapping: Mapping) -> Assignment:
+        """Read the weight-k assignment off a surviving mapping: variable
+        ``i`` is true iff some ``y_u`` covers its codeword."""
+        width = codeword_width(self.cnf.n_vars)
+        true_vars: set[int] = set()
+        for u in range(1, self.weight + 1):
+            span = mapping[f"y{u}"]
+            index = (span.begin - 1) // width + 1
+            true_vars.add(index)
+        return {
+            v: v in true_vars for v in range(1, self.cnf.n_vars + 1)
+        }
+
+
+def _selection_formula(slots: list[RegexFormula], filler: RegexFormula) -> RegexFormula:
+    """``filler* slot_1 filler* … slot_k filler*``."""
+    parts: list[RegexFormula] = [star(filler)]
+    for slot in slots:
+        parts.append(slot)
+        parts.append(star(filler))
+    return concat(*parts)
+
+
+def build_w1_instance(cnf: CNF, weight: int) -> W1HardnessInstance:
+    """Run the Theorem-4.4 reduction with parameter ``weight`` = k."""
+    n = cnf.n_vars
+    k = weight
+    width = codeword_width(n)
+    words = [codeword(i, width) for i in range(1, n + 1)]
+    document = Document("".join(words))
+    any_word = union(*(lit(w) for w in words))
+
+    gamma1 = _selection_formula(
+        [capture(f"y{u}", any_word) for u in range(1, k + 1)], any_word
+    )
+
+    clause_formulas: list[RegexFormula] = []
+    for clause in cnf.clauses:
+        positive = sorted({abs(l) for l in clause if l > 0})
+        negative = sorted({abs(l) for l in clause if l < 0})
+        allowed = union(
+            *(lit(words[i - 1]) for i in range(1, n + 1) if i not in positive)
+        )
+        if not negative:
+            # All positive: the clause is violated iff no slot picks a
+            # positive variable.
+            slots = [capture(f"y{u}", allowed) for u in range(1, k + 1)]
+            clause_formulas.append(_selection_formula(slots, any_word))
+            continue
+        if len(negative) > k:
+            continue  # cannot set that many variables true with weight k
+        # Violation needs every negated variable selected (true); pin their
+        # codewords into every increasing choice of slots.
+        for positions in combinations(range(1, k + 1), len(negative)):
+            slots: list[RegexFormula] = []
+            pinned = dict(zip(positions, negative))
+            for u in range(1, k + 1):
+                if u in pinned:
+                    slots.append(capture(f"y{u}", lit(words[pinned[u] - 1])))
+                else:
+                    slots.append(capture(f"y{u}", allowed))
+            clause_formulas.append(_selection_formula(slots, any_word))
+    gamma2 = union(*clause_formulas) if clause_formulas else empty()
+    return W1HardnessInstance(cnf, k, gamma1, gamma2, document)

@@ -1,0 +1,363 @@
+"""Regex-formula AST (paper §2.2).
+
+The grammar of regex formulas::
+
+    α := ∅ | ε | σ | (α ∨ α) | (α · α) | α* | x{α}
+
+We represent formulas as immutable trees.  Two pragmatic deviations from the
+literal grammar, both pure syntactic sugar that the rest of the library
+treats as such:
+
+* :class:`Union` and :class:`Concat` are *n-ary* (flattened).  This keeps
+  tree depth proportional to nesting, not to the number of operands, so
+  RegExLib-scale formulas (hundreds of symbols, §1) do not hit Python's
+  recursion limit.
+* :class:`CharSet` abbreviates a disjunction of single letters
+  (``[a-z0-9]``).  It mentions no variables, so it never interacts with the
+  functional/sequential classification.
+
+Every node is hashable, comparable by value, and renders back to parseable
+text via :meth:`RegexFormula.to_text`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from ..core.errors import RegexSyntaxError
+from ..core.mapping import Variable
+
+#: Characters needing a backslash escape in the textual syntax.
+_ESCAPED = set("\\|*+?(){}[].∨ε∅·")
+
+
+def _escape_char(char: str) -> str:
+    if char in _ESCAPED:
+        return "\\" + char
+    if char == "\n":
+        return "\\n"
+    if char == "\t":
+        return "\\t"
+    return char
+
+
+class RegexFormula(abc.ABC):
+    """Base class of all regex-formula nodes."""
+
+    __slots__ = ("_vars", "_hash")
+
+    #: Binding strength for parenthesisation when rendering.
+    _PRECEDENCE = 0
+
+    @abc.abstractmethod
+    def children(self) -> tuple["RegexFormula", ...]:
+        """Direct sub-formulas."""
+
+    @abc.abstractmethod
+    def _key(self) -> tuple:
+        """Structural identity key (class tag + payload + children)."""
+
+    @abc.abstractmethod
+    def _render(self) -> str:
+        """Render to text, without outer parentheses."""
+
+    # -- identity -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, RegexFormula):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(self._key())
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_text()!r})"
+
+    # -- derived structure ----------------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """``Vars(α)``: all capture variables mentioned in the formula."""
+        try:
+            return self._vars
+        except AttributeError:
+            out: frozenset[Variable] = frozenset().union(
+                *(child.variables for child in self.children())
+            ) if self.children() else frozenset()
+            object.__setattr__(self, "_vars", out)
+            return out
+
+    def walk(self) -> Iterator["RegexFormula"]:
+        """Yield every node of the tree, pre-order, iteratively."""
+        stack: list[RegexFormula] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def size(self) -> int:
+        """Number of AST nodes (a proxy for formula length)."""
+        return sum(1 for _ in self.walk())
+
+    def to_text(self) -> str:
+        """Render to the textual syntax accepted by
+        :func:`repro.regex.parser.parse`."""
+        return self._render()
+
+    def _render_child(self, child: "RegexFormula") -> str:
+        text = child._render()
+        if child._PRECEDENCE < self._PRECEDENCE:
+            return f"({text})"
+        return text
+
+
+class Empty(RegexFormula):
+    """``∅`` — matches nothing at all."""
+
+    __slots__ = ()
+    _PRECEDENCE = 4
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return ()
+
+    def _key(self) -> tuple:
+        return ("Empty",)
+
+    def _render(self) -> str:
+        return "∅"
+
+
+class Epsilon(RegexFormula):
+    """``ε`` — matches the empty string at every position."""
+
+    __slots__ = ()
+    _PRECEDENCE = 4
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return ()
+
+    def _key(self) -> tuple:
+        return ("Epsilon",)
+
+    def _render(self) -> str:
+        return "ε"
+
+
+class Literal(RegexFormula):
+    """A single alphabet symbol ``σ``."""
+
+    __slots__ = ("symbol",)
+    _PRECEDENCE = 4
+
+    def __init__(self, symbol: str):
+        if len(symbol) != 1:
+            raise RegexSyntaxError(
+                f"Literal holds exactly one symbol, got {symbol!r}; "
+                "use repro.regex.builder.lit for strings"
+            )
+        object.__setattr__(self, "symbol", symbol)
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("RegexFormula nodes are immutable")
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return ()
+
+    def _key(self) -> tuple:
+        return ("Literal", self.symbol)
+
+    def _render(self) -> str:
+        return _escape_char(self.symbol)
+
+
+class CharSet(RegexFormula):
+    """Sugar for a disjunction of single letters, e.g. ``[a-z]``.
+
+    Semantically identical to ``Union(Literal(c) for c in symbols)`` and
+    expanded as such where the distinction matters (strict
+    disjunction-freeness checks treat a multi-letter CharSet as a
+    disjunction).
+    """
+
+    __slots__ = ("symbols",)
+    _PRECEDENCE = 4
+
+    def __init__(self, symbols):
+        syms = frozenset(symbols)
+        if not syms:
+            raise RegexSyntaxError("CharSet needs at least one symbol; use Empty for ∅")
+        if any(len(s) != 1 for s in syms):
+            raise RegexSyntaxError("CharSet symbols must be single characters")
+        object.__setattr__(self, "symbols", syms)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("RegexFormula nodes are immutable")
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return ()
+
+    def _key(self) -> tuple:
+        return ("CharSet", self.symbols)
+
+    def _render(self) -> str:
+        # Compress runs into ranges for readability: [a-z0-9].
+        ordered = sorted(self.symbols)
+        parts: list[str] = []
+        i = 0
+        while i < len(ordered):
+            j = i
+            while j + 1 < len(ordered) and ord(ordered[j + 1]) == ord(ordered[j]) + 1:
+                j += 1
+            if j - i >= 2:
+                parts.append(f"{_escape_char(ordered[i])}-{_escape_char(ordered[j])}")
+            else:
+                parts.extend(_escape_char(c) for c in ordered[i : j + 1])
+            i = j + 1
+        return "[" + "".join(parts) + "]"
+
+
+class Union(RegexFormula):
+    """``α1 ∨ α2 ∨ …`` (n-ary, at least two operands)."""
+
+    __slots__ = ("parts",)
+    _PRECEDENCE = 1
+
+    def __init__(self, parts):
+        flat: list[RegexFormula] = []
+        for part in parts:
+            if isinstance(part, Union):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) < 2:
+            raise RegexSyntaxError("Union needs at least two operands")
+        object.__setattr__(self, "parts", tuple(flat))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("RegexFormula nodes are immutable")
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return self.parts
+
+    def _key(self) -> tuple:
+        return ("Union", tuple(p._key() for p in self.parts))
+
+    def _render(self) -> str:
+        return "|".join(self._render_child(p) for p in self.parts)
+
+
+class Concat(RegexFormula):
+    """``α1 · α2 · …`` (n-ary, at least two operands)."""
+
+    __slots__ = ("parts",)
+    _PRECEDENCE = 2
+
+    def __init__(self, parts):
+        flat: list[RegexFormula] = []
+        for part in parts:
+            if isinstance(part, Concat):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) < 2:
+            raise RegexSyntaxError("Concat needs at least two operands")
+        object.__setattr__(self, "parts", tuple(flat))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("RegexFormula nodes are immutable")
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return self.parts
+
+    def _key(self) -> tuple:
+        return ("Concat", tuple(p._key() for p in self.parts))
+
+    def _render(self) -> str:
+        # A capture after a literal identifier character would re-parse as
+        # part of the variable name ("a"+"b{c}" → capture "ab"); the
+        # explicit concatenation dot (ignored by the parser) disambiguates.
+        pieces: list[str] = []
+        for part in self.parts:
+            text = self._render_child(part)
+            if (
+                pieces
+                and isinstance(part, Capture)
+                and (pieces[-1][-1].isalnum() or pieces[-1][-1] in "_.")
+            ):
+                pieces.append("·")
+            pieces.append(text)
+        return "".join(pieces)
+
+
+class Star(RegexFormula):
+    """``α*`` — zero or more concatenated copies."""
+
+    __slots__ = ("body",)
+    _PRECEDENCE = 3
+
+    def __init__(self, body: RegexFormula):
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("RegexFormula nodes are immutable")
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return (self.body,)
+
+    def _key(self) -> tuple:
+        return ("Star", self.body._key())
+
+    def _render(self) -> str:
+        return self._render_child(self.body) + "*"
+
+
+class Capture(RegexFormula):
+    """``x{α}`` — capture the span matched by ``α`` into variable ``x``."""
+
+    __slots__ = ("var", "body")
+    _PRECEDENCE = 4
+
+    def __init__(self, var: Variable, body: RegexFormula):
+        if not var or not all(c.isalnum() or c in "_." for c in var):
+            raise RegexSyntaxError(
+                f"variable names must be non-empty alphanumeric/underscore, got {var!r}"
+            )
+        if not var[0].isalpha() and var[0] != "_":
+            raise RegexSyntaxError(f"variable names must start with a letter, got {var!r}")
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("RegexFormula nodes are immutable")
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return (self.body,)
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        try:
+            return self._vars
+        except AttributeError:
+            out = self.body.variables | {self.var}
+            object.__setattr__(self, "_vars", out)
+            return out
+
+    def _key(self) -> tuple:
+        return ("Capture", self.var, self.body._key())
+
+    def _render(self) -> str:
+        return f"{self.var}{{{self.body._render()}}}"
+
+
+#: Shared singletons for the two constant formulas.
+EMPTY = Empty()
+EPSILON = Epsilon()

@@ -1,0 +1,136 @@
+"""Combinator API for building regex formulas programmatically.
+
+These helpers are the preferred way to build formulas in library code and
+tests: they normalise trivial cases (empty/singleton unions, string
+literals) so the resulting ASTs are small and canonical.
+
+Example — ``αname`` from the paper's Example 2.2::
+
+    from repro.regex.builder import capture, char_range, concat, lit, union
+
+    delta = concat(char_range("A", "Z"), star(char_range("a", "z")))
+    alpha_name = union(
+        concat(capture("xfirst", delta), lit(" "), capture("xlast", delta)),
+        capture("xlast", delta),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import RegexSyntaxError
+from ..core.mapping import Variable
+from .ast import (
+    EMPTY,
+    EPSILON,
+    Capture,
+    CharSet,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    RegexFormula,
+    Star,
+    Union,
+)
+
+
+def empty() -> RegexFormula:
+    """``∅`` — the formula matching nothing."""
+    return EMPTY
+
+
+def eps() -> RegexFormula:
+    """``ε`` — the formula matching the empty string."""
+    return EPSILON
+
+
+def lit(text: str) -> RegexFormula:
+    """A literal string: ``lit("abc")`` is ``a·b·c``; ``lit("")`` is ε."""
+    if not text:
+        return EPSILON
+    if len(text) == 1:
+        return Literal(text)
+    return Concat([Literal(c) for c in text])
+
+
+def sym(char: str) -> RegexFormula:
+    """A single-letter literal (strict: exactly one character)."""
+    return Literal(char)
+
+
+def chars(symbols: Iterable[str]) -> RegexFormula:
+    """A character set: disjunction of single letters."""
+    syms = frozenset(symbols)
+    if not syms:
+        return EMPTY
+    if len(syms) == 1:
+        return Literal(next(iter(syms)))
+    return CharSet(syms)
+
+
+def char_range(first: str, last: str) -> RegexFormula:
+    """All characters between ``first`` and ``last`` inclusive, e.g.
+    ``char_range("a", "z")``."""
+    if len(first) != 1 or len(last) != 1 or ord(first) > ord(last):
+        raise RegexSyntaxError(f"bad character range {first!r}-{last!r}")
+    return chars(chr(c) for c in range(ord(first), ord(last) + 1))
+
+
+def union(*parts: RegexFormula) -> RegexFormula:
+    """``α1 ∨ … ∨ αn``; drops ∅ operands, collapses to ∅/single operand."""
+    useful = [p for p in parts if not isinstance(p, Empty)]
+    if not useful:
+        return EMPTY
+    if len(useful) == 1:
+        return useful[0]
+    return Union(useful)
+
+
+def concat(*parts: RegexFormula) -> RegexFormula:
+    """``α1 · … · αn``; ∅ annihilates, ε operands are dropped."""
+    if any(isinstance(p, Empty) for p in parts):
+        return EMPTY
+    useful = [p for p in parts if not isinstance(p, Epsilon)]
+    if not useful:
+        return EPSILON
+    if len(useful) == 1:
+        return useful[0]
+    return Concat(useful)
+
+
+def star(body: RegexFormula) -> RegexFormula:
+    """``α*``; ``∅* = ε* = ε``, and ``(α*)* = α*``."""
+    if isinstance(body, (Empty, Epsilon)):
+        return EPSILON
+    if isinstance(body, Star):
+        return body
+    return Star(body)
+
+
+def plus(body: RegexFormula) -> RegexFormula:
+    """``α+`` as the standard abbreviation ``α · α*``."""
+    return concat(body, star(body))
+
+
+def opt(body: RegexFormula) -> RegexFormula:
+    """``α?`` as the abbreviation ``α ∨ ε``."""
+    if isinstance(body, Epsilon):
+        return body
+    return union(body, EPSILON)
+
+
+def capture(var: Variable, body: RegexFormula) -> RegexFormula:
+    """``x{α}``."""
+    return Capture(var, body)
+
+
+def any_of(alphabet: Iterable[str]) -> RegexFormula:
+    """``Σ`` for an explicit alphabet — one arbitrary letter."""
+    return chars(alphabet)
+
+
+def sigma_star(alphabet: Iterable[str]) -> RegexFormula:
+    """``Σ*`` for an explicit alphabet."""
+    return star(any_of(alphabet))

@@ -1,0 +1,243 @@
+"""Parser for the textual regex-formula syntax.
+
+Grammar (standard precedence: union < concatenation < postfix < atom)::
+
+    formula  := branch ("|" branch)*
+    branch   := postfix+                      (empty branch = ε)
+    postfix  := atom ("*" | "+" | "?")*
+    atom     := "(" formula ")"
+              | NAME "{" formula "}"          (capture)
+              | "[" set-items "]"             (character set)
+              | "ε" | "\\e"                   (epsilon)
+              | "∅" | "\\0"                   (empty language)
+              | "."                           (any letter; needs alphabet=)
+              | CHAR                          (single literal)
+
+Notes:
+
+* ``∨`` is accepted as a synonym for ``|`` and ``·`` is accepted (and
+  ignored) as an explicit concatenation dot, matching the paper's notation.
+* A capture is a maximal identifier (``[A-Za-z_][A-Za-z0-9_.]*``)
+  immediately followed by ``{``.  To match a literal brace, escape it:
+  ``\\{``.
+* Escapes: ``\\|  \\*  \\+  \\?  \\(  \\)  \\[  \\]  \\{  \\}  \\.  \\\\``
+  plus ``\\n`` (newline), ``\\t`` (tab), ``\\s`` (space), ``\\e``, ``\\0``.
+* ``.`` matches any letter of the alphabet passed as ``alphabet=``;
+  without one, ``.`` is rejected (the library never guesses an alphabet).
+* ``+`` and ``?`` are expanded to ``α·α*`` and ``α ∨ ε``.
+
+The parser produces exactly the AST of :mod:`repro.regex.ast`; it performs
+**no** semantic checks — use :mod:`repro.regex.properties` to classify the
+result as functional / sequential / etc.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import RegexSyntaxError
+from .ast import RegexFormula
+from . import builder
+
+_ESCAPE_MAP = {
+    "n": "\n",
+    "t": "\t",
+    "s": " ",
+}
+
+_POSTFIX = {"*", "+", "?"}
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over the raw text."""
+
+    def __init__(self, text: str, alphabet: frozenset[str] | None):
+        self._text = text
+        self._pos = 0
+        self._alphabet = alphabet
+
+    # -- character-level helpers ---------------------------------------------
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._text):
+            return self._text[self._pos]
+        return None
+
+    def _advance(self) -> str:
+        char = self._text[self._pos]
+        self._pos += 1
+        return char
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, position=self._pos)
+
+    def _read_escape(self) -> str | RegexFormula:
+        """Consume the char after a backslash; returns either a literal
+        character or a constant formula (for \\e and \\0)."""
+        if self._pos >= len(self._text):
+            raise self._error("dangling backslash")
+        char = self._advance()
+        if char == "e":
+            return builder.eps()
+        if char == "0":
+            return builder.empty()
+        return _ESCAPE_MAP.get(char, char)
+
+    # -- grammar productions ---------------------------------------------------
+
+    def parse(self) -> RegexFormula:
+        formula = self._formula()
+        if self._pos != len(self._text):
+            raise self._error(f"unexpected {self._peek()!r}")
+        return formula
+
+    def _formula(self) -> RegexFormula:
+        branches = [self._branch()]
+        while self._peek() in ("|", "∨"):
+            self._advance()
+            branches.append(self._branch())
+        if len(branches) == 1:
+            return branches[0]
+        # builder.union drops ∅ branches; a formula like "a|∅" is just "a".
+        return builder.union(*branches)
+
+    def _branch(self) -> RegexFormula:
+        parts: list[RegexFormula] = []
+        while True:
+            char = self._peek()
+            if char is None or char in ("|", "∨", ")", "}"):
+                break
+            if char == "·":  # explicit concatenation dot: ignore
+                self._advance()
+                continue
+            parts.append(self._postfix())
+        if not parts:
+            return builder.eps()
+        return builder.concat(*parts)
+
+    def _postfix(self) -> RegexFormula:
+        atom = self._atom()
+        while self._peek() in _POSTFIX:
+            op = self._advance()
+            if op == "*":
+                atom = builder.star(atom)
+            elif op == "+":
+                atom = builder.plus(atom)
+            else:
+                atom = builder.opt(atom)
+        return atom
+
+    def _atom(self) -> RegexFormula:
+        char = self._peek()
+        if char is None:
+            raise self._error("expected an atom, found end of input")
+        if char == "(":
+            self._advance()
+            inner = self._formula()
+            if self._peek() != ")":
+                raise self._error("unbalanced '('")
+            self._advance()
+            return inner
+        if char == "[":
+            return self._char_set()
+        if char == "ε":
+            self._advance()
+            return builder.eps()
+        if char == "∅":
+            self._advance()
+            return builder.empty()
+        if char == ".":
+            self._advance()
+            if self._alphabet is None:
+                raise self._error("'.' requires parse(..., alphabet=...)")
+            return builder.chars(self._alphabet)
+        if char == "\\":
+            self._advance()
+            result = self._read_escape()
+            if isinstance(result, RegexFormula):
+                return result
+            return builder.sym(result)
+        if char in ("*", "+", "?", "|", ")", "]", "}"):
+            raise self._error(f"unexpected {char!r}")
+        capture = self._try_capture()
+        if capture is not None:
+            return capture
+        return builder.sym(self._advance())
+
+    def _try_capture(self) -> RegexFormula | None:
+        """Recognise ``NAME{...}`` starting at the current position.
+
+        The variable name is the *maximal* identifier ending right before
+        an unescaped ``{``; if the identifier is not followed by ``{`` we
+        back off and treat the current character as a literal.
+        """
+        start = self._pos
+        char = self._text[start]
+        if not (char.isalpha() or char == "_"):
+            return None
+        end = start
+        while end < len(self._text) and (
+            self._text[end].isalnum() or self._text[end] in "_."
+        ):
+            end += 1
+        if end >= len(self._text) or self._text[end] != "{":
+            return None
+        name = self._text[start:end]
+        self._pos = end + 1  # consume NAME and '{'
+        body = self._formula()
+        if self._peek() != "}":
+            raise self._error(f"unbalanced '{{' in capture {name}")
+        self._advance()
+        return builder.capture(name, body)
+
+    def _char_set(self) -> RegexFormula:
+        self._advance()  # '['
+        symbols: set[str] = []
+        symbols = set()
+        pending: str | None = None
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("unbalanced '['")
+            if char == "]":
+                self._advance()
+                break
+            if char == "\\":
+                self._advance()
+                result = self._read_escape()
+                if isinstance(result, RegexFormula):
+                    raise self._error("\\e and \\0 are not allowed inside [...]")
+                literal = result
+            else:
+                literal = self._advance()
+            if pending is not None:
+                # a '-' was seen: complete the range pending-literal
+                if ord(pending) > ord(literal):
+                    raise self._error(f"bad range {pending!r}-{literal!r}")
+                symbols.update(chr(c) for c in range(ord(pending), ord(literal) + 1))
+                pending = None
+                continue
+            if self._peek() == "-" and self._pos + 1 < len(self._text) and self._text[self._pos + 1] != "]":
+                self._advance()  # '-'
+                pending = literal
+                continue
+            symbols.add(literal)
+        if pending is not None:
+            symbols.update({pending, "-"})
+        if not symbols:
+            raise self._error("empty character set []; use ∅ for the empty language")
+        return builder.chars(symbols)
+
+
+def parse(text: str, alphabet: Iterable[str] | None = None) -> RegexFormula:
+    """Parse textual syntax into a :class:`~repro.regex.ast.RegexFormula`.
+
+    Args:
+        text: the formula, e.g. ``"x{[a-z]+}@y{[a-z]+}"``.
+        alphabet: optional explicit alphabet enabling the ``.`` wildcard.
+
+    Raises:
+        RegexSyntaxError: on any syntax error, with the offending position.
+    """
+    alpha = frozenset(alphabet) if alphabet is not None else None
+    return _Parser(text, alpha).parse()

@@ -1,0 +1,188 @@
+"""Syntactic classification of regex formulas (paper §2.2, §3.2, §4.2).
+
+Implements the polynomial-time tests for the classes
+
+* **functional** (funcRGX): every parse tree uses every variable exactly
+  once — these denote *schema-based* spanners;
+* **sequential** (seqRGX): every parse tree uses every variable at most
+  once — these denote schemaless spanners with polynomial-delay evaluation;
+* **disjunctive functional** (dfuncRGX, §3.2): a finite disjunction of
+  functional formulas — funcRGX ⊊ dfuncRGX ⊊ seqRGX syntactically, while
+  ⟦dfuncRGX⟧ = ⟦seqRGX⟧ semantically (Prop. 3.9);
+* **synchronized for X** (§4.2): no variable of X occurs under any
+  disjunction;
+* **disjunction-free** (§4.2, Prop. 4.10): no ∨ at all.
+
+All checks are iterative single passes over the AST.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.mapping import Variable
+from .ast import (
+    Capture,
+    CharSet,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    RegexFormula,
+    Star,
+    Union,
+)
+
+
+def functional_variables(formula: RegexFormula) -> frozenset[Variable] | None:
+    """The set ``V`` such that ``formula`` is functional for ``V``, or
+    ``None`` if the formula is not functional for any set.
+
+    When the result is not ``None`` it always equals ``formula.variables``,
+    and the formula is *functional* in the sense of Fagin et al.: every
+    parse tree contains exactly one occurrence of each variable.
+
+    ``∅`` is treated as functional for ∅ (it has no parse trees, so the
+    condition holds vacuously); this matches the convention that ∅ is a
+    member of funcRGX as a Boolean formula.
+    """
+    return _functional_variables(formula)
+
+
+def _functional_variables(formula: RegexFormula) -> frozenset[Variable] | None:
+    # Iterative post-order: results[id(node)] = frozenset | None.
+    results: dict[int, frozenset[Variable] | None] = {}
+    # Stack of (node, expanded?) frames.
+    stack: list[tuple[RegexFormula, bool]] = [(formula, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in results:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children():
+                stack.append((child, False))
+            continue
+        results[id(node)] = _functional_step(node, results)
+    return results[id(formula)]
+
+
+def _functional_step(
+    node: RegexFormula, results: dict[int, frozenset[Variable] | None]
+) -> frozenset[Variable] | None:
+    if isinstance(node, (Empty, Epsilon, Literal, CharSet)):
+        return frozenset()
+    if isinstance(node, Union):
+        child_sets = [results[id(c)] for c in node.parts]
+        if any(s is None for s in child_sets):
+            return None
+        first = child_sets[0]
+        if any(s != first for s in child_sets[1:]):
+            return None
+        return first
+    if isinstance(node, Concat):
+        union: set[Variable] = set()
+        total = 0
+        for child in node.parts:
+            child_set = results[id(child)]
+            if child_set is None:
+                return None
+            union |= child_set
+            total += len(child_set)
+        if total != len(union):  # some variable occurs in two factors
+            return None
+        return frozenset(union)
+    if isinstance(node, Star):
+        body_set = results[id(node.body)]
+        if body_set is None or body_set:
+            return None
+        return frozenset()
+    if isinstance(node, Capture):
+        body_set = results[id(node.body)]
+        if body_set is None or node.var in body_set:
+            return None
+        return body_set | {node.var}
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def is_functional(formula: RegexFormula) -> bool:
+    """Membership in funcRGX."""
+    return functional_variables(formula) is not None
+
+
+def is_sequential(formula: RegexFormula) -> bool:
+    """Membership in seqRGX (paper §2.2):
+
+    * concatenation factors have pairwise-disjoint variable sets,
+    * star bodies mention no variables,
+    * ``x{α}`` has ``x ∉ Vars(α)``.
+    """
+    for node in formula.walk():
+        if isinstance(node, Concat):
+            total = sum(len(c.variables) for c in node.parts)
+            if total != len(node.variables):
+                return False
+        elif isinstance(node, Star):
+            if node.body.variables:
+                return False
+        elif isinstance(node, Capture):
+            if node.var in node.body.variables:
+                return False
+    return True
+
+
+def disjuncts(formula: RegexFormula) -> tuple[RegexFormula, ...]:
+    """The top-level disjuncts: the parts of a top-level ∨, else the formula
+    itself."""
+    if isinstance(formula, Union):
+        return formula.parts
+    return (formula,)
+
+
+def is_disjunctive_functional(formula: RegexFormula) -> bool:
+    """Membership in dfuncRGX (§3.2): a finite disjunction of functional
+    regex formulas (a single functional formula counts, as a one-disjunct
+    disjunction)."""
+    return all(is_functional(d) for d in disjuncts(formula))
+
+
+def is_synchronized_for(formula: RegexFormula, variables: Iterable[Variable]) -> bool:
+    """Whether the formula is synchronized for ``X`` (§4.2): for every
+    subexpression ``γ1 ∨ γ2``, no variable of ``X`` appears in any γi."""
+    target = frozenset(variables)
+    if not target:
+        return True
+    for node in formula.walk():
+        if isinstance(node, Union) and node.variables & target:
+            return False
+    return True
+
+
+def is_synchronized(formula: RegexFormula) -> bool:
+    """Synchronized for *all* of its own variables."""
+    return is_synchronized_for(formula, formula.variables)
+
+
+def is_disjunction_free(formula: RegexFormula, strict: bool = True) -> bool:
+    """Whether the formula contains no ∨ subexpression (Prop. 4.10).
+
+    With ``strict=True`` (default) a :class:`CharSet` of more than one
+    letter counts as a disjunction, since it abbreviates one.
+    """
+    for node in formula.walk():
+        if isinstance(node, Union):
+            return False
+        if strict and isinstance(node, CharSet) and len(node.symbols) > 1:
+            return False
+    return True
+
+
+def classify(formula: RegexFormula) -> dict[str, bool]:
+    """All class memberships at once — handy for tests and reports."""
+    return {
+        "functional": is_functional(formula),
+        "sequential": is_sequential(formula),
+        "disjunctive_functional": is_disjunctive_functional(formula),
+        "synchronized": is_synchronized(formula),
+        "disjunction_free": is_disjunction_free(formula),
+    }

@@ -1,0 +1,173 @@
+"""Reference (direct) semantics of regex formulas (paper §2.2).
+
+Implements the evaluation grammar ``[α](d)`` literally, producing the set of
+(span, mapping) pairs, and ``⟦α⟧(d) = {µ | ([1,|d|+1>, µ) ∈ [α](d)}``.
+
+This evaluator exists as the **ground truth**: it is deliberately simple
+(bottom-up dynamic programming over subformulas, including the general
+fixpoint for ``α*`` with the domain-disjointness side condition), with no
+concern for output-polynomial efficiency.  The production path compiles the
+formula to a vset-automaton (:mod:`repro.va.compile_regex`) and enumerates
+with polynomial delay; the test suite cross-checks the two on randomized
+inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.document import Document, as_document
+from ..core.mapping import EMPTY_MAPPING, Mapping, Variable
+from ..core.relation import SpanRelation
+from ..core.spanner import Spanner
+from ..core.spans import Span
+from .ast import (
+    Capture,
+    CharSet,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    RegexFormula,
+    Star,
+    Union,
+)
+
+#: One intermediate evaluation result: a matched span plus the mapping
+#: accumulated inside it.
+Match = tuple[Span, Mapping]
+
+
+def matches(formula: RegexFormula, document: Document | str) -> frozenset[Match]:
+    """Compute ``[formula](d)``: all (span, mapping) matches anywhere in the
+    document."""
+    doc = as_document(document)
+    results: dict[int, frozenset[Match]] = {}
+    stack: list[tuple[RegexFormula, bool]] = [(formula, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in results:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children():
+                stack.append((child, False))
+            continue
+        results[id(node)] = _eval_node(node, doc, results)
+    return results[id(formula)]
+
+
+def _eval_node(
+    node: RegexFormula, doc: Document, results: dict[int, frozenset[Match]]
+) -> frozenset[Match]:
+    n = len(doc)
+    if isinstance(node, Empty):
+        return frozenset()
+    if isinstance(node, Epsilon):
+        return frozenset((Span(i, i), EMPTY_MAPPING) for i in range(1, n + 2))
+    if isinstance(node, Literal):
+        return frozenset(
+            (Span(i, i + 1), EMPTY_MAPPING)
+            for i in range(1, n + 1)
+            if doc.letter(i) == node.symbol
+        )
+    if isinstance(node, CharSet):
+        return frozenset(
+            (Span(i, i + 1), EMPTY_MAPPING)
+            for i in range(1, n + 1)
+            if doc.letter(i) in node.symbols
+        )
+    if isinstance(node, Union):
+        out: set[Match] = set()
+        for child in node.parts:
+            out |= results[id(child)]
+        return frozenset(out)
+    if isinstance(node, Concat):
+        current = results[id(node.parts[0])]
+        for child in node.parts[1:]:
+            current = _concat(current, results[id(child)])
+        return current
+    if isinstance(node, Star):
+        return _star(results[id(node.body)], n)
+    if isinstance(node, Capture):
+        return _capture(node.var, results[id(node.body)])
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def _concat(left: frozenset[Match], right: frozenset[Match]) -> frozenset[Match]:
+    """``[α1 · α2]``: adjoin matches whose spans meet, with disjoint
+    mapping domains (overlapping domains are dropped, per the grammar)."""
+    by_begin: dict[int, list[Match]] = {}
+    for sp, mu in right:
+        by_begin.setdefault(sp.begin, []).append((sp, mu))
+    out: set[Match] = set()
+    for sp1, mu1 in left:
+        for sp2, mu2 in by_begin.get(sp1.end, ()):
+            if mu1.domain & mu2.domain:
+                continue
+            out.add((Span(sp1.begin, sp2.end), mu1.union(mu2)))
+    return frozenset(out)
+
+
+def _star(base: frozenset[Match], doc_length: int) -> frozenset[Match]:
+    """``[α*]``: least fixpoint of appending base matches to ε-matches.
+
+    Terminates because every extension either strictly grows the span or
+    strictly grows the mapping domain (an empty-span, empty-mapping
+    extension changes nothing, so it cannot generate new elements forever).
+    """
+    out: set[Match] = {
+        (Span(i, i), EMPTY_MAPPING) for i in range(1, doc_length + 2)
+    }
+    by_begin: dict[int, list[Match]] = {}
+    for sp, mu in base:
+        by_begin.setdefault(sp.begin, []).append((sp, mu))
+    frontier = list(out)
+    while frontier:
+        sp1, mu1 = frontier.pop()
+        for sp2, mu2 in by_begin.get(sp1.end, ()):
+            if mu1.domain & mu2.domain:
+                continue
+            candidate = (Span(sp1.begin, sp2.end), mu1.union(mu2))
+            if candidate not in out:
+                out.add(candidate)
+                frontier.append(candidate)
+    return frozenset(out)
+
+
+def _capture(var: Variable, base: frozenset[Match]) -> frozenset[Match]:
+    """``[x{α}]``: record the matched span into ``x`` (skipping matches
+    that already bound ``x``)."""
+    out: set[Match] = set()
+    for sp, mu in base:
+        if var in mu.domain:
+            continue
+        out.add((sp, mu.union(Mapping({var: sp}))))
+    return frozenset(out)
+
+
+def evaluate(formula: RegexFormula, document: Document | str) -> SpanRelation:
+    """``⟦formula⟧(d)``: mappings of matches covering the whole document."""
+    doc = as_document(document)
+    full = doc.full_span()
+    return SpanRelation(mu for sp, mu in matches(formula, doc) if sp == full)
+
+
+class ReferenceRegexSpanner(Spanner):
+    """A regex formula evaluated by the reference semantics.
+
+    Exponentially slower than the VA-compiled path on large inputs —
+    intended for testing and for tiny formulas only.
+    """
+
+    def __init__(self, formula: RegexFormula):
+        self.formula = formula
+
+    def variables(self) -> frozenset[Variable]:
+        return self.formula.variables
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        return iter(evaluate(self.formula, document))
+
+    def __repr__(self) -> str:
+        return f"ReferenceRegexSpanner({self.formula.to_text()!r})"

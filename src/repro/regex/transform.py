@@ -1,0 +1,136 @@
+"""Sequential → disjunctive-functional translation (Prop. 3.9(1), App. A.2).
+
+Implements the disjunct-set construction ``A(α)`` of the paper's Appendix
+A.2, restricted — as the paper's sequentiality assumption guarantees — to
+star bodies without variables (for which ``A(α*) = {α*}``; the general rule
+is infinitary and never needed for sequential inputs).
+
+The output is a disjunction of functional regex formulas equivalent to the
+input under the schemaless semantics.  Proposition 3.11 shows the number of
+disjuncts can be ``2^n`` in the worst case; :func:`count_disjuncts` computes
+that number without materialising them, which the E4 bench uses to trace the
+blow-up curve beyond what fits in memory.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import NotSequentialError
+from .ast import (
+    Capture,
+    CharSet,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    RegexFormula,
+    Star,
+    Union,
+)
+from . import builder
+from .properties import is_sequential
+
+
+def disjunct_set(formula: RegexFormula) -> tuple[RegexFormula, ...]:
+    """The paper's ``A(α)``: functional disjuncts jointly equivalent to α.
+
+    Raises:
+        NotSequentialError: if the input is not sequential (a star body
+            mentions variables, making ``A`` infinite).
+    """
+    if not is_sequential(formula):
+        raise NotSequentialError(
+            "disjunctive-functional translation requires a sequential formula"
+        )
+    results: dict[int, tuple[RegexFormula, ...]] = {}
+    stack: list[tuple[RegexFormula, bool]] = [(formula, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in results:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children():
+                stack.append((child, False))
+            continue
+        results[id(node)] = _disjuncts_of(node, results)
+    return results[id(formula)]
+
+
+def _disjuncts_of(
+    node: RegexFormula, results: dict[int, tuple[RegexFormula, ...]]
+) -> tuple[RegexFormula, ...]:
+    if isinstance(node, Empty):
+        return ()
+    if isinstance(node, (Epsilon, Literal, CharSet)):
+        return (node,)
+    if isinstance(node, Union):
+        if not node.variables:
+            # Variable-free disjunction: keep it whole, it is functional.
+            return (node,)
+        out: list[RegexFormula] = []
+        for child in node.parts:
+            out.extend(results[id(child)])
+        return tuple(out)
+    if isinstance(node, Concat):
+        acc: list[tuple[RegexFormula, ...]] = [()]
+        for child in node.parts:
+            child_disjuncts = results[id(child)]
+            acc = [prefix + (d,) for prefix in acc for d in child_disjuncts]
+        return tuple(builder.concat(*parts) for parts in acc if parts)
+    if isinstance(node, Star):
+        # Sequential ⇒ the body is variable-free ⇒ the star itself is
+        # functional (for ∅) and is its own single disjunct.
+        return (node,)
+    if isinstance(node, Capture):
+        return tuple(builder.capture(node.var, d) for d in results[id(node.body)])
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def to_disjunctive_functional(formula: RegexFormula) -> RegexFormula:
+    """An equivalent disjunctive-functional regex formula (Prop. 3.9(1))."""
+    parts = disjunct_set(formula)
+    if not parts:
+        return builder.empty()
+    if len(parts) == 1:
+        return parts[0]
+    return Union(parts)
+
+
+def count_disjuncts(formula: RegexFormula) -> int:
+    """``|A(α)|`` computed arithmetically (no materialisation).
+
+    Used to trace Prop. 3.11's ``2^n`` curve for parameters where the
+    explicit disjunction would not fit in memory.
+    """
+    if not is_sequential(formula):
+        raise NotSequentialError("count_disjuncts requires a sequential formula")
+    counts: dict[int, int] = {}
+    stack: list[tuple[RegexFormula, bool]] = [(formula, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in counts:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children():
+                stack.append((child, False))
+            continue
+        if isinstance(node, Empty):
+            counts[id(node)] = 0
+        elif isinstance(node, (Epsilon, Literal, CharSet, Star)):
+            counts[id(node)] = 1
+        elif isinstance(node, Union):
+            if not node.variables:
+                counts[id(node)] = 1
+            else:
+                counts[id(node)] = sum(counts[id(c)] for c in node.parts)
+        elif isinstance(node, Concat):
+            total = 1
+            for child in node.parts:
+                total *= counts[id(child)]
+            counts[id(node)] = total
+        elif isinstance(node, Capture):
+            counts[id(node)] = counts[id(node.body)]
+        else:
+            raise TypeError(f"unknown node type {type(node).__name__}")
+    return counts[id(formula)]

@@ -1,0 +1,14 @@
+"""Measurement and presentation utilities."""
+
+from .render import fit_power_law, format_table, growth_factors
+from .timing import DelayRecorder, DelayStats, record_enumeration, time_call
+
+__all__ = [
+    "DelayRecorder",
+    "DelayStats",
+    "fit_power_law",
+    "format_table",
+    "growth_factors",
+    "record_enumeration",
+    "time_call",
+]

@@ -1,0 +1,61 @@
+"""Plain-text tables and series for the benchmark reports.
+
+The benches print their measurements in a uniform layout so EXPERIMENTS.md
+can quote them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """An aligned fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def growth_factors(values: Sequence[float]) -> list[float]:
+    """Consecutive ratios — the quick exponential-vs-polynomial gauge the
+    benches report alongside raw numbers."""
+    out: list[float] = []
+    for previous, current in zip(values, values[1:]):
+        out.append(current / previous if previous else float("inf"))
+    return out
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The least-squares exponent of ``y ≈ c·x^e`` in log-log space; a
+    sanity gauge for "polynomial of low degree" claims."""
+    import math
+
+    pairs = [(math.log(x), math.log(y)) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        return float("nan")
+    n = len(pairs)
+    sx = sum(x for x, _ in pairs)
+    sy = sum(y for _, y in pairs)
+    sxx = sum(x * x for x, _ in pairs)
+    sxy = sum(x * y for x, y in pairs)
+    denominator = n * sxx - sx * sx
+    if denominator == 0:
+        return float("nan")
+    return (n * sxy - sx * sy) / denominator

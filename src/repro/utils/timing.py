@@ -1,0 +1,102 @@
+"""Enumeration-delay instrumentation (the yardsticks of §2.5).
+
+The paper's efficiency notion for evaluation is the *delay* between
+consecutive outputs of an enumeration algorithm.  :class:`DelayRecorder`
+wraps any iterator and records the wall-clock gap before each item — the
+first gap includes all preprocessing, matching the standard definition
+(preprocessing counts toward the first delay unless stated otherwise).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class DelayStats:
+    """Summary of one recorded enumeration."""
+
+    count: int = 0
+    first_delay: float = 0.0
+    max_delay: float = 0.0
+    total_time: float = 0.0
+    delays: list[float] = field(default_factory=list)
+
+    @property
+    def mean_delay(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+    @property
+    def max_inter_delay(self) -> float:
+        """Largest delay *between* results (excluding the first, which
+        carries the preprocessing)."""
+        return max(self.delays[1:], default=0.0)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.count} results in {self.total_time * 1e3:.2f} ms "
+            f"(first {self.first_delay * 1e3:.3f} ms, "
+            f"max-inter {self.max_inter_delay * 1e3:.3f} ms, "
+            f"mean {self.mean_delay * 1e3:.3f} ms)"
+        )
+
+
+class DelayRecorder(Iterator[T]):
+    """Wrap an iterator, timing the gap before every item.
+
+    Usage::
+
+        recorder = DelayRecorder(enumerate_mappings(va, doc))
+        results = list(recorder)
+        print(recorder.stats.max_inter_delay)
+    """
+
+    def __init__(self, source: Iterable[T], keep_delays: bool = True):
+        self._source = iter(source)
+        self._keep = keep_delays
+        self._last = time.perf_counter()
+        self.stats = DelayStats()
+
+    def __iter__(self) -> "DelayRecorder[T]":
+        return self
+
+    def __next__(self) -> T:
+        item = next(self._source)  # StopIteration propagates
+        now = time.perf_counter()
+        delay = now - self._last
+        self._last = now
+        stats = self.stats
+        if stats.count == 0:
+            stats.first_delay = delay
+        stats.max_delay = max(stats.max_delay, delay)
+        stats.total_time += delay
+        if self._keep:
+            stats.delays.append(delay)
+        stats.count += 1
+        return item
+
+
+def record_enumeration(source: Iterable[T], limit: int | None = None) -> DelayStats:
+    """Drain (up to ``limit`` items of) an iterator and return its delay
+    statistics."""
+    recorder: DelayRecorder[T] = DelayRecorder(source)
+    for index, _ in enumerate(recorder):
+        if limit is not None and index + 1 >= limit:
+            break
+    return recorder.stats
+
+
+def time_call(func, *args, repeat: int = 1, **kwargs) -> tuple[float, object]:
+    """Best-of-``repeat`` wall-clock timing of ``func(*args, **kwargs)``;
+    returns (seconds, last result)."""
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result

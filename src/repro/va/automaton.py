@@ -1,0 +1,240 @@
+"""Vset-automata (paper §2.3).
+
+A vset-automaton (VA) is an NFA whose transitions carry either an alphabet
+letter, ε, or a *variable operation*: ``x⊢`` (open variable ``x``) or
+``⊣x`` (close it).  Variable operations do not consume input.
+
+Transition labels:
+
+* ``None`` — an ε-transition;
+* a one-character ``str`` — a letter transition;
+* a :class:`VarOp` — a variable operation.
+
+States may be any hashable objects; :meth:`VA.relabelled` canonicalises them
+to consecutive integers (useful after product constructions whose states are
+nested tuples).
+
+The class is immutable after construction; all "mutations" in
+:mod:`repro.va.operations` build new automata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator
+
+from ..core.errors import SpannerError
+from ..core.mapping import Variable
+
+State = Hashable
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class VarOp:
+    """A variable operation: ``x⊢`` (open) or ``⊣x`` (close)."""
+
+    var: Variable
+    is_open: bool
+
+    def __str__(self) -> str:
+        return f"{self.var}⊢" if self.is_open else f"⊣{self.var}"
+
+    @property
+    def is_close(self) -> bool:
+        return not self.is_open
+
+
+def open_op(var: Variable) -> VarOp:
+    """``x⊢``."""
+    return VarOp(var, True)
+
+
+def close_op(var: Variable) -> VarOp:
+    """``⊣x``."""
+    return VarOp(var, False)
+
+
+#: A transition label: ε (None), a letter, or a variable operation.
+Label = None | str | VarOp
+
+#: One transition (source, label, target).
+Transition = tuple[State, Label, State]
+
+
+def _check_label(label: Label) -> None:
+    if label is None or isinstance(label, VarOp):
+        return
+    if isinstance(label, str):
+        if len(label) != 1:
+            raise SpannerError(
+                f"letter labels must be single characters, got {label!r}"
+            )
+        return
+    raise SpannerError(f"invalid transition label {label!r}")
+
+
+class VA:
+    """An immutable vset-automaton ``(Q, q0, F, δ)``.
+
+    Following footnote 4 of the paper we allow multiple accepting states.
+    """
+
+    __slots__ = ("_initial", "_accepting", "_transitions", "_out", "_states", "_vars")
+
+    def __init__(
+        self,
+        initial: State,
+        accepting: Iterable[State],
+        transitions: Iterable[Transition],
+        states: Iterable[State] = (),
+    ):
+        trans = tuple(transitions)
+        for _, label, _ in trans:
+            _check_label(label)
+        self._initial = initial
+        self._accepting = frozenset(accepting)
+        self._transitions = trans
+        all_states: set[State] = {initial}
+        all_states.update(self._accepting)
+        all_states.update(states)
+        out: dict[State, list[tuple[Label, State]]] = {}
+        variables: set[Variable] = set()
+        for src, label, dst in trans:
+            all_states.add(src)
+            all_states.add(dst)
+            out.setdefault(src, []).append((label, dst))
+            if isinstance(label, VarOp):
+                variables.add(label.var)
+        self._states = frozenset(all_states)
+        self._out = {state: tuple(edges) for state, edges in out.items()}
+        self._vars = frozenset(variables)
+
+    # -- structure accessors ---------------------------------------------------
+
+    @property
+    def initial(self) -> State:
+        """The initial state ``q0``."""
+        return self._initial
+
+    @property
+    def accepting(self) -> frozenset[State]:
+        """The accepting states ``F``."""
+        return self._accepting
+
+    @property
+    def states(self) -> frozenset[State]:
+        """All states ``Q``."""
+        return self._states
+
+    @property
+    def transitions(self) -> tuple[Transition, ...]:
+        """All transitions ``δ`` as (source, label, target) triples."""
+        return self._transitions
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """``Vars(A)``: variables mentioned by some transition."""
+        return self._vars
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def n_transitions(self) -> int:
+        return len(self._transitions)
+
+    def transitions_from(self, state: State) -> tuple[tuple[Label, State], ...]:
+        """Outgoing (label, target) pairs of ``state``."""
+        return self._out.get(state, ())
+
+    def is_accepting(self, state: State) -> bool:
+        return state in self._accepting
+
+    def letters(self) -> frozenset[str]:
+        """All letters occurring on transitions."""
+        return frozenset(
+            label for _, label, _ in self._transitions if isinstance(label, str)
+        )
+
+    # -- simple rewrites --------------------------------------------------------
+
+    def with_accepting(self, accepting: Iterable[State]) -> "VA":
+        """A copy with a different accepting set (states preserved)."""
+        return VA(self._initial, accepting, self._transitions, self._states)
+
+    def map_states(self, func: Callable[[State], State]) -> "VA":
+        """A copy with every state replaced by ``func(state)``.
+
+        ``func`` must be injective on this automaton's states.
+        """
+        mapped = {s: func(s) for s in self._states}
+        if len(set(mapped.values())) != len(mapped):
+            raise SpannerError("state mapping must be injective")
+        return VA(
+            mapped[self._initial],
+            (mapped[s] for s in self._accepting),
+            ((mapped[p], label, mapped[q]) for p, label, q in self._transitions),
+            mapped.values(),
+        )
+
+    def relabelled(self) -> "VA":
+        """A copy with states canonicalised to 0..n-1 (BFS order from the
+        initial state, unreachable states last in arbitrary-but-stable
+        order)."""
+        order: dict[State, int] = {self._initial: 0}
+        queue = [self._initial]
+        while queue:
+            state = queue.pop(0)
+            for _, target in self.transitions_from(state):
+                if target not in order:
+                    order[target] = len(order)
+                    queue.append(target)
+        for state in sorted(self._states - order.keys(), key=repr):
+            order[state] = len(order)
+        return self.map_states(order.__getitem__)
+
+    def map_labels(self, func: Callable[[Label], Label]) -> "VA":
+        """A copy with every transition label replaced by ``func(label)``.
+
+        Used by projection (variable ops → ε) and variable renaming.
+        """
+        return VA(
+            self._initial,
+            self._accepting,
+            ((p, func(label), q) for p, label, q in self._transitions),
+            self._states,
+        )
+
+    # -- presentation -----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"VA(states={self.n_states}, transitions={self.n_transitions}, "
+            f"vars={sorted(self._vars)}, accepting={len(self._accepting)})"
+        )
+
+    def describe(self) -> str:
+        """A multi-line listing of the automaton, for debugging."""
+        lines = [f"initial: {self._initial!r}", f"accepting: {sorted(map(repr, self._accepting))}"]
+        for p, label, q in self._transitions:
+            text = "ε" if label is None else str(label)
+            lines.append(f"  {p!r} --{text}--> {q!r}")
+        return "\n".join(lines)
+
+    def iter_var_ops(self) -> Iterator[VarOp]:
+        """All distinct variable operations on transitions."""
+        seen: set[VarOp] = set()
+        for _, label, _ in self._transitions:
+            if isinstance(label, VarOp) and label not in seen:
+                seen.add(label)
+                yield label
+
+
+def gamma(variables: Iterable[Variable]) -> frozenset[VarOp]:
+    """``Γ_V``: the set of variable operations over ``V`` (paper §2.3)."""
+    out: set[VarOp] = set()
+    for var in variables:
+        out.add(open_op(var))
+        out.add(close_op(var))
+    return frozenset(out)

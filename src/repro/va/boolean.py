@@ -1,0 +1,247 @@
+"""Boolean spanners as classical automata: determinisation and
+complementation (§4's impossibility argument, experiment E11).
+
+A Boolean VA (no variables) is an NFA.  Section 4 of the paper argues that
+*static* compilation of the difference must fail because it subsumes NFA
+complementation, whose state blow-up is exponential [17, Jirásková].  This
+module makes that argument executable:
+
+* :func:`boolean_nfa` — strip ε-transitions from a variable-free VA;
+* :func:`determinize` — the subset construction;
+* :func:`complement_dfa` / :func:`static_boolean_difference` — the static
+  compilation route, with its measurable exponential cost;
+* the E11 bench contrasts its state counts against the ad-hoc compilation
+  (:func:`repro.algebra.difference.adhoc_difference`), which stays
+  polynomial in the document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.errors import SpannerError
+from .automaton import VA, Label, State
+
+#: A deterministic transition table: state → letter → state.
+DfaTable = dict[State, dict[str, State]]
+
+
+@dataclass(frozen=True)
+class NFA:
+    """A classical NFA over single-character letters (no ε)."""
+
+    initial: frozenset[State]
+    accepting: frozenset[State]
+    transitions: dict[State, dict[str, frozenset[State]]]
+    alphabet: frozenset[str]
+
+    @property
+    def n_states(self) -> int:
+        states = set(self.initial) | set(self.accepting) | set(self.transitions)
+        for table in self.transitions.values():
+            for targets in table.values():
+                states |= targets
+        return len(states)
+
+    def accepts(self, word: str) -> bool:
+        current = set(self.initial)
+        for letter in word:
+            current = {
+                target
+                for state in current
+                for target in self.transitions.get(state, {}).get(letter, ())
+            }
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A complete DFA over an explicit alphabet."""
+
+    initial: State
+    accepting: frozenset[State]
+    table: DfaTable
+    alphabet: frozenset[str]
+
+    @property
+    def n_states(self) -> int:
+        return len(self.table)
+
+    def accepts(self, word: str) -> bool:
+        state = self.initial
+        for letter in word:
+            if letter not in self.alphabet:
+                return False
+            state = self.table[state][letter]
+        return state in self.accepting
+
+
+def _epsilon_closure(va: VA, states: Iterable[State]) -> frozenset[State]:
+    seen = set(states)
+    stack = list(seen)
+    while stack:
+        state = stack.pop()
+        for label, target in va.transitions_from(state):
+            if label is None and target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return frozenset(seen)
+
+
+def boolean_nfa(va: VA, alphabet: Iterable[str] | None = None) -> NFA:
+    """Convert a variable-free VA into an ε-free NFA.
+
+    Raises:
+        SpannerError: if the VA mentions variables (project them away
+            first if a Boolean view is intended).
+    """
+    if va.variables:
+        raise SpannerError(
+            f"boolean_nfa requires a variable-free VA; got variables "
+            f"{sorted(va.variables)}"
+        )
+    letters = frozenset(alphabet) if alphabet is not None else va.letters()
+    transitions: dict[State, dict[str, frozenset[State]]] = {}
+    for state in va.states:
+        table: dict[str, set[State]] = {}
+        for label, target in va.transitions_from(state):
+            if isinstance(label, str):
+                table.setdefault(label, set()).update(_epsilon_closure(va, (target,)))
+        if table:
+            transitions[state] = {
+                letter: frozenset(targets) for letter, targets in table.items()
+            }
+    return NFA(
+        initial=_epsilon_closure(va, (va.initial,)),
+        accepting=frozenset(va.accepting),
+        transitions=transitions,
+        alphabet=letters,
+    )
+
+
+def determinize(nfa: NFA) -> DFA:
+    """The subset construction — worst case 2^n states, and the E11 family
+    realises that bound."""
+    initial = nfa.initial
+    table: DfaTable = {}
+    accepting: set[State] = set()
+    stack: list[frozenset[State]] = [initial]
+    seen: set[frozenset[State]] = {initial}
+    while stack:
+        subset = stack.pop()
+        row: dict[str, State] = {}
+        for letter in nfa.alphabet:
+            target = frozenset(
+                t
+                for state in subset
+                for t in nfa.transitions.get(state, {}).get(letter, ())
+            )
+            row[letter] = target
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+        table[subset] = row
+        if subset & nfa.accepting:
+            accepting.add(subset)
+    return DFA(initial, frozenset(accepting), table, nfa.alphabet)
+
+
+def complement_dfa(dfa: DFA) -> DFA:
+    """Flip acceptance (the DFA is complete by construction)."""
+    return DFA(
+        dfa.initial,
+        frozenset(set(dfa.table) - set(dfa.accepting)),
+        dfa.table,
+        dfa.alphabet,
+    )
+
+
+def dfa_to_va(dfa: DFA) -> VA:
+    """Reify a DFA as a (Boolean) VA."""
+    names = {state: index for index, state in enumerate(dfa.table)}
+    transitions: list[tuple[State, Label, State]] = []
+    for state, row in dfa.table.items():
+        for letter, target in row.items():
+            transitions.append((names[state], letter, names[target]))
+    return VA(
+        names[dfa.initial],
+        (names[s] for s in dfa.accepting),
+        transitions,
+        names.values(),
+    )
+
+
+def product_intersection(first: NFA, second: DFA) -> NFA:
+    """NFA ∩ DFA by the product construction."""
+    alphabet = first.alphabet & second.alphabet
+    transitions: dict[State, dict[str, frozenset[State]]] = {}
+    initial = frozenset((s, second.initial) for s in first.initial)
+    accepting: set[State] = set()
+    stack = list(initial)
+    seen: set[State] = set(initial)
+    while stack:
+        state = stack.pop()
+        nfa_state, dfa_state = state
+        if nfa_state in first.accepting and dfa_state in second.accepting:
+            accepting.add(state)
+        row: dict[str, frozenset[State]] = {}
+        for letter in alphabet:
+            nfa_targets = first.transitions.get(nfa_state, {}).get(letter, frozenset())
+            dfa_target = second.table[dfa_state][letter]
+            targets = frozenset((t, dfa_target) for t in nfa_targets)
+            if targets:
+                row[letter] = targets
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        stack.append(target)
+        if row:
+            transitions[state] = row
+    return NFA(initial, frozenset(accepting), transitions, alphabet)
+
+
+def nfa_to_va(nfa: NFA) -> VA:
+    """Reify an NFA as a (Boolean) VA with a fresh ε-initial state."""
+    names: dict[State, int] = {}
+
+    def name(state: State) -> int:
+        if state not in names:
+            names[state] = len(names) + 1
+        return names[state]
+
+    transitions: list[tuple[State, Label, State]] = []
+    for state, row in nfa.transitions.items():
+        for letter, targets in row.items():
+            for target in targets:
+                transitions.append((name(state), letter, name(target)))
+    initial = 0
+    for state in nfa.initial:
+        transitions.append((initial, None, name(state)))
+    return VA(
+        initial,
+        (name(s) for s in nfa.accepting if True),
+        transitions,
+        [0, *names.values()],
+    )
+
+
+def static_boolean_difference(
+    first: VA, second: VA, alphabet: Iterable[str]
+) -> tuple[VA, int]:
+    """The *static* difference of two Boolean VAs: ``A1 ∩ complement(A2)``
+    via determinisation.
+
+    Returns the compiled VA and the size of the determinised subtrahend —
+    the quantity that explodes exponentially on the E11 family, which is
+    exactly why the paper replaces static compilation with ad-hoc
+    compilation for the difference operator.
+    """
+    letters = frozenset(alphabet)
+    nfa1 = boolean_nfa(first, letters)
+    dfa2 = determinize(boolean_nfa(second, letters))
+    complemented = complement_dfa(dfa2)
+    product = product_intersection(nfa1, complemented)
+    return nfa_to_va(product), dfa2.n_states

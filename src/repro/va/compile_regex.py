@@ -1,0 +1,127 @@
+"""Regex formula → vset-automaton compilation (Lemma 4.6; [13, 20]).
+
+A Thompson-style construction treating variable operations like symbols:
+``x{α}`` compiles to ``x⊢ · α · ⊣x``.  The construction is linear in the
+formula size and preserves the syntactic classes:
+
+* a sequential formula yields a sequential VA;
+* a functional formula yields a functional VA;
+* a formula synchronized for X yields a VA synchronized for X — every
+  occurrence of a symbol gets a fresh target state reached only through its
+  own transition, which is exactly the unique-target-state condition
+  (Lemma 4.6's proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..regex.ast import (
+    Capture,
+    CharSet,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    RegexFormula,
+    Star,
+    Union,
+)
+from .automaton import VA, Label, State, close_op, open_op
+
+
+@dataclass(slots=True)
+class _Fragment:
+    """A partial automaton with one entry and one exit state."""
+
+    start: int
+    end: int
+
+
+class _Compiler:
+    """Allocates states and accumulates transitions for one compilation."""
+
+    def __init__(self) -> None:
+        self._next_state = 0
+        self.transitions: list[tuple[State, Label, State]] = []
+
+    def fresh(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        return state
+
+    def edge(self, src: int, label: Label, dst: int) -> None:
+        self.transitions.append((src, label, dst))
+
+    def compile(self, formula: RegexFormula) -> _Fragment:
+        # Iterative post-order to avoid recursion limits on deep formulas.
+        # Fragments are built per *occurrence*, never shared: ASTs may reuse
+        # node objects (e.g. the ε singleton), but every occurrence needs
+        # its own fresh states or unrelated sub-automata would be glued
+        # together.
+        value_stack: list[_Fragment] = []
+        work: list[tuple[RegexFormula, bool]] = [(formula, False)]
+        while work:
+            node, expanded = work.pop()
+            if not expanded:
+                work.append((node, True))
+                for child in reversed(node.children()):
+                    work.append((child, False))
+                continue
+            arity = len(node.children())
+            children = value_stack[len(value_stack) - arity :] if arity else []
+            del value_stack[len(value_stack) - arity :]
+            value_stack.append(self._build(node, children))
+        (fragment,) = value_stack
+        return fragment
+
+    def _build(self, node: RegexFormula, children: list[_Fragment]) -> _Fragment:
+        start, end = self.fresh(), self.fresh()
+        if isinstance(node, Empty):
+            pass  # no transition: nothing reaches `end`
+        elif isinstance(node, Epsilon):
+            self.edge(start, None, end)
+        elif isinstance(node, Literal):
+            self.edge(start, node.symbol, end)
+        elif isinstance(node, CharSet):
+            for symbol in sorted(node.symbols):
+                self.edge(start, symbol, end)
+        elif isinstance(node, Union):
+            for frag in children:
+                self.edge(start, None, frag.start)
+                self.edge(frag.end, None, end)
+        elif isinstance(node, Concat):
+            previous = start
+            for frag in children:
+                self.edge(previous, None, frag.start)
+                previous = frag.end
+            self.edge(previous, None, end)
+        elif isinstance(node, Star):
+            (body,) = children
+            self.edge(start, None, end)
+            self.edge(start, None, body.start)
+            self.edge(body.end, None, body.start)
+            self.edge(body.end, None, end)
+        elif isinstance(node, Capture):
+            (body,) = children
+            self.edge(start, open_op(node.var), body.start)
+            self.edge(body.end, close_op(node.var), end)
+        else:
+            raise TypeError(f"unknown node type {type(node).__name__}")
+        return _Fragment(start, end)
+
+
+def regex_to_va(formula: RegexFormula) -> VA:
+    """Compile a regex formula into an equivalent VA in linear time.
+
+    The equivalence is under the schemaless semantics:
+    ``⟦regex_to_va(α)⟧(d) = ⟦α⟧(d)`` for every document ``d``.
+    """
+    compiler = _Compiler()
+    fragment = compiler.compile(formula)
+    return VA(
+        fragment.start,
+        (fragment.end,),
+        compiler.transitions,
+        range(compiler._next_state),
+    )

@@ -1,0 +1,158 @@
+"""Variable-configuration analysis (paper §3.1).
+
+For a *trimmed sequential* VA and a variable ``x``, every state ``q`` falls
+into exactly one of four cases over the runs from ``q0`` to ``q``:
+
+* ``o`` — all runs open ``x`` without closing it;
+* ``c`` — all runs open and close ``x``;
+* ``u`` — no run opens ``x`` ("unseen"; the paper's ``w``/"wait" for
+  functional VAs);
+* ``d`` — "done": some runs closed ``x`` and some never opened it.
+
+The mixed cases {u,o} and {o,c} are impossible in a trimmed sequential VA
+(a state reachable both with ``x`` open and with ``x`` unseen/closed could
+be extended to an accepting run that is invalid); we raise
+:class:`~repro.core.errors.NotSequentialError` if we ever observe them,
+which doubles as a cheap sanity check for callers that forgot to trim.
+
+This is the machinery behind semi-functionalisation (Lemma 3.6) and all the
+join/difference compilations that build on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import NotSequentialError
+from ..core.mapping import Variable
+from .automaton import VA, State, VarOp
+from .operations import is_trim
+
+#: The four extended-configuration labels of §3.1.
+UNSEEN = "u"
+OPEN = "o"
+CLOSED = "c"
+DONE = "d"
+
+_LABEL_OF_SET = {
+    frozenset("u"): UNSEEN,
+    frozenset("o"): OPEN,
+    frozenset("c"): CLOSED,
+    frozenset("uc"): DONE,
+}
+
+
+def status_sets(va: VA, var: Variable) -> dict[State, frozenset[str]]:
+    """For each reachable state, the set of ``var`` statuses over all paths
+    from the initial state.
+
+    Statuses are ``u``/``o``/``c``; an error transition (double open,
+    close-before-open) raises :class:`NotSequentialError` immediately,
+    since on a trimmed automaton it would witness an invalid accepting
+    run.
+    """
+    statuses: dict[State, set[str]] = {va.initial: {UNSEEN}}
+    stack: list[tuple[State, str]] = [(va.initial, UNSEEN)]
+    while stack:
+        state, status = stack.pop()
+        for label, target in va.transitions_from(state):
+            if isinstance(label, VarOp) and label.var == var:
+                if label.is_open:
+                    if status != UNSEEN:
+                        raise NotSequentialError(
+                            f"variable {var!r} reopened on a path through {state!r}"
+                        )
+                    nxt = OPEN
+                else:
+                    if status != OPEN:
+                        raise NotSequentialError(
+                            f"variable {var!r} closed while not open at {state!r}"
+                        )
+                    nxt = CLOSED
+            else:
+                nxt = status
+            bucket = statuses.setdefault(target, set())
+            if nxt not in bucket:
+                bucket.add(nxt)
+                stack.append((target, nxt))
+    return {state: frozenset(bucket) for state, bucket in statuses.items()}
+
+
+def extended_configuration(va: VA, var: Variable) -> dict[State, str]:
+    """The extended variable-configuration function ``c̃_q(var)`` of §3.1
+    for every reachable state ``q``.
+
+    Requires a trimmed sequential VA (checked lazily: the impossible mixed
+    status sets raise :class:`NotSequentialError`).
+    """
+    out: dict[State, str] = {}
+    for state, statuses in status_sets(va, var).items():
+        label = _LABEL_OF_SET.get(statuses)
+        if label is None:
+            raise NotSequentialError(
+                f"state {state!r} has status set {sorted(statuses)} for variable "
+                f"{var!r}; the automaton is not a trimmed sequential VA"
+            )
+        out[state] = label
+    return out
+
+
+def configuration_table(
+    va: VA, variables: Iterable[Variable] | None = None
+) -> dict[State, dict[Variable, str]]:
+    """``c̃_q`` for every reachable state and every requested variable
+    (default: all of ``Vars(A)``)."""
+    if not is_trim(va):
+        raise NotSequentialError(
+            "configuration analysis requires a trimmed VA; call operations.trim first"
+        )
+    chosen = sorted(variables) if variables is not None else sorted(va.variables)
+    per_var = {var: extended_configuration(va, var) for var in chosen}
+    table: dict[State, dict[Variable, str]] = {}
+    for state in va.states:
+        table[state] = {
+            var: per_var[var].get(state, UNSEEN) for var in chosen
+        }
+    return table
+
+
+def is_semi_functional_for(va: VA, variables: Iterable[Variable]) -> bool:
+    """Whether ``c̃_q(x) ∈ {u, o, c}`` for every state ``q`` and every
+    ``x`` in ``variables`` (§3.1) — i.e. no state is ambiguous ("done")."""
+    for var in variables:
+        if var not in va.variables:
+            continue
+        for label in extended_configuration(va, var).values():
+            if label == DONE:
+                return False
+    return True
+
+
+def accepting_used_sets(va: VA, variables: Iterable[Variable]) -> dict[State, frozenset[Variable]]:
+    """For a VA that is semi-functional for ``variables``: the subset of
+    those variables used (status ``c``) at each accepting state.
+
+    This is well defined exactly because semi-functionality makes the
+    status at each state unambiguous; used by the skip-set decomposition
+    of Theorem 4.8 and the FPT join (Lemma 3.2).
+    """
+    chosen = sorted(set(variables) & va.variables)
+    per_var = {var: extended_configuration(va, var) for var in chosen}
+    out: dict[State, frozenset[Variable]] = {}
+    for state in va.accepting:
+        used: set[Variable] = set()
+        for var in chosen:
+            label = per_var[var].get(state, UNSEEN)
+            if label == DONE:
+                raise NotSequentialError(
+                    f"accepting state {state!r} is ambiguous for {var!r}; "
+                    "semi-functionalise first (repro.va.semi_functional)"
+                )
+            if label == CLOSED:
+                used.add(var)
+            elif label == OPEN:
+                raise NotSequentialError(
+                    f"accepting state {state!r} reachable with {var!r} still open"
+                )
+        out[state] = frozenset(used)
+    return out

@@ -1,0 +1,115 @@
+"""Polynomial-delay enumeration for sequential VAs (Theorem 2.5).
+
+The enumerator walks the layered :class:`~repro.va.matchgraph.MatchGraph`
+depth-first over per-position *operation-set* choices, maintaining the
+profile (set) of automaton states consistent with the choices so far.
+Because the graph is pruned to co-reachable nodes, **every** branch of the
+search completes to at least one output, so the delay between consecutive
+mappings is bounded by (number of layers) × (work per layer) — polynomial
+in the input, never in the output size.  Mappings correspond one-to-one to
+operation-set sequences, so the enumeration is duplicate-free by
+construction.
+
+The enumerator requires a *sequential* VA; on non-sequential input the
+operation-set encoding is ambiguous and the result would be wrong, so
+:class:`VASpanner` checks sequentiality once up front (a polynomial check,
+:func:`repro.va.properties.is_sequential`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.document import Document, as_document
+from ..core.errors import NotSequentialError
+from ..core.mapping import Mapping, Variable
+from ..core.relation import SpanRelation
+from ..core.spanner import Spanner
+from .automaton import VA, State
+from .matchgraph import FactorizedVA, MatchGraph, OpSet, mapping_from_opsets
+from .properties import is_sequential
+
+
+def enumerate_compiled(
+    factorized: FactorizedVA, document: Document | str
+) -> Iterator[Mapping]:
+    """Enumerate ``⟦A⟧(d)`` with polynomial delay from a pre-factorized VA.
+
+    Sharing the :class:`FactorizedVA` across documents amortises the
+    closure computation (useful in the RA-tree evaluator and the benches).
+    """
+    graph = MatchGraph(factorized, document)
+    if graph.is_empty:
+        return
+    n = len(graph.document)
+    initial_profile = frozenset((factorized.va.initial,))
+    # Explicit DFS stack: (layer, profile, opsets chosen so far).
+    stack: list[tuple[int, frozenset[State], list[OpSet]]] = [
+        (0, initial_profile, [])
+    ]
+    while stack:
+        layer, profile, chosen = stack.pop()
+        if layer == n:
+            for ops in sorted(graph.final_options(profile), key=_opset_key):
+                yield mapping_from_opsets(chosen + [ops])
+            continue
+        options = graph.successor_options(layer, profile)
+        # Reverse-sorted so the DFS pops options in canonical order.
+        for ops in sorted(options, key=_opset_key, reverse=True):
+            stack.append((layer + 1, options[ops], chosen + [ops]))
+
+
+def _opset_key(ops: OpSet) -> tuple:
+    return tuple(sorted((op.var, not op.is_open) for op in ops))
+
+
+def enumerate_mappings(va: VA, document: Document | str) -> Iterator[Mapping]:
+    """Enumerate ``⟦A⟧(d)`` for a sequential VA with polynomial delay.
+
+    Raises:
+        NotSequentialError: if the VA is not sequential.  (Nonemptiness for
+            arbitrary VAs is NP-hard [11]; use
+            :func:`repro.va.runs.enumerate_naive` for the exhaustive
+            baseline.)
+    """
+    if not is_sequential(va):
+        raise NotSequentialError(
+            "polynomial-delay enumeration requires a sequential VA"
+        )
+    return enumerate_compiled(FactorizedVA(va), document)
+
+
+def evaluate_va(va: VA, document: Document | str) -> SpanRelation:
+    """Materialise ``⟦A⟧(d)`` via the polynomial-delay enumerator."""
+    return SpanRelation(enumerate_mappings(va, document))
+
+
+def is_nonempty(va: VA, document: Document | str) -> bool:
+    """Decide ``⟦A⟧(d) ≠ ∅`` (first result only; polynomial time for
+    sequential VAs)."""
+    for _ in enumerate_mappings(va, document):
+        return True
+    return False
+
+
+class VASpanner(Spanner):
+    """A sequential VA exposed through the :class:`Spanner` interface.
+
+    Construction checks sequentiality once; enumeration then has
+    polynomial delay on every document (Theorem 2.5).
+    """
+
+    def __init__(self, va: VA, check: bool = True):
+        if check and not is_sequential(va):
+            raise NotSequentialError("VASpanner requires a sequential VA")
+        self.va = va
+        self._factorized = FactorizedVA(va)
+
+    def variables(self) -> frozenset[Variable]:
+        return self.va.variables
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        return enumerate_compiled(self._factorized, as_document(document))
+
+    def __repr__(self) -> str:
+        return f"VASpanner({self.va!r})"

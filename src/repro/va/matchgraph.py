@@ -1,0 +1,235 @@
+"""Factorized match graphs: the evaluation substrate (Thm. 2.5, [1, 13]).
+
+The evaluation algorithms in this library all run on the same structure:
+
+1. **Factorization** (document independent): for every state ``p`` compute
+   its *variable-ε-closure* — the pairs ``(S, q)`` such that ``q`` is
+   reachable from ``p`` using only ε-transitions and variable operations,
+   where ``S`` is the set of operations performed.  Because the input is
+   sequential, no valid run repeats an operation inside one closure, so
+   ``S`` is a set.  The closure induces *macro transitions*
+   ``p --(S, σ)--> r`` ("perform the operations of S, then read σ").
+
+2. **Match graph** (document dependent): a layered DAG with layers
+   ``0..|d|``; layer ``i`` holds the states the VA can be in after
+   consuming ``i`` letters (just *before* performing the position-``i+1``
+   operations).  Edges between consecutive layers are the macro
+   transitions on the document's next letter; at the last layer each state
+   carries its *accepting operation sets*.  Dead nodes (not co-reachable)
+   are pruned by a backward pass.
+
+A mapping of ``⟦A⟧(d)`` corresponds one-to-one to a sequence
+``S_0, …, S_n`` of per-position operation sets labelling a source-to-sink
+path — the micro-order of operations inside a position does not affect the
+mapping, and factorization collapses it.  This makes duplicate-free
+enumeration straightforward (see :mod:`repro.va.evaluation`).
+
+The same structure doubles as the paper's *match structure* ``M(A, d)``
+(proof of Theorem 4.8): the per-position operation sets are in one-to-one
+correspondence with the variable-configuration sequences used there.
+"""
+
+from __future__ import annotations
+
+from ..core.document import Document, as_document
+from ..core.errors import EvaluationError, NotSequentialError
+from ..core.mapping import Mapping, Variable
+from ..core.spans import Span
+from .automaton import VA, State, VarOp
+from .operations import trim
+
+#: A set of variable operations performed at one document position.
+OpSet = frozenset[VarOp]
+
+EMPTY_OPSET: OpSet = frozenset()
+
+
+class FactorizedVA:
+    """Document-independent factorization of a (sequential) VA.
+
+    Closures are computed lazily per state and cached, so repeated
+    evaluations over many documents share the work.
+    """
+
+    def __init__(self, va: VA):
+        self.va = trim(va)
+        self._closures: dict[State, tuple[tuple[OpSet, State], ...]] = {}
+
+    def closure(self, state: State) -> tuple[tuple[OpSet, State], ...]:
+        """All ``(S, q)`` with ``q`` reachable from ``state`` via ε and
+        variable operations, ``S`` being the operations performed."""
+        cached = self._closures.get(state)
+        if cached is not None:
+            return cached
+        seen: set[tuple[State, OpSet]] = {(state, EMPTY_OPSET)}
+        stack: list[tuple[State, OpSet]] = [(state, EMPTY_OPSET)]
+        while stack:
+            current, ops = stack.pop()
+            for label, target in self.va.transitions_from(current):
+                if isinstance(label, str):
+                    continue
+                if label is None:
+                    item = (target, ops)
+                else:
+                    if label in ops:
+                        # Re-performing an operation within one position can
+                        # never belong to a valid run; prune.
+                        continue
+                    item = (target, ops | {label})
+                if item not in seen:
+                    seen.add(item)
+                    stack.append(item)
+        result = tuple(sorted(((ops, q) for q, ops in seen), key=_closure_key))
+        self._closures[state] = result
+        return result
+
+    def macro_transitions(self, state: State) -> dict[str, list[tuple[OpSet, State]]]:
+        """Macro transitions ``state --(S, σ)--> r`` grouped by letter σ."""
+        out: dict[str, list[tuple[OpSet, State]]] = {}
+        for ops, mid in self.closure(state):
+            for label, target in self.va.transitions_from(mid):
+                if isinstance(label, str):
+                    out.setdefault(label, []).append((ops, target))
+        return out
+
+    def accepting_opsets(self, state: State) -> frozenset[OpSet]:
+        """Operation sets ``S`` such that performing S from ``state``
+        reaches an accepting state (no more letters read)."""
+        return frozenset(
+            ops for ops, q in self.closure(state) if self.va.is_accepting(q)
+        )
+
+
+def _closure_key(item: tuple[OpSet, State]) -> tuple:
+    ops, state = item
+    return (sorted(map(str, ops)), repr(state))
+
+
+class MatchGraph:
+    """The layered match graph of a VA on one document.
+
+    Attributes:
+        layers: for each layer ``i`` (0-based; ``i`` letters consumed), the
+            set of live states.
+        edges: ``edges[i][q]`` maps each live state of layer ``i`` to its
+            grouped successors ``{S: frozenset of live targets}`` reading
+            letter ``i+1``.
+        final_opsets: ``final_opsets[q]`` for live states of the last
+            layer: the accepting operation sets.
+    """
+
+    def __init__(self, factorized: FactorizedVA, document: Document | str):
+        self.factorized = factorized
+        self.document = as_document(document)
+        self._build()
+
+    def _build(self) -> None:
+        doc, fva = self.document, self.factorized
+        n = len(doc)
+        va = fva.va
+        # Forward pass: reachable states per layer.
+        forward: list[set[State]] = [set() for _ in range(n + 1)]
+        forward[0].add(va.initial)
+        raw_edges: list[dict[State, dict[OpSet, set[State]]]] = [
+            {} for _ in range(n)
+        ]
+        for i in range(n):
+            letter = doc.letter(i + 1)
+            for state in forward[i]:
+                grouped: dict[OpSet, set[State]] = {}
+                for ops, target in fva.macro_transitions(state).get(letter, ()):
+                    grouped.setdefault(ops, set()).add(target)
+                    forward[i + 1].add(target)
+                if grouped:
+                    raw_edges[i][state] = grouped
+        # Final acceptance.
+        final: dict[State, frozenset[OpSet]] = {}
+        for state in forward[n]:
+            opsets = fva.accepting_opsets(state)
+            if opsets:
+                final[state] = opsets
+        # Backward pruning: keep states with a path to acceptance.
+        alive: list[set[State]] = [set() for _ in range(n + 1)]
+        alive[n] = set(final)
+        for i in range(n - 1, -1, -1):
+            for state, grouped in raw_edges[i].items():
+                if any(t in alive[i + 1] for targets in grouped.values() for t in targets):
+                    alive[i].add(state)
+        self.layers: list[frozenset[State]] = [frozenset(a) for a in alive]
+        self.final_opsets: dict[State, frozenset[OpSet]] = final
+        # Prune edges to live targets only.
+        self.edges: list[dict[State, dict[OpSet, frozenset[State]]]] = []
+        for i in range(n):
+            pruned: dict[State, dict[OpSet, frozenset[State]]] = {}
+            for state in alive[i]:
+                grouped = raw_edges[i].get(state, {})
+                kept: dict[OpSet, frozenset[State]] = {}
+                for ops, targets in grouped.items():
+                    live_targets = frozenset(t for t in targets if t in alive[i + 1])
+                    if live_targets:
+                        kept[ops] = live_targets
+                if kept:
+                    pruned[state] = kept
+            self.edges.append(pruned)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether ``⟦A⟧(d) = ∅`` — no live source state."""
+        return self.factorized.va.initial not in self.layers[0]
+
+    def width(self) -> int:
+        """Maximum number of live states in any layer (complexity gauge)."""
+        return max((len(layer) for layer in self.layers), default=0)
+
+    def successor_options(
+        self, layer: int, profile: frozenset[State]
+    ) -> dict[OpSet, frozenset[State]]:
+        """From a set of live layer-``layer`` states, the distinct next
+        operation sets and the resulting state profiles."""
+        options: dict[OpSet, set[State]] = {}
+        level = self.edges[layer]
+        for state in profile:
+            for ops, targets in level.get(state, {}).items():
+                options.setdefault(ops, set()).update(targets)
+        return {ops: frozenset(targets) for ops, targets in options.items()}
+
+    def final_options(self, profile: frozenset[State]) -> frozenset[OpSet]:
+        """Accepting operation sets available from a last-layer profile."""
+        out: set[OpSet] = set()
+        for state in profile:
+            out |= self.final_opsets.get(state, frozenset())
+        return frozenset(out)
+
+
+def mapping_from_opsets(opsets: list[OpSet]) -> Mapping:
+    """Assemble the mapping encoded by per-position operation sets.
+
+    ``opsets[i]`` holds the operations performed at document position
+    ``i+1``.  Raises :class:`NotSequentialError` if a variable is operated
+    twice or closed before opening — which cannot happen for sequential
+    input and signals a caller error.
+    """
+    opened: dict[Variable, int] = {}
+    spans: dict[Variable, Span] = {}
+    for index, ops in enumerate(opsets):
+        position = index + 1
+        # Opens must be registered before closes within the same position
+        # (for empty spans [p, p>).
+        for op in ops:
+            if op.is_open:
+                if op.var in opened or op.var in spans:
+                    raise NotSequentialError(f"variable {op.var!r} opened twice")
+                opened[op.var] = position
+        for op in ops:
+            if not op.is_open:
+                begin = opened.pop(op.var, None)
+                if begin is None:
+                    raise NotSequentialError(
+                        f"variable {op.var!r} closed while not open"
+                    )
+                spans[op.var] = Span(begin, position)
+    if opened:
+        raise EvaluationError(
+            f"variables left open at end of document: {sorted(opened)}"
+        )
+    return Mapping(spans)

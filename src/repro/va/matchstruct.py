@@ -1,0 +1,197 @@
+"""Match structures and their determinisation (proof of Theorem 4.8).
+
+The paper's *match structure* ``M(A, d)`` is an NFA over variable
+configurations whose language is in one-to-one correspondence with
+``⟦A⟧(d)``.  Our :class:`~repro.va.matchgraph.MatchGraph` is an equivalent
+presentation over per-position *operation sets* (the configuration after
+position ``i`` is the union of the operation sets up to ``i``); this module
+adds the piece specific to Theorem 4.8: the **layered determinisation**
+``D2`` of the match structure of a VA that is synchronized for its
+variables.
+
+For a synchronized (hence, after trimming and dropping never-used
+variables, functional) VA the operations occur in a single global order
+``ω1 … ω2k`` along every accepting run, so the determinisation stays small:
+a subset state is characterised by (layer, first layer at which the current
+configuration was entered, configuration index), giving ``O(|d|² · k)``
+states (the paper's bound).  :class:`DeterminizedMatchStructure` performs a
+plain layered subset construction — correct for *any* sequential VA — and
+exposes the realised subset width so tests and the E8 bench can confirm
+the synchronized case stays polynomial.
+"""
+
+from __future__ import annotations
+
+from ..core.document import Document, as_document
+from ..core.errors import NotSynchronizedError
+from ..core.mapping import Variable
+from .automaton import VA, State, VarOp
+from .matchgraph import FactorizedVA, MatchGraph, OpSet
+from .properties import accepting_statuses, is_synchronized_for
+from .operations import project_va, trim
+
+#: A determinised node: a frozenset of match-graph states in one layer.
+Subset = frozenset[State]
+
+
+def operation_order(va: VA) -> tuple[VarOp, ...]:
+    """The single global order ``ω1 … ω2k`` in which a VA synchronized for
+    all its variables performs its operations (Appendix B.5).
+
+    Computed by topologically ordering operations by reachability between
+    their unique target states.  Raises :class:`NotSynchronizedError` if no
+    single order exists.
+    """
+    ops = sorted(va.iter_var_ops(), key=str)
+    if not ops:
+        return ()
+    if not is_synchronized_for(va, {op.var for op in ops}):
+        raise NotSynchronizedError("operation_order requires a synchronized VA")
+    # Order by reachability over the automaton graph between occurrences.
+    reach = _reachability(va)
+    order: list[VarOp] = []
+    remaining = set(ops)
+    sources = {op: {src for src, label, _ in va.transitions if label == op} for op in ops}
+    targets = {op: {dst for _, label, dst in va.transitions if label == op} for op in ops}
+    while remaining:
+        # An op is "first" if no other remaining op must precede it: op2
+        # precedes op1 when op1's sources are reachable from op2's targets
+        # but not vice versa.
+        for candidate in sorted(remaining, key=str):
+            if all(
+                not _must_precede(other, candidate, sources, targets, reach)
+                for other in remaining
+                if other != candidate
+            ):
+                order.append(candidate)
+                remaining.discard(candidate)
+                break
+        else:
+            raise NotSynchronizedError(
+                "no global operation order exists; the VA is not synchronized"
+            )
+    return tuple(order)
+
+
+def _reachability(va: VA) -> dict[State, frozenset[State]]:
+    out: dict[State, frozenset[State]] = {}
+    for start in va.states:
+        seen = {start}
+        stack = [start]
+        while stack:
+            state = stack.pop()
+            for _, target in va.transitions_from(state):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        out[start] = frozenset(seen)
+    return out
+
+
+def _must_precede(first: VarOp, second: VarOp, sources, targets, reach) -> bool:
+    """Whether ``first`` must occur before ``second`` on every accepting
+    run: some source of ``second`` is reachable from a target of ``first``
+    and no source of ``first`` is reachable from a target of ``second``."""
+    forward = any(
+        src in reach[dst] for dst in targets[first] for src in sources[second]
+    )
+    backward = any(
+        src in reach[dst] for dst in targets[second] for src in sources[first]
+    )
+    return forward and not backward
+
+
+class DeterminizedMatchStructure:
+    """``D2``: the layered determinisation of a match structure.
+
+    Built from a VA (projected onto the variables of interest) and a
+    document.  States of layer ``i`` are subsets of the match graph's
+    layer-``i`` states; transitions are deterministic per operation set.
+
+    The construction is correct for any sequential VA; it is guaranteed
+    polynomial when the VA is synchronized for its variables (Theorem
+    4.8).  :meth:`subset_width` reports the realised width for the E8
+    ablation.
+    """
+
+    def __init__(self, va: VA, document: Document | str, variables: frozenset[Variable] | None = None):
+        doc = as_document(document)
+        scoped = trim(project_va(va, variables)) if variables is not None else trim(va)
+        self.va = scoped
+        self.document = doc
+        self.graph = MatchGraph(FactorizedVA(scoped), doc)
+        self._build()
+
+    def _build(self) -> None:
+        n = len(self.document)
+        graph = self.graph
+        if graph.is_empty:
+            self.layers: list[dict[Subset, dict[OpSet, Subset]]] = [
+                {} for _ in range(max(n, 0) + 1)
+            ]
+            self.initial: Subset = frozenset()
+            self.accepting: dict[Subset, frozenset[OpSet]] = {}
+            return
+        initial: Subset = frozenset((self.va.initial,))
+        layers: list[dict[Subset, dict[OpSet, Subset]]] = [{} for _ in range(n + 1)]
+        frontier: set[Subset] = {initial}
+        for i in range(n):
+            next_frontier: set[Subset] = set()
+            for subset in frontier:
+                options = graph.successor_options(i, subset)
+                layers[i][subset] = options
+                next_frontier.update(options.values())
+            frontier = next_frontier
+        accepting: dict[Subset, frozenset[OpSet]] = {}
+        for subset in frontier:
+            layers[n][subset] = {}
+            finals = graph.final_options(subset)
+            if finals:
+                accepting[subset] = finals
+        self.layers = layers
+        self.initial = initial
+        self.accepting = accepting
+
+    def subset_width(self) -> int:
+        """The largest subset ever materialised — polynomial for
+        synchronized input, the quantity the E8 ablation plots."""
+        width = 0
+        for layer in self.layers:
+            for subset in layer:
+                width = max(width, len(subset))
+        return width
+
+    def n_subset_states(self) -> int:
+        """Total number of determinised states across layers."""
+        return sum(len(layer) for layer in self.layers)
+
+    def accepts(self, opsets: list[OpSet]) -> bool:
+        """Whether the fully-specified operation-set sequence is accepted
+        (i.e. encodes a mapping of ``⟦A⟧(d)``)."""
+        n = len(self.document)
+        if len(opsets) != n + 1:
+            raise ValueError(f"expected {n + 1} operation sets, got {len(opsets)}")
+        subset = self.initial
+        for i in range(n):
+            options = self.layers[i].get(subset, {})
+            nxt = options.get(opsets[i])
+            if nxt is None:
+                return False
+            subset = nxt
+        return opsets[n] in self.accepting.get(subset, frozenset())
+
+
+def never_used_variables(va: VA, variables: frozenset[Variable]) -> frozenset[Variable]:
+    """Variables of ``variables`` that no accepting run of ``va`` operates
+    on (their extraction is always undefined).  For a synchronized VA every
+    variable is either always used or never used; the never-used ones are
+    dropped before building ``D2`` (Appendix B.5's WLOG step)."""
+    out: set[Variable] = set()
+    for var in variables:
+        if var not in va.variables:
+            out.add(var)
+            continue
+        statuses = accepting_statuses(va, var)
+        if statuses <= {"u"}:
+            out.add(var)
+    return frozenset(out)

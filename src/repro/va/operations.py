@@ -1,0 +1,244 @@
+"""Structural operations on vset-automata.
+
+Trimming, disjoint unions, projection, renaming, and the construction of
+ad-hoc "mapping path" automata used by the document-dependent difference
+compilation (Lemma 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping as TMapping
+
+from ..core.document import Document, as_document
+from ..core.errors import SpannerError
+from ..core.mapping import Mapping, Variable
+from ..core.spans import Span
+from .automaton import VA, Label, State, VarOp, close_op, open_op
+
+
+def reachable_states(va: VA) -> frozenset[State]:
+    """States reachable from the initial state."""
+    seen: set[State] = {va.initial}
+    stack = [va.initial]
+    while stack:
+        state = stack.pop()
+        for _, target in va.transitions_from(state):
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return frozenset(seen)
+
+
+def coreachable_states(va: VA) -> frozenset[State]:
+    """States from which some accepting state is reachable."""
+    incoming: dict[State, list[State]] = {}
+    for src, _, dst in va.transitions:
+        incoming.setdefault(dst, []).append(src)
+    seen: set[State] = set(va.accepting)
+    stack = list(va.accepting)
+    while stack:
+        state = stack.pop()
+        for src in incoming.get(state, ()):
+            if src not in seen:
+                seen.add(src)
+                stack.append(src)
+    return frozenset(seen)
+
+
+def trim(va: VA) -> VA:
+    """Remove states that are unreachable or cannot reach acceptance.
+
+    Every upper-bound construction in the paper assumes trimmed automata
+    (all runs are prefixes of accepting runs).  If the initial state itself
+    is dead the result is a one-state automaton accepting nothing.
+    """
+    alive = reachable_states(va) & coreachable_states(va)
+    if va.initial not in alive:
+        return VA(va.initial, (), (), (va.initial,))
+    return VA(
+        va.initial,
+        (s for s in va.accepting if s in alive),
+        (
+            (p, label, q)
+            for p, label, q in va.transitions
+            if p in alive and q in alive
+        ),
+        alive,
+    )
+
+
+def is_trim(va: VA) -> bool:
+    """Whether every state is both reachable and co-reachable."""
+    return reachable_states(va) & coreachable_states(va) == va.states
+
+
+def disjoint_union_states(first: VA, second: VA) -> tuple[VA, VA]:
+    """Rename states so the two automata share none (tags 0/1)."""
+    return (
+        first.map_states(lambda s: (0, s)),
+        second.map_states(lambda s: (1, s)),
+    )
+
+
+def union_va(first: VA, second: VA) -> VA:
+    """``A1 ∪ A2`` by a fresh initial state with ε-edges to both initials.
+
+    Preserves sequentiality; the standard positive-operator compilation
+    from Freydenberger et al. [13].
+    """
+    left, right = disjoint_union_states(first, second)
+    initial: State = ("u", 0)
+    transitions = list(left.transitions) + list(right.transitions)
+    transitions.append((initial, None, left.initial))
+    transitions.append((initial, None, right.initial))
+    return VA(
+        initial,
+        set(left.accepting) | set(right.accepting),
+        transitions,
+        set(left.states) | set(right.states) | {initial},
+    )
+
+
+def union_all(automata: Iterable[VA]) -> VA:
+    """N-ary disjoint union with one fresh initial state."""
+    tagged = [va.map_states(lambda s, i=i: (i, s)) for i, va in enumerate(automata)]
+    initial: State = ("u", "all")
+    transitions: list[tuple[State, Label, State]] = []
+    accepting: set[State] = set()
+    states: set[State] = {initial}
+    for va in tagged:
+        transitions.extend(va.transitions)
+        transitions.append((initial, None, va.initial))
+        accepting |= va.accepting
+        states |= va.states
+    return VA(initial, accepting, transitions, states)
+
+
+def project_va(va: VA, keep: Iterable[Variable]) -> VA:
+    """``π_Y(A)``: replace operations on dropped variables by ε.
+
+    This is the schemaless projection of §2.4: each output mapping is
+    restricted to ``Y``.  Preserves sequentiality (dropping operations can
+    only make runs "more valid").
+    """
+    keep_set = frozenset(keep)
+
+    def relabel(label: Label) -> Label:
+        if isinstance(label, VarOp) and label.var not in keep_set:
+            return None
+        return label
+
+    return va.map_labels(relabel)
+
+
+def rename_variables(va: VA, renaming: TMapping[Variable, Variable]) -> VA:
+    """Rename variables on all transitions (absent keys are kept)."""
+    new_names = [renaming.get(v, v) for v in va.variables]
+    if len(set(new_names)) != len(new_names):
+        raise SpannerError(f"variable renaming {renaming} collapses variables")
+
+    def relabel(label: Label) -> Label:
+        if isinstance(label, VarOp):
+            return VarOp(renaming.get(label.var, label.var), label.is_open)
+        return label
+
+    return va.map_labels(relabel)
+
+
+def empty_va() -> VA:
+    """A VA recognising the empty spanner (no mapping on any document)."""
+    return VA(0, (), (), (0,))
+
+
+def universal_empty_mapping_va(alphabet: Iterable[str]) -> VA:
+    """A VA producing the empty mapping on every document over ``alphabet``
+    (the Boolean spanner ``Σ*``)."""
+    transitions: list[tuple[State, Label, State]] = [
+        (0, letter, 0) for letter in alphabet
+    ]
+    return VA(0, (0,), transitions)
+
+
+def ops_at_positions(mapping: Mapping, doc_length: int) -> list[list[VarOp]]:
+    """The canonical operation schedule of a mapping.
+
+    Returns a list of ``doc_length + 1`` buckets; bucket ``i`` (0-based)
+    holds the operations performed at document position ``i+1``, ordered
+    canonically: closes of earlier-opened spans first, then the open/close
+    pairs of empty spans, then opens of spans that extend further.  Every
+    open precedes its close, so replaying the schedule is a valid run.
+    """
+    buckets: list[list[VarOp]] = [[] for _ in range(doc_length + 1)]
+    closes: list[list[VarOp]] = [[] for _ in range(doc_length + 1)]
+    empties: list[list[VarOp]] = [[] for _ in range(doc_length + 1)]
+    opens: list[list[VarOp]] = [[] for _ in range(doc_length + 1)]
+    for var, span in mapping.items():
+        if span.end > doc_length + 1:
+            raise SpannerError(
+                f"mapping {mapping} does not fit a document of length {doc_length}"
+            )
+        if span.is_empty:
+            empties[span.begin - 1].append(open_op(var))
+            empties[span.begin - 1].append(close_op(var))
+        else:
+            opens[span.begin - 1].append(open_op(var))
+            closes[span.end - 1].append(close_op(var))
+    for i in range(doc_length + 1):
+        buckets[i] = (
+            sorted(closes[i])
+            + empties[i]  # open immediately followed by close, pairwise
+            + sorted(opens[i])
+        )
+    return buckets
+
+
+def mapping_path_va(mapping: Mapping, document: Document | str) -> VA:
+    """An ad-hoc VA accepting exactly ``document`` with exactly ``mapping``.
+
+    The backbone of the document-dependent compilations (Lemma 4.2): a
+    straight-line automaton that reads the document letter by letter and
+    performs the mapping's variable operations at the right positions.
+    """
+    doc = as_document(document)
+    n = len(doc)
+    buckets = ops_at_positions(mapping, n)
+    transitions: list[tuple[State, Label, State]] = []
+    state = 0
+    for i in range(n + 1):
+        for op in buckets[i]:
+            transitions.append((state, op, state + 1))
+            state += 1
+        if i < n:
+            transitions.append((state, doc.letter(i + 1), state + 1))
+            state += 1
+    return VA(0, (state,), transitions, range(state + 1))
+
+
+def relation_va(mappings: Iterable[Mapping], document: Document | str) -> VA:
+    """An ad-hoc VA whose output on ``document`` is exactly the given set
+    of mappings (disjoint union of mapping paths)."""
+    paths = [mapping_path_va(m, document) for m in mappings]
+    if not paths:
+        return empty_va()
+    if len(paths) == 1:
+        return paths[0]
+    return union_all(paths)
+
+
+def single_span_va(var: Variable, alphabet: Iterable[str]) -> VA:
+    """The spanner ``Σ* x{Σ*} Σ*`` — every span of the document (utility)."""
+    letters = list(alphabet)
+    transitions: list[tuple[State, Label, State]] = []
+    for letter in letters:
+        transitions.append((0, letter, 0))
+        transitions.append((1, letter, 1))
+        transitions.append((2, letter, 2))
+    transitions.append((0, open_op(var), 1))
+    transitions.append((1, close_op(var), 2))
+    return VA(0, (2,), transitions)
+
+
+def shift_mapping(mapping: Mapping, offset: int) -> Mapping:
+    """Translate every span of a mapping by ``offset`` (utility for
+    workload generators)."""
+    return Mapping({v: Span(s.begin + offset, s.end + offset) for v, s in mapping.items()})

@@ -1,0 +1,114 @@
+"""Polynomial-time property checks for vset-automata (paper §2.3, §4.2).
+
+All checks are reachability analyses on the product of the automaton with a
+small per-variable monitor tracking that variable's status:
+
+* ``u`` — unseen, ``o`` — currently open, ``c`` — closed, ``E`` — error
+  (opened twice, closed while not open, …).
+
+A VA is *sequential* when no accepting run misbehaves on any variable
+(reaches ``E`` or accepts while ``o``); *functional* when additionally every
+accepting run uses every mentioned variable; *synchronized for X* (§4.2)
+when each operation on a variable of X has a unique target state and the
+accepting runs either all use the variable or none does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.mapping import Variable
+from .automaton import VA, State, VarOp
+
+_ERROR = "E"
+
+
+def _monitor_step(status: str, label: object, var: Variable) -> str:
+    """Advance the per-variable monitor over one transition label."""
+    if not isinstance(label, VarOp) or label.var != var:
+        return status
+    if label.is_open:
+        return "o" if status == "u" else _ERROR
+    return "c" if status == "o" else _ERROR
+
+
+def _reachable_statuses(va: VA, var: Variable) -> dict[State, set[str]]:
+    """For each state, the monitor statuses of ``var`` over all paths from
+    the initial state (including error paths)."""
+    statuses: dict[State, set[str]] = {va.initial: {"u"}}
+    stack: list[tuple[State, str]] = [(va.initial, "u")]
+    while stack:
+        state, status = stack.pop()
+        for label, target in va.transitions_from(state):
+            nxt = _monitor_step(status, label, var)
+            bucket = statuses.setdefault(target, set())
+            if nxt not in bucket:
+                bucket.add(nxt)
+                stack.append((target, nxt))
+    return statuses
+
+
+def accepting_statuses(va: VA, var: Variable) -> set[str]:
+    """Monitor statuses of ``var`` observable at accepting states."""
+    statuses = _reachable_statuses(va, var)
+    out: set[str] = set()
+    for state in va.accepting:
+        out |= statuses.get(state, set())
+    return out
+
+
+def is_sequential(va: VA) -> bool:
+    """Whether all accepting runs are valid (§2.3).
+
+    Checked per variable: no accepting run reaches the error status or
+    accepts with the variable still open.  Letters are irrelevant to
+    validity, so plain graph reachability suffices (quantifying over all
+    documents at once).
+    """
+    for var in va.variables:
+        bad = accepting_statuses(va, var) & {"o", _ERROR}
+        if bad:
+            return False
+    return True
+
+
+def is_functional(va: VA) -> bool:
+    """Whether the VA is functional: sequential, and every accepting run
+    opens and closes every variable of ``Vars(A)``."""
+    for var in va.variables:
+        if accepting_statuses(va, var) != {"c"}:
+            return False
+    return True
+
+
+def unique_target_state(va: VA, op: VarOp) -> State | None:
+    """The unique target state of operation ``op``, or ``None`` if there
+    are several (or the operation never occurs)."""
+    targets = {dst for _, label, dst in va.transitions if label == op}
+    if len(targets) == 1:
+        return next(iter(targets))
+    return None
+
+
+def is_synchronized_for(va: VA, variables: Iterable[Variable]) -> bool:
+    """Whether the VA is synchronized for ``X`` (§4.2): each ``x⊢``/``⊣x``
+    with ``x ∈ X`` has a unique target state, and either all accepting runs
+    operate on ``x`` or none does."""
+    for var in variables:
+        if var not in va.variables:
+            continue  # never mentioned: trivially "no accepting run operates"
+        for op in (VarOp(var, True), VarOp(var, False)):
+            occurs = any(label == op for _, label, _ in va.transitions)
+            if occurs and unique_target_state(va, op) is None:
+                return False
+        acc = accepting_statuses(va, var)
+        if acc & {"o", _ERROR}:
+            return False  # not even sequential for var
+        if not (acc <= {"c"} or acc <= {"u"}):
+            return False  # some accepting runs use var, others do not
+    return True
+
+
+def is_synchronized(va: VA) -> bool:
+    """Synchronized for all of its own variables."""
+    return is_synchronized_for(va, va.variables)

@@ -1,0 +1,135 @@
+"""Run semantics and the naive baseline evaluator (paper §2.3).
+
+A *run* of a VA over a document ``d = σ1…σn`` is a path from the initial
+state that consumes exactly the letters of the document; variable
+operations do not advance the position.  A run is *valid* when every
+variable is opened at most once, closed at most once, and closed only after
+being opened; it is *accepting* when it ends in an accepting state at
+position ``n+1``.  ``⟦A⟧(d)`` collects the mapping ``µ_ρ`` of every valid
+accepting run ρ.
+
+:func:`enumerate_naive` explores the configuration graph exhaustively.  It
+is the **baseline** the paper's hardness results are measured against
+(exponential in general) and a correctness oracle for the optimised
+evaluator of :mod:`repro.va.evaluation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.document import Document, as_document
+from ..core.mapping import Mapping, Variable
+from ..core.relation import SpanRelation
+from ..core.spans import Span
+from .automaton import VA, State, VarOp
+
+#: A configuration of the naive search: automaton state, document position
+#: (1-based; n+1 = everything consumed), currently-open variables with
+#: their opening positions, and already-closed spans.
+_Config = tuple[State, int, frozenset[tuple[Variable, int]], frozenset[tuple[Variable, Span]]]
+
+
+def enumerate_naive(va: VA, document: Document | str) -> Iterator[Mapping]:
+    """Yield ``⟦A⟧(d)`` by exhaustive configuration-graph search.
+
+    Correct for *arbitrary* VAs (validity is enforced per configuration,
+    invalid prefixes are pruned), with no delay or total-time guarantee —
+    worst-case exponential, as Theorem 3.1/4.1 imply is unavoidable in
+    general.
+    """
+    doc = as_document(document)
+    n = len(doc)
+    start: _Config = (va.initial, 1, frozenset(), frozenset())
+    seen_configs: set[_Config] = {start}
+    emitted: set[Mapping] = set()
+    stack: list[_Config] = [start]
+    while stack:
+        state, pos, open_vars, closed = stack.pop()
+        if pos == n + 1 and not open_vars and va.is_accepting(state):
+            mapping = Mapping(dict(closed))
+            if mapping not in emitted:
+                emitted.add(mapping)
+                yield mapping
+            # accepting configurations may still have outgoing transitions
+        open_dict = dict(open_vars)
+        closed_vars = {var for var, _ in closed}
+        for label, target in va.transitions_from(state):
+            successor: _Config | None = None
+            if label is None:
+                successor = (target, pos, open_vars, closed)
+            elif isinstance(label, str):
+                if pos <= n and doc.letter(pos) == label:
+                    successor = (target, pos + 1, open_vars, closed)
+            elif isinstance(label, VarOp):
+                if label.is_open:
+                    if label.var not in open_dict and label.var not in closed_vars:
+                        successor = (
+                            target,
+                            pos,
+                            open_vars | {(label.var, pos)},
+                            closed,
+                        )
+                else:
+                    begin = open_dict.get(label.var)
+                    if begin is not None:
+                        successor = (
+                            target,
+                            pos,
+                            frozenset(p for p in open_vars if p[0] != label.var),
+                            closed | {(label.var, Span(begin, pos))},
+                        )
+            if successor is not None and successor not in seen_configs:
+                seen_configs.add(successor)
+                stack.append(successor)
+
+
+def evaluate_naive(va: VA, document: Document | str) -> SpanRelation:
+    """Materialised form of :func:`enumerate_naive`."""
+    return SpanRelation(enumerate_naive(va, document))
+
+
+def accepts_boolean(va: VA, document: Document | str) -> bool:
+    """Whether the VA has *any* valid accepting run on the document
+    (i.e. ``⟦A⟧(d) ≠ ∅``), via the naive search."""
+    for _ in enumerate_naive(va, document):
+        return True
+    return False
+
+
+def count_runs_explored(va: VA, document: Document | str) -> int:
+    """Number of distinct configurations the naive search visits — the
+    cost measure reported by the hardness benchmarks (E2/E6)."""
+    doc = as_document(document)
+    n = len(doc)
+    start: _Config = (va.initial, 1, frozenset(), frozenset())
+    seen: set[_Config] = {start}
+    stack = [start]
+    while stack:
+        state, pos, open_vars, closed = stack.pop()
+        open_dict = dict(open_vars)
+        closed_vars = {var for var, _ in closed}
+        for label, target in va.transitions_from(state):
+            successor: _Config | None = None
+            if label is None:
+                successor = (target, pos, open_vars, closed)
+            elif isinstance(label, str):
+                if pos <= n and doc.letter(pos) == label:
+                    successor = (target, pos + 1, open_vars, closed)
+            elif isinstance(label, VarOp):
+                if label.is_open:
+                    if label.var not in open_dict and label.var not in closed_vars:
+                        successor = (target, pos, open_vars | {(label.var, pos)}, closed)
+                else:
+                    begin = open_dict.get(label.var)
+                    if begin is not None:
+                        successor = (
+                            target,
+                            pos,
+                            frozenset(p for p in open_vars if p[0] != label.var),
+                            closed | {(label.var, Span(begin, pos))},
+                        )
+            if successor is not None and successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return len(seen)

@@ -1,0 +1,100 @@
+"""Semi-functionalisation of sequential VAs (Lemma 3.6 / Lemma A.1).
+
+A sequential VA is *semi-functional for x* when no state is ambiguous about
+``x`` — i.e. ``c̃_q(x) ∈ {u, o, c}`` for every ``q``, never ``d`` ("done").
+The transformation splits every ambiguous state ``q`` into two copies
+``(q, 'u')`` and ``(q, 'c')`` and re-wires transitions so that each copy is
+reached only by runs with the corresponding status (Example 3.5/3.7 of the
+paper).  Iterating over a variable set ``X`` costs ``O(2^|X| · (n + m))``
+in the worst case — FPT in ``|X|``, as Lemma 3.6 states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import NotSequentialError
+from ..core.mapping import Variable
+from .automaton import VA, Label, State, VarOp
+from .configurations import CLOSED, DONE, OPEN, UNSEEN, status_sets
+from .operations import trim
+
+
+def _definite_statuses(
+    va: VA, var: Variable
+) -> tuple[dict[State, frozenset[str]], set[State]]:
+    """Status sets per state plus the set of ambiguous ("done") states."""
+    sets = status_sets(va, var)
+    ambiguous: set[State] = set()
+    for state, statuses in sets.items():
+        if statuses == frozenset((UNSEEN, CLOSED)):
+            ambiguous.add(state)
+        elif len(statuses) != 1:
+            raise NotSequentialError(
+                f"state {state!r} has status set {sorted(statuses)} for "
+                f"{var!r}; input must be a trimmed sequential VA"
+            )
+    return sets, ambiguous
+
+
+def split_for_variable(va: VA, var: Variable) -> VA:
+    """One round of Lemma A.1: make a trimmed sequential VA semi-functional
+    for ``var`` while preserving ⟦·⟧ and semi-functionality for any other
+    variable it already had."""
+    sets, ambiguous = _definite_statuses(va, var)
+    if not ambiguous:
+        return va
+
+    def copies(state: State) -> tuple[tuple[State, str], ...]:
+        """The (new-state, status) copies of an old state."""
+        if state in ambiguous:
+            return (((state, UNSEEN), UNSEEN), ((state, CLOSED), CLOSED))
+        status = next(iter(sets.get(state, frozenset((UNSEEN,)))))
+        return ((state, status),)
+
+    transitions: list[tuple[State, Label, State]] = []
+    for src, label, dst in va.transitions:
+        for src_copy, src_status in copies(src):
+            dst_status = _advance(src_status, label, var)
+            if dst_status is None:
+                continue  # this copy cannot take the transition
+            for dst_copy, status in copies(dst):
+                if status == dst_status:
+                    transitions.append((src_copy, label, dst_copy))
+                    break
+            else:
+                # The arriving status does not match any copy of dst —
+                # possible only when dst is unreachable with that status,
+                # i.e. the transition is dead for this copy.
+                continue
+
+    initial_copies = copies(va.initial)
+    # The initial state is reached with status 'u' by the empty path.
+    initial = next(copy for copy, status in initial_copies if status == UNSEEN)
+    accepting = [copy for state in va.accepting for copy, _ in copies(state)]
+    new_states = [copy for state in va.states for copy, _ in copies(state)]
+    return trim(VA(initial, accepting, transitions, new_states))
+
+
+def _advance(status: str, label: Label, var: Variable) -> str | None:
+    """Status after taking a transition, or ``None`` when impossible."""
+    if not isinstance(label, VarOp) or label.var != var:
+        return status
+    if label.is_open:
+        return OPEN if status == UNSEEN else None
+    return CLOSED if status == OPEN else None
+
+
+def make_semi_functional(va: VA, variables: Iterable[Variable]) -> VA:
+    """Lemma 3.6: an equivalent sequential VA semi-functional for every
+    variable in ``variables``.
+
+    The input is trimmed first; the output is trimmed.  Worst-case size is
+    ``2^|variables|`` times the input (each round at most doubles the
+    states), which is the paper's FPT bound.
+    """
+    result = trim(va)
+    for var in sorted(set(variables) & va.variables):
+        result = split_for_variable(result, var)
+    # Nested-tuple state names grow with each round; flatten for hygiene.
+    return result.relabelled()

@@ -1,0 +1,202 @@
+"""Parametrised workload generators for the experiment suite.
+
+* random documents and random sequential regex formulas / VAs — the
+  stand-in for the paper's large machine-built extractors (§1's
+  ANN-extracted automata with tens of thousands of states);
+* the Proposition-3.11 family (exponential sequential → disjunctive
+  functional blow-up);
+* the Example-3.10 sequential VA family, built directly as an automaton;
+* the NFA family with exponentially large complement DFAs, witnessing why
+  static difference compilation is hopeless (E11, [17]);
+* synchronized subtrahend families for the Theorem-4.8 experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.document import Document
+from ..regex.ast import RegexFormula
+from ..regex.builder import capture, chars, concat, opt, sigma_star, star, sym, union
+from ..va.automaton import VA, Label, State, close_op, open_op
+
+
+def random_document(alphabet: Sequence[str], length: int, rng: random.Random) -> Document:
+    """A uniformly random document."""
+    return Document("".join(rng.choice(list(alphabet)) for _ in range(length)))
+
+
+def random_sequential_formula(
+    n_vars: int,
+    rng: random.Random,
+    alphabet: Sequence[str] = "ab",
+    depth: int = 3,
+) -> RegexFormula:
+    """A random *sequential* regex formula mentioning ``n_vars`` variables.
+
+    Built compositionally so sequentiality holds by construction: variables
+    are partitioned across concatenation factors, never placed under stars,
+    and unions receive either variable-disjoint or identically-scoped
+    branches.
+    """
+    variables = [f"v{i}" for i in range(n_vars)]
+    rng.shuffle(variables)
+    return _random_formula(variables, rng, list(alphabet), depth)
+
+
+def _random_formula(
+    variables: list[str], rng: random.Random, alphabet: list[str], depth: int
+) -> RegexFormula:
+    if depth <= 0:
+        if variables:  # depth exhausted: emit the remaining captures plainly
+            return concat(
+                *(capture(var, _random_atom(rng, alphabet)) for var in variables)
+            ) if len(variables) > 1 else capture(variables[0], _random_atom(rng, alphabet))
+        return _random_atom(rng, alphabet)
+    if not variables and rng.random() < 0.4:
+        return _random_atom(rng, alphabet)
+    shape = rng.random()
+    if variables and shape < 0.35:
+        var, rest = variables[0], variables[1:]
+        inner = _random_formula([], rng, alphabet, depth - 1)
+        body = capture(var, inner)
+        if rest:
+            return concat(body, _random_formula(rest, rng, alphabet, depth - 1))
+        return body
+    if shape < 0.6 and len(variables) >= 2:
+        split = rng.randint(1, len(variables) - 1)
+        return concat(
+            _random_formula(variables[:split], rng, alphabet, depth - 1),
+            _random_formula(variables[split:], rng, alphabet, depth - 1),
+        )
+    if shape < 0.8:
+        # Union: both branches may use the same variables (sequentiality
+        # allows it; functionality requires it).
+        left = _random_formula(variables, rng, alphabet, depth - 1)
+        if rng.random() < 0.5:
+            right = _random_formula(variables, rng, alphabet, depth - 1)
+        else:
+            right = _random_formula([], rng, alphabet, depth - 1)
+        return union(left, right)
+    if shape < 0.9:
+        return concat(
+            star(_random_atom(rng, alphabet)),
+            _random_formula(variables, rng, alphabet, depth - 1),
+        )
+    return concat(
+        _random_formula(variables, rng, alphabet, depth - 1),
+        opt(_random_atom(rng, alphabet)),
+    )
+
+
+def _random_atom(rng: random.Random, alphabet: list[str]) -> RegexFormula:
+    kind = rng.random()
+    if kind < 0.4:
+        return sym(rng.choice(alphabet))
+    if kind < 0.7:
+        return chars(rng.sample(alphabet, min(len(alphabet), rng.randint(1, 2))))
+    if kind < 0.9:
+        return star(chars(alphabet))
+    return concat(sym(rng.choice(alphabet)), sym(rng.choice(alphabet)))
+
+
+# -- Proposition 3.11: the exponential-blow-up family ---------------------------
+
+
+def prop311_formula(n: int, alphabet: Sequence[str] = "ab") -> RegexFormula:
+    """``(x1{Σ*} ∨ y1{Σ*}) ⋯ (xn{Σ*} ∨ yn{Σ*})`` (Example 3.10): any
+    equivalent disjunctive functional formula needs ≥ 2^n disjuncts."""
+    sigma = sigma_star(alphabet)
+    factors = [
+        union(capture(f"x{i}", sigma), capture(f"y{i}", sigma))
+        for i in range(1, n + 1)
+    ]
+    return concat(*factors)
+
+
+def prop311_va(n: int, alphabet: Sequence[str] = "ab") -> VA:
+    """The 3n+1-state sequential VA of Example 3.10: every equivalent
+    disjunctive functional VA needs ≥ 2^n states.
+
+    The paper's figure shares one middle state between the ``x_i`` and
+    ``y_i`` branches, which (read literally) admits invalid accepting runs
+    (open ``x_i``, close ``y_i``); we use one middle state per branch so
+    the automaton is sequential by construction, at the same 3n+1 state
+    count (entry + two branch states per block, exits shared with the next
+    entry).
+    """
+    transitions: list[tuple[State, Label, State]] = []
+    for i in range(n):
+        entry, via_x, via_y, exit_ = 3 * i, 3 * i + 1, 3 * i + 2, 3 * i + 3
+        transitions.append((entry, open_op(f"x{i+1}"), via_x))
+        transitions.append((entry, open_op(f"y{i+1}"), via_y))
+        for letter in alphabet:
+            transitions.append((via_x, letter, via_x))
+            transitions.append((via_y, letter, via_y))
+        transitions.append((via_x, close_op(f"x{i+1}"), exit_))
+        transitions.append((via_y, close_op(f"y{i+1}"), exit_))
+    return VA(0, (3 * n,), transitions)
+
+
+# -- E11: static difference needs exponential complements ------------------------
+
+
+def nth_from_end_formula(n: int) -> RegexFormula:
+    """The Boolean language ``(a|b)* a (a|b)^{n-1}`` — "the n-th letter
+    from the end is a".  Its complement DFA needs ≥ 2^n states [17],
+    so compiling a difference against it statically must blow up, while
+    the ad-hoc compilation stays linear in the document."""
+    parts: list[RegexFormula] = [star(chars("ab")), sym("a")]
+    parts.extend(chars("ab") for _ in range(n - 1))
+    return concat(*parts)
+
+
+def nth_from_end_va(n: int) -> VA:
+    """Automaton form of :func:`nth_from_end_formula` (n+1 states)."""
+    transitions: list[tuple[State, Label, State]] = [
+        (0, "a", 0),
+        (0, "b", 0),
+        (0, "a", 1),
+    ]
+    for i in range(1, n):
+        transitions.append((i, "a", i + 1))
+        transitions.append((i, "b", i + 1))
+    return VA(0, (n,), transitions)
+
+
+# -- Theorem 4.8: synchronized subtrahend families -------------------------------
+
+
+def synchronized_block_formula(
+    n_vars: int, alphabet: Sequence[str] = "ab", separator: str = "c"
+) -> RegexFormula:
+    """``x1{Σ*} c x2{Σ*} c … c xk{Σ*}`` — functional and synchronized for
+    all variables (no variable under any disjunction).  The subtrahend
+    family of the E8 experiments."""
+    sigma = sigma_star(alphabet)
+    parts: list[RegexFormula] = []
+    for i in range(1, n_vars + 1):
+        if i > 1:
+            parts.append(sym(separator))
+        parts.append(capture(f"x{i}", sigma))
+    return concat(*parts)
+
+
+def unsynchronized_block_formula(
+    n_vars: int, alphabet: Sequence[str] = "ab", separator: str = "c"
+) -> RegexFormula:
+    """Like :func:`synchronized_block_formula` but every block offers two
+    disjunctive placements, breaking synchronizedness — the negative
+    control of the E8 ablation."""
+    sigma = sigma_star(alphabet)
+    parts: list[RegexFormula] = []
+    for i in range(1, n_vars + 1):
+        if i > 1:
+            parts.append(sym(separator))
+        block = union(
+            capture(f"x{i}", concat(sym(alphabet[0]), sigma)),
+            concat(sym(alphabet[0]), capture(f"x{i}", sigma)),
+        )
+        parts.append(union(block, capture(f"x{i}", concat(sym(alphabet[1]), sigma))))
+    return concat(*parts)

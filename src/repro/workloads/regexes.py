@@ -1,0 +1,151 @@
+"""A library of realistic regex formulas (the paper's §1 motivation:
+RegExLib-scale extractors for emails, dates, phone numbers, URLs,
+addresses).
+
+All formulas are *sequential*; most are functional.  They are built for
+documents over :data:`TEXT_ALPHABET` and scale the automaton sizes into the
+hundreds of states, matching the paper's observation that practical atomic
+extractors are large enough that combined complexity is the right yardstick.
+"""
+
+from __future__ import annotations
+
+import string
+
+from ..regex.ast import RegexFormula
+from ..regex.builder import (
+    capture,
+    char_range,
+    chars,
+    concat,
+    eps,
+    lit,
+    opt,
+    plus,
+    star,
+    sym,
+    union,
+)
+
+#: Alphabet for the realistic workloads.
+TEXT_ALPHABET = frozenset(string.ascii_letters + string.digits + " .,:@/-()\n")
+
+_LOWER = char_range("a", "z")
+_UPPER = char_range("A", "Z")
+_DIGIT = char_range("0", "9")
+_ALNUM = chars(string.ascii_letters + string.digits)
+
+
+def _skip() -> RegexFormula:
+    """Skip arbitrary context."""
+    return star(chars(TEXT_ALPHABET))
+
+
+def anywhere(body: RegexFormula) -> RegexFormula:
+    """Wrap an extractor so it matches anywhere in a document."""
+    return concat(_skip(), body, _skip())
+
+
+def email_formula(user_var: str = "user", host_var: str = "host") -> RegexFormula:
+    """An RFC-2822-flavoured mailbox extractor (cf. RegExLib id 711):
+    captures the local part and the host separately."""
+    word = plus(chars(string.ascii_lowercase + string.digits))
+    local = concat(word, star(concat(chars(".-"), word)))
+    domain = concat(word, plus(concat(sym("."), word)))
+    return concat(capture(user_var, local), sym("@"), capture(host_var, domain))
+
+
+def date_formula(
+    day_var: str = "day", month_var: str = "month", year_var: str = "year"
+) -> RegexFormula:
+    """A date extractor (cf. RegExLib id 969): ``DD-MM-YYYY``,
+    ``DD/MM/YYYY``, or ``DD Mon YYYY``."""
+    two_digits = concat(_DIGIT, opt(_DIGIT))
+    month_name = union(*(lit(m) for m in (
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+        "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    )))
+    year = concat(_DIGIT, _DIGIT, _DIGIT, _DIGIT)
+    sep = chars("-/ ")
+    return concat(
+        capture(day_var, two_digits),
+        sep,
+        capture(month_var, union(two_digits, month_name)),
+        sep,
+        capture(year_var, year),
+    )
+
+
+def phone_formula(var: str = "phone") -> RegexFormula:
+    """A phone-number extractor: optional area code in parentheses, then
+    dash/space-separated digit groups."""
+    group = plus(_DIGIT)
+    area = concat(sym("("), group, sym(")"), opt(sym(" ")))
+    return capture(var, concat(opt(area), group, star(concat(chars("- "), group))))
+
+
+def url_formula(host_var: str = "urlhost", path_var: str = "urlpath") -> RegexFormula:
+    """A URL extractor: ``http[s]://host/path`` with separate captures."""
+    word = plus(chars(string.ascii_lowercase + string.digits + "-"))
+    host = concat(word, plus(concat(sym("."), word)))
+    path_seg = plus(chars(string.ascii_letters + string.digits + ".-"))
+    path = star(concat(sym("/"), path_seg))
+    return concat(
+        lit("http"), opt(sym("s")), lit("://"),
+        capture(host_var, host),
+        capture(path_var, path),
+    )
+
+
+def us_address_formula(
+    number_var: str = "streetno", street_var: str = "street", zip_var: str = "zip"
+) -> RegexFormula:
+    """A simplified US street-address extractor (cf. RegExLib id 1564):
+    ``123 Name St[, City], 12345``."""
+    word = concat(_UPPER, star(_LOWER))
+    suffix = union(*(lit(s) for s in ("St", "Ave", "Rd", "Blvd", "Ln", "Dr")))
+    return concat(
+        capture(number_var, plus(_DIGIT)),
+        sym(" "),
+        capture(street_var, concat(word, star(concat(sym(" "), word)), sym(" "), suffix)),
+        star(concat(sym(","), sym(" "), word)),
+        lit(", "),
+        capture(zip_var, concat(_DIGIT, _DIGIT, _DIGIT, _DIGIT, _DIGIT)),
+    )
+
+
+def ipv4_formula(var: str = "ip") -> RegexFormula:
+    """An IPv4 dotted-quad extractor (unvalidated octets, as most RegExLib
+    entries do)."""
+    octet = concat(_DIGIT, opt(_DIGIT), opt(_DIGIT))
+    return capture(var, concat(octet, sym("."), octet, sym("."), octet, sym("."), octet))
+
+
+def log_line_formula(
+    ts_var: str = "ts", level_var: str = "level", msg_var: str = "msg"
+) -> RegexFormula:
+    """A system-log line extractor: ``HH:MM:SS LEVEL message`` — the
+    log-analysis workload of §1."""
+    two = concat(_DIGIT, _DIGIT)
+    timestamp = concat(two, sym(":"), two, sym(":"), two)
+    level = union(lit("INFO"), lit("WARN"), lit("ERROR"), lit("DEBUG"))
+    message = star(chars(TEXT_ALPHABET - {"\n"}))
+    return concat(
+        capture(ts_var, timestamp),
+        sym(" "),
+        capture(level_var, level),
+        sym(" "),
+        capture(msg_var, message),
+    )
+
+
+#: The full library, for sweeps over "realistic extractor" inputs.
+LIBRARY: dict[str, RegexFormula] = {
+    "email": email_formula(),
+    "date": date_formula(),
+    "phone": phone_formula(),
+    "url": url_formula(),
+    "us_address": us_address_formula(),
+    "ipv4": ipv4_formula(),
+    "log_line": log_line_formula(),
+}

@@ -1,0 +1,197 @@
+"""The paper's running example: the students document and spanners
+(Figure 1, Examples 2.1, 2.2, 2.4, 5.1) plus a scalable generator.
+
+The alphabet is Γ ∪ Δ of Example 2.1: letters, digits, space, ``.``, ``@``,
+and the end-of-line symbol (we use ``\\n`` for the paper's ``←``).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from ..core.document import Document
+from ..regex.ast import RegexFormula
+from ..regex.builder import (
+    capture,
+    char_range,
+    chars,
+    concat,
+    eps,
+    lit,
+    opt,
+    plus,
+    star,
+    sym,
+    union,
+)
+
+#: The paper's ``←`` end-of-line marker.
+NEWLINE = "\n"
+
+#: Γ of Example 2.1 (without the end-of-line symbol Δ).
+GAMMA = frozenset(string.ascii_letters + string.digits + " .@")
+
+#: Γ ∪ Δ — the full alphabet.
+ALPHABET = GAMMA | {NEWLINE}
+
+#: Figure 1's document (positions match the paper: "Rodion" starts at 1,
+#: "Raskolnikov" at 8, "rr@edu.ru" at 20, and so on).
+STUDENTS_DOCUMENT = Document(
+    "Rodion Raskolnikov rr@edu.ru\n"
+    "Zosimov 6222345 mov@edu.ru\n"
+    "Pyotr Luzhin 6225545 luzi@edu.uk\n"
+)
+
+
+def _gamma_star() -> RegexFormula:
+    """``Γ*``."""
+    return star(chars(GAMMA))
+
+
+def _lower_star() -> RegexFormula:
+    """``γ = (a ∨ … ∨ z)*`` of Example 2.2."""
+    return star(char_range("a", "z"))
+
+
+def _name_token() -> RegexFormula:
+    """``δ = (A ∨ … ∨ Z)(a ∨ … ∨ z)*`` of Example 2.2."""
+    return concat(char_range("A", "Z"), star(char_range("a", "z")))
+
+
+def alpha_mail(var: str = "xmail") -> RegexFormula:
+    """``αmail := xmail{γ@γ.γ}`` (Example 2.2)."""
+    g = _lower_star()
+    return capture(var, concat(g, sym("@"), g, sym("."), g))
+
+
+def alpha_name(first: str = "xfirst", last: str = "xlast") -> RegexFormula:
+    """``αname := (xfirst{δ} ␣ xlast{δ}) ∨ xlast{δ}`` (Example 2.2) —
+    sequential but not functional (the first name is optional)."""
+    return union(
+        concat(capture(first, _name_token()), sym(" "), capture(last, _name_token())),
+        capture(last, _name_token()),
+    )
+
+
+def alpha_phone(var: str = "xphone") -> RegexFormula:
+    """``αphone := xphone{β+}`` with ``β = (0 ∨ … ∨ 9)`` (Example 2.2;
+    we use + rather than * so a phone number is nonempty)."""
+    return capture(var, plus(char_range("0", "9")))
+
+
+def _line_start() -> RegexFormula:
+    """Anchor at a line start: either the document start or any prefix
+    ending with a newline.  (The paper's ``Γ*·(ε∨←)`` prefix cannot skip
+    earlier lines, since Γ excludes the newline; this is the intended
+    reading.)"""
+    return union(eps(), concat(star(chars(ALPHABET)), sym(NEWLINE)))
+
+
+def alpha_info() -> RegexFormula:
+    """``αinfo`` of Example 2.2: one student line anywhere in the document,
+    extracting name (first optional), optional phone, and email."""
+    return concat(
+        _line_start(),
+        alpha_name(),
+        sym(" "),
+        union(concat(alpha_phone(), sym(" ")), eps()),
+        alpha_mail(),
+        sym(NEWLINE),
+        star(chars(ALPHABET)),
+    )
+
+
+def alpha_uk_mail(var: str = "xmail") -> RegexFormula:
+    """``αUKm`` of Example 2.4: email addresses ending in ``uk``."""
+    g = _lower_star()
+    return concat(
+        _line_start(),
+        _gamma_star(),
+        sym(" "),
+        capture(var, concat(g, sym("@"), g, sym("."), lit("uk"))),
+        sym(NEWLINE),
+        star(chars(ALPHABET)),
+    )
+
+
+# -- Example 5.1: the extended corpus with recommendations ----------------------
+
+
+def _line_field(student: str, field: RegexFormula) -> RegexFormula:
+    """A line whose first token is the student name and which contains
+    ``field`` as a later space-separated element."""
+    return concat(
+        _line_start(),
+        capture(student, _name_token()),
+        sym(" "),
+        union(concat(_gamma_star(), sym(" ")), eps()),
+        field,
+        union(concat(sym(" "), _gamma_star()), eps()),
+        sym(NEWLINE),
+        star(chars(ALPHABET)),
+    )
+
+
+def alpha_student_mail(student: str = "xstdnt", mail: str = "xml") -> RegexFormula:
+    """``αsm``: a student name with their email address (functional)."""
+    g = _lower_star()
+    return _line_field(student, capture(mail, concat(g, sym("@"), g, sym("."), g)))
+
+
+def alpha_student_phone(student: str = "xstdnt", phone: str = "xphn") -> RegexFormula:
+    """``αsp``: a student name with their phone number (functional)."""
+    return _line_field(student, capture(phone, plus(char_range("0", "9"))))
+
+
+def alpha_recommendation(student: str = "xstdnt", rec: str = "xrcmnd") -> RegexFormula:
+    """``αnr``: a student name with a recommendation text — marked by the
+    literal ``rec.`` prefix on the line (functional)."""
+    return concat(
+        _line_start(),
+        capture(student, _name_token()),
+        sym(" "),
+        _gamma_star(),
+        lit("rec."),
+        capture(rec, star(chars(GAMMA - {"."}))),
+        sym(NEWLINE),
+        star(chars(ALPHABET)),
+    )
+
+
+# -- corpus generator -------------------------------------------------------------
+
+_FIRST = ("Rodion", "Pyotr", "Sofya", "Arkady", "Dmitri", "Avdotya", "Porfiry")
+_LAST = ("Raskolnikov", "Luzhin", "Marmeladov", "Svidrigailov", "Razumikhin", "Zosimov")
+_DOMAINS = ("edu.ru", "edu.uk", "edu.de", "uni.uk", "lab.ru")
+_RECOMMENDATIONS = ("good work", "great thesis", "excellent results", "weak attendance", "solid effort")
+
+
+def generate_students(
+    n_students: int,
+    rng: random.Random,
+    with_first_name: float = 0.7,
+    with_phone: float = 0.6,
+    with_recommendation: float = 0.0,
+) -> Document:
+    """A synthetic corpus in the Figure-1 line format, scalable for the
+    document-length sweeps (E1/E7/E9).
+
+    Each line: ``[First ]Last [phone ]mail@host.tld[ rec.text]\\n``.  The
+    leading newline convention of Figure 1 is preserved by starting lines
+    flush (the extractors handle both the first line and inner lines).
+    """
+    lines: list[str] = []
+    for _ in range(n_students):
+        parts: list[str] = []
+        if rng.random() < with_first_name:
+            parts.append(rng.choice(_FIRST))
+        parts.append(rng.choice(_LAST))
+        if rng.random() < with_phone:
+            parts.append(str(rng.randint(6000000, 6999999)))
+        user = "".join(rng.choice(string.ascii_lowercase) for _ in range(rng.randint(2, 5)))
+        parts.append(f"{user}@{rng.choice(_DOMAINS)}")
+        if rng.random() < with_recommendation:
+            parts.append("rec." + rng.choice(_RECOMMENDATIONS))
+        lines.append(" ".join(parts))
+    return Document("\n".join(lines) + "\n")

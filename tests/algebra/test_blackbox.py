@@ -1,0 +1,87 @@
+"""Black-box spanners (Corollary 5.3, Example 5.4)."""
+
+from repro.core import Mapping, Span
+from repro.algebra import (
+    DictionarySpanner,
+    SentimentSpanner,
+    StringEqualitySpanner,
+    TokenizerSpanner,
+    is_degree_bounded,
+)
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestStringEquality:
+    def test_equal_substrings_paired(self):
+        spanner = StringEqualitySpanner("x", "y")
+        rel = spanner.evaluate("aba")
+        assert m(x=(1, 2), y=(3, 4)) in rel  # the two 'a's
+        assert m(x=(1, 2), y=(2, 3)) not in rel  # 'a' vs 'b'
+
+    def test_reflexive_pairs_included(self):
+        rel = StringEqualitySpanner("x", "y").evaluate("ab")
+        assert m(x=(1, 2), y=(1, 2)) in rel
+
+    def test_empty_spans_excluded_by_default(self):
+        rel = StringEqualitySpanner("x", "y").evaluate("ab")
+        assert all(not mu["x"].is_empty for mu in rel)
+
+    def test_empty_spans_opt_in(self):
+        rel = StringEqualitySpanner("x", "y", include_empty=True).evaluate("a")
+        assert m(x=(1, 1), y=(2, 2)) in rel
+
+    def test_degree(self):
+        assert StringEqualitySpanner().degree() == 2
+        assert is_degree_bounded(StringEqualitySpanner(), 2)
+
+
+class TestDictionary:
+    def test_finds_words(self):
+        spanner = DictionarySpanner("w", {"cat", "at"})
+        rel = spanner.evaluate("cat")
+        assert rel == {m(w=(1, 4)), m(w=(2, 4))}
+
+    def test_overlapping_occurrences(self):
+        rel = DictionarySpanner("w", {"aa"}).evaluate("aaa")
+        assert rel == {m(w=(1, 3)), m(w=(2, 4))}
+
+    def test_empty_dictionary(self):
+        assert DictionarySpanner("w", ()).evaluate("abc").is_empty
+
+
+class TestTokenizer:
+    def test_tokens(self):
+        rel = TokenizerSpanner("t").evaluate("ab  cd")
+        assert rel == {m(t=(1, 3)), m(t=(5, 7))}
+
+    def test_trailing_token(self):
+        rel = TokenizerSpanner("t").evaluate("ab")
+        assert rel == {m(t=(1, 3))}
+
+    def test_only_delimiters(self):
+        assert TokenizerSpanner("t").evaluate("   ").is_empty
+
+    def test_custom_delimiters(self):
+        rel = TokenizerSpanner("t", delimiters=",").evaluate("a,b")
+        assert rel == {m(t=(1, 2)), m(t=(3, 4))}
+
+
+class TestSentiment:
+    def test_pairs_subject_with_evidence(self):
+        doc = "Zosimov rec good work\nLuzhin rec nothing\n"
+        rel = SentimentSpanner("who", "why", lexicon={"good"}).evaluate(doc)
+        assert len(rel) == 1
+        mapping = next(iter(rel))
+        assert mapping["who"] == Span(1, 8)  # "Zosimov"
+        assert mapping["why"] == Span(13, 17)  # "good"
+
+    def test_multiple_hits_on_one_line(self):
+        doc = "Ann good good\n"
+        rel = SentimentSpanner("who", "why", lexicon={"good"}).evaluate(doc)
+        assert len(rel) == 2
+
+    def test_degree_bounded(self):
+        assert SentimentSpanner().degree() == 2

@@ -1,0 +1,116 @@
+"""Algebraic laws checked through the *compiled* operators — the compiled
+algebra must satisfy the same identities as the semantic one."""
+
+import pytest
+
+from repro.core import Mapping
+from repro.regex import parse
+from repro.va import (
+    evaluate_va,
+    regex_to_va,
+    trim,
+    universal_empty_mapping_va,
+)
+from repro.algebra import (
+    adhoc_difference,
+    compile_projection,
+    compile_union,
+    fpt_join,
+)
+
+
+def compile_formula(text: str):
+    return trim(regex_to_va(parse(text)))
+
+
+A = compile_formula("x{a}[ab]*")
+B = compile_formula("[ab]*y{b}")
+C = compile_formula("x{[ab]}[ab]*")
+DOCS = ("ab", "ba", "aab", "bba")
+
+
+class TestJoinLaws:
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_join_commutative(self, doc):
+        assert evaluate_va(fpt_join(A, B), doc) == evaluate_va(fpt_join(B, A), doc)
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_join_associative(self, doc):
+        left = fpt_join(fpt_join(A, B), C)
+        right = fpt_join(A, fpt_join(B, C))
+        assert evaluate_va(left, doc) == evaluate_va(right, doc)
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_join_idempotent(self, doc):
+        assert evaluate_va(fpt_join(A, A), doc) == evaluate_va(A, doc)
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_empty_mapping_spanner_is_join_identity(self, doc):
+        # ⟦Σ*⟧ produces {∅}, the identity of ⋈.
+        identity = universal_empty_mapping_va("ab")
+        assert evaluate_va(fpt_join(A, identity), doc) == evaluate_va(A, doc)
+
+
+class TestUnionLaws:
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_union_commutative(self, doc):
+        assert evaluate_va(compile_union(A, B), doc) == evaluate_va(
+            compile_union(B, A), doc
+        )
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_union_idempotent(self, doc):
+        assert evaluate_va(compile_union(A, A), doc) == evaluate_va(A, doc)
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_join_distributes_over_union(self, doc):
+        left = fpt_join(A, compile_union(B, C))
+        right = compile_union(fpt_join(A, B), fpt_join(A, C))
+        assert evaluate_va(left, doc) == evaluate_va(right, doc)
+
+
+class TestDifferenceLaws:
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_self_difference_empty(self, doc):
+        assert evaluate_va(adhoc_difference(A, A, doc), doc).is_empty
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_difference_then_union_restores_nothing_extra(self, doc):
+        # (A \ B) ⊆ A through the compiled pipeline.
+        surviving = evaluate_va(adhoc_difference(A, C, doc), doc)
+        full = evaluate_va(A, doc)
+        assert all(mapping in full for mapping in surviving)
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_difference_against_universal_is_empty(self, doc):
+        # {∅} is compatible with every mapping.
+        universal = universal_empty_mapping_va("ab")
+        assert evaluate_va(adhoc_difference(A, universal, doc), doc).is_empty
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_double_subtraction_monotone(self, doc):
+        once = adhoc_difference(A, C, doc)
+        twice = adhoc_difference(once, C, doc)
+        assert evaluate_va(twice, doc) == evaluate_va(once, doc)
+
+
+class TestProjectionLaws:
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_projection_idempotent(self, doc):
+        once = compile_projection(A, {"x"})
+        twice = compile_projection(once, {"x"})
+        assert evaluate_va(once, doc) == evaluate_va(twice, doc)
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_projection_commutes_with_union(self, doc):
+        left = compile_projection(compile_union(A, C), {"x"})
+        right = compile_union(
+            compile_projection(A, {"x"}), compile_projection(C, {"x"})
+        )
+        assert evaluate_va(left, doc) == evaluate_va(right, doc)
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_boolean_projection_of_nonempty(self, doc):
+        boolean = compile_projection(A, ())
+        expected = {Mapping()} if not evaluate_va(A, doc).is_empty else set()
+        assert set(evaluate_va(boolean, doc)) == expected

@@ -1,0 +1,164 @@
+"""Static join compilations (Lemmas 3.2/3.8, Prop. 3.12)."""
+
+import random
+
+import pytest
+
+from repro.core import NotSequentialError
+from repro.regex import parse
+from repro.va import (
+    VA,
+    evaluate_naive,
+    evaluate_va,
+    is_sequential,
+    open_op,
+    regex_to_va,
+    trim,
+)
+from repro.algebra import (
+    dfunc_join,
+    factorized_product,
+    fpt_join,
+    semantic_join,
+    used_set_components,
+)
+from repro.workloads import random_sequential_formula
+
+
+def compile_formula(text: str) -> VA:
+    return trim(regex_to_va(parse(text)))
+
+
+def check_join(text1: str, text2: str, docs) -> None:
+    a1, a2 = compile_formula(text1), compile_formula(text2)
+    joined = fpt_join(a1, a2)
+    assert is_sequential(joined)
+    for doc in docs:
+        expected = semantic_join(evaluate_va(a1, doc), evaluate_va(a2, doc))
+        assert evaluate_va(joined, doc) == expected, (text1, text2, doc)
+
+
+class TestFptJoin:
+    def test_disjoint_variables(self):
+        check_join("x{a}[ab]*", "[ab]*y{b}", ["ab", "ba", "aab"])
+
+    def test_shared_variable_must_agree(self):
+        check_join("x{a}[ab]*", "x{[ab]}[ab]*", ["ab", "ba"])
+
+    def test_schemaless_optional_sharing(self):
+        # The schemaless crux: a run of A1 not using x joins with any run
+        # of A2, and vice versa.
+        check_join("(x{a}|ε)[ab]*", "(x{[ab]}|ε)[ab]*y{[ab]*}", ["ab", "ba", "aba"])
+
+    def test_incompatible_spans_filtered(self):
+        a1 = compile_formula("x{a}b")
+        a2 = compile_formula("ax{b}")
+        joined = fpt_join(a1, a2)
+        assert evaluate_va(joined, "ab").is_empty
+
+    def test_boolean_conjunction(self):
+        # No variables at all: the join is language intersection.
+        a1 = compile_formula("a[ab]*")
+        a2 = compile_formula("[ab]*b")
+        joined = fpt_join(a1, a2)
+        assert evaluate_va(joined, "ab") == {*evaluate_va(a1, "ab")}
+        assert evaluate_va(joined, "ba").is_empty
+
+    def test_empty_operand(self):
+        a1 = compile_formula("x{a}")
+        a2 = compile_formula("∅")
+        assert evaluate_va(fpt_join(a1, a2), "a").is_empty
+
+    def test_non_sequential_rejected(self):
+        bad = VA(0, (1,), [(0, open_op("x"), 1)])
+        with pytest.raises(NotSequentialError):
+            fpt_join(bad, compile_formula("a"))
+
+    def test_randomized_against_semantic(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            f1 = random_sequential_formula(rng.randint(0, 2), rng, depth=2)
+            f2 = random_sequential_formula(rng.randint(0, 2), rng, depth=2)
+            a1, a2 = trim(regex_to_va(f1)), trim(regex_to_va(f2))
+            joined = fpt_join(a1, a2)
+            for _ in range(2):
+                doc = "".join(rng.choice("ab") for _ in range(rng.randint(0, 4)))
+                expected = semantic_join(
+                    evaluate_naive(a1, doc), evaluate_naive(a2, doc)
+                )
+                assert evaluate_va(joined, doc) == expected, (
+                    f1.to_text(),
+                    f2.to_text(),
+                    doc,
+                )
+
+    def test_three_way_composition(self):
+        a1 = compile_formula("x{a}[ab]*")
+        a2 = compile_formula("[ab]*y{b}")
+        a3 = compile_formula("x{[ab]}y{[ab]}")
+        joined = fpt_join(fpt_join(a1, a2), a3)
+        doc = "ab"
+        expected = semantic_join(
+            semantic_join(evaluate_va(a1, doc), evaluate_va(a2, doc)),
+            evaluate_va(a3, doc),
+        )
+        assert evaluate_va(joined, doc) == expected
+
+
+class TestUsedSetComponents:
+    def test_partition_by_shared_usage(self):
+        va = compile_formula("(x{a}|ε)(y{b}|ε)[ab]*")
+        components = used_set_components(va, frozenset({"x", "y"}))
+        assert set(components) == {
+            frozenset(),
+            frozenset({"x"}),
+            frozenset({"y"}),
+            frozenset({"x", "y"}),
+        }
+
+    def test_components_cover_the_spanner(self):
+        va = compile_formula("(x{a}|ε)[ab]*")
+        components = used_set_components(va, frozenset({"x"}))
+        doc = "ab"
+        combined = set()
+        for component in components.values():
+            combined |= set(evaluate_va(component, doc))
+        assert combined == set(evaluate_va(va, doc))
+
+    def test_empty_spanner_has_no_components(self):
+        assert used_set_components(compile_formula("∅"), frozenset({"x"})) == {}
+
+
+class TestDfuncJoin:
+    def test_functional_pair(self):
+        a1 = compile_formula("x{a}[ab]*")
+        a2 = compile_formula("[ab]*y{b}")
+        joined = dfunc_join(a1, a2)
+        doc = "aab"
+        assert evaluate_va(joined, doc) == semantic_join(
+            evaluate_va(a1, doc), evaluate_va(a2, doc)
+        )
+
+    def test_disjunctive_functional_pair(self):
+        a1 = compile_formula("x{a}[ab]*|y{b}[ab]*")
+        a2 = compile_formula("[ab]*x{[ab]}|[ab]*z{b}")
+        joined = dfunc_join(a1, a2)
+        for doc in ("ab", "ba", "bb"):
+            assert evaluate_va(joined, doc) == semantic_join(
+                evaluate_va(a1, doc), evaluate_va(a2, doc)
+            ), doc
+
+
+class TestFactorizedProduct:
+    def test_product_synchronises_on_given_variables(self):
+        a1 = compile_formula("x{a}b")
+        a2 = compile_formula("x{a}y{b}")
+        product = factorized_product(a1, a2, {"x"})
+        assert evaluate_va(product, "ab") == semantic_join(
+            evaluate_va(a1, "ab"), evaluate_va(a2, "ab")
+        )
+
+    def test_product_of_empty_is_empty(self):
+        a1 = compile_formula("∅")
+        a2 = compile_formula("a")
+        assert not factorized_product(a1, a2, set()).accepting

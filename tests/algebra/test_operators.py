@@ -1,0 +1,61 @@
+"""Semantic spanner combinators vs. relation-level operators."""
+
+from repro import compile_spanner
+from repro.core import Mapping, Span
+from repro.algebra import (
+    DifferenceSpanner,
+    JoinSpanner,
+    ProjectionSpanner,
+    UnionSpanner,
+)
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+FIRST = compile_spanner("x{a}[ab]*")
+SECOND = compile_spanner("[ab]*y{b}")
+SHARED = compile_spanner("x{[ab]}[ab]*")
+
+
+class TestCombinators:
+    def test_union(self):
+        combined = UnionSpanner(FIRST, SECOND)
+        doc = "ab"
+        assert combined.evaluate(doc) == FIRST.evaluate(doc).union(SECOND.evaluate(doc))
+        assert combined.variables() == {"x", "y"}
+
+    def test_union_deduplicates(self):
+        combined = UnionSpanner(FIRST, FIRST)
+        assert combined.evaluate("ab") == FIRST.evaluate("ab")
+
+    def test_projection(self):
+        joined = JoinSpanner(FIRST, SECOND)
+        projected = ProjectionSpanner(joined, {"x"})
+        doc = "ab"
+        assert projected.evaluate(doc) == joined.evaluate(doc).project({"x"})
+        assert projected.variables() == {"x"}
+
+    def test_join(self):
+        joined = JoinSpanner(FIRST, SHARED)
+        doc = "ab"
+        assert joined.evaluate(doc) == FIRST.evaluate(doc).join(SHARED.evaluate(doc))
+
+    def test_join_deduplicates(self):
+        joined = JoinSpanner(FIRST, FIRST)
+        assert joined.evaluate("ab") == FIRST.evaluate("ab")
+
+    def test_difference(self):
+        diff = DifferenceSpanner(SHARED, FIRST)
+        doc = "ab"
+        assert diff.evaluate(doc) == SHARED.evaluate(doc).difference(FIRST.evaluate(doc))
+        assert diff.variables() == {"x"}
+
+    def test_nesting(self):
+        query = DifferenceSpanner(JoinSpanner(FIRST, SECOND), SHARED)
+        doc = "ab"
+        expected = (
+            FIRST.evaluate(doc).join(SECOND.evaluate(doc)).difference(SHARED.evaluate(doc))
+        )
+        assert query.evaluate(doc) == expected

@@ -1,0 +1,146 @@
+"""The extraction-complexity evaluator (Theorem 5.2, Corollary 5.3)."""
+
+import pytest
+
+from repro.core import Mapping, Span, SpannerError
+from repro.regex import parse
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.algebra import (
+    Difference,
+    DictionarySpanner,
+    Instantiation,
+    Join,
+    Leaf,
+    PlannerConfig,
+    Project,
+    RAQuery,
+    StringEqualitySpanner,
+    UnionNode,
+    compile_ra,
+    evaluate_ra,
+    semantic_difference,
+    semantic_join,
+)
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestLeafKinds:
+    def test_regex_leaf(self):
+        rel = evaluate_ra(Leaf("a"), Instantiation(spanners={"a": parse("x{a}b")}), "ab")
+        assert rel == {m(x=(1, 2))}
+
+    def test_va_leaf(self):
+        va = trim(regex_to_va(parse("x{a}b")))
+        rel = evaluate_ra(Leaf("a"), Instantiation(spanners={"a": va}), "ab")
+        assert rel == {m(x=(1, 2))}
+
+    def test_blackbox_leaf(self):
+        spanner = DictionarySpanner("w", {"ab"})
+        rel = evaluate_ra(Leaf("d"), Instantiation(spanners={"d": spanner}), "abab")
+        assert rel == {m(w=(1, 3)), m(w=(3, 5))}
+
+    def test_degree_bound_enforced(self):
+        class WideSpanner(StringEqualitySpanner):
+            def degree(self) -> int:
+                return 9
+
+        inst = Instantiation(spanners={"w": WideSpanner()})
+        with pytest.raises(SpannerError, match="degree"):
+            evaluate_ra(Leaf("w"), inst, "ab")
+
+    def test_unknown_leaf_type_rejected(self):
+        with pytest.raises(TypeError):
+            evaluate_ra(Leaf("a"), Instantiation(spanners={"a": "not a spanner"}), "ab")
+
+
+class TestOperators:
+    def test_union_node(self):
+        inst = Instantiation(spanners={"a": parse("x{a}b"), "b": parse("a·y{b}")})
+        rel = evaluate_ra(UnionNode(Leaf("a"), Leaf("b")), inst, "ab")
+        assert rel == {m(x=(1, 2)), m(y=(2, 3))}
+
+    def test_join_node(self):
+        inst = Instantiation(spanners={"a": parse("x{a}[ab]*"), "b": parse("[ab]*y{b}")})
+        rel = evaluate_ra(Join(Leaf("a"), Leaf("b")), inst, "ab")
+        a = evaluate_va(trim(regex_to_va(parse("x{a}[ab]*"))), "ab")
+        b = evaluate_va(trim(regex_to_va(parse("[ab]*y{b}"))), "ab")
+        assert rel == semantic_join(a, b)
+
+    def test_difference_node(self):
+        inst = Instantiation(
+            spanners={"a": parse("x{[ab]}[ab]*"), "b": parse("x{b}[ab]*")}
+        )
+        rel = evaluate_ra(Difference(Leaf("a"), Leaf("b")), inst, "ab")
+        a = evaluate_va(trim(regex_to_va(parse("x{[ab]}[ab]*"))), "ab")
+        b = evaluate_va(trim(regex_to_va(parse("x{b}[ab]*"))), "ab")
+        assert rel == semantic_difference(a, b)
+
+    def test_projection_slot(self):
+        inst = Instantiation(
+            spanners={"a": parse("x{a}y{b}")}, projections={"p": frozenset({"y"})}
+        )
+        rel = evaluate_ra(Project(Leaf("a"), "p"), inst, "ab")
+        assert rel == {m(y=(2, 3))}
+
+    def test_inline_projection(self):
+        inst = Instantiation(spanners={"a": parse("x{a}y{b}")})
+        rel = evaluate_ra(Project(Leaf("a"), {"x"}), inst, "ab")
+        assert rel == {m(x=(1, 2))}
+
+
+class TestGuards:
+    def test_max_shared_enforced_on_join(self):
+        inst = Instantiation(
+            spanners={"a": parse("x{a}y{b}"), "b": parse("x{a}y{b}")}
+        )
+        config = PlannerConfig(max_shared=1)
+        with pytest.raises(SpannerError, match="shares 2"):
+            evaluate_ra(Join(Leaf("a"), Leaf("b")), inst, "ab", config)
+
+    def test_max_shared_enforced_on_difference(self):
+        inst = Instantiation(
+            spanners={"a": parse("x{a}y{b}"), "b": parse("x{a}y{b}")}
+        )
+        config = PlannerConfig(max_shared=1)
+        with pytest.raises(SpannerError):
+            evaluate_ra(Difference(Leaf("a"), Leaf("b")), inst, "ab", config)
+
+    def test_unbounded_config_allows_everything(self):
+        inst = Instantiation(
+            spanners={"a": parse("x{a}y{b}"), "b": parse("x{a}y{b}")}
+        )
+        rel = evaluate_ra(Difference(Leaf("a"), Leaf("b")), inst, "ab")
+        assert rel.is_empty  # identical operands
+
+
+class TestRAQuery:
+    def test_query_bundles_everything(self):
+        tree = Join(Leaf("a"), Leaf("b"))
+        inst = Instantiation(
+            spanners={"a": parse("x{a}[ab]*"), "b": parse("[ab]*y{b}")}
+        )
+        query = RAQuery(tree, inst, PlannerConfig(max_shared=2))
+        assert not query.evaluate("ab").is_empty
+        compiled = query.compile("ab")
+        assert evaluate_va(compiled, "ab") == query.evaluate("ab")
+
+    def test_query_validates_on_construction(self):
+        from repro.core import ArityError
+
+        with pytest.raises(ArityError):
+            RAQuery(Join(Leaf("a"), Leaf("b")), Instantiation())
+
+    def test_blackbox_inside_join(self):
+        # Corollary 5.3: a black box joined against a regular spanner.
+        tree = Join(Leaf("words"), Leaf("anchored"))
+        inst = Instantiation(
+            spanners={
+                "words": DictionarySpanner("w", {"ab", "ba"}),
+                "anchored": parse("w{[ab][ab]}[ab]*"),
+            }
+        )
+        rel = evaluate_ra(tree, inst, "abab")
+        assert rel == {m(w=(1, 3))}

@@ -1,0 +1,54 @@
+"""Union and projection compilation (linear-time positive operators)."""
+
+import pytest
+
+from repro.core import NotSequentialError
+from repro.regex import parse
+from repro.va import VA, evaluate_va, is_sequential, open_op, regex_to_va, trim
+from repro.algebra import compile_projection, compile_union
+
+
+def compile_formula(text: str) -> VA:
+    return trim(regex_to_va(parse(text)))
+
+
+class TestCompileUnion:
+    def test_union_semantics(self):
+        a1 = compile_formula("x{a}b")
+        a2 = compile_formula("a·y{b}")
+        combined = compile_union(a1, a2)
+        assert evaluate_va(combined, "ab") == evaluate_va(a1, "ab").union(
+            evaluate_va(a2, "ab")
+        )
+
+    def test_sequentiality_preserved(self):
+        combined = compile_union(compile_formula("(x{a}|ε)b"), compile_formula("ab"))
+        assert is_sequential(combined)
+
+    def test_check_flag(self):
+        bad = VA(0, (1,), [(0, open_op("x"), 1)])
+        with pytest.raises(NotSequentialError):
+            compile_union(bad, compile_formula("a"), check=True)
+
+
+class TestCompileProjection:
+    def test_projection_semantics(self):
+        va = compile_formula("x{a}y{b}")
+        projected = compile_projection(va, {"x"})
+        assert evaluate_va(projected, "ab") == evaluate_va(va, "ab").project({"x"})
+
+    def test_projection_to_nothing_is_boolean(self):
+        va = compile_formula("x{a}y{b}")
+        projected = compile_projection(va, ())
+        rel = evaluate_va(projected, "ab")
+        assert len(rel) == 1 and next(iter(rel)).domain == frozenset()
+
+    def test_projection_collapses_mappings(self):
+        va = compile_formula("x{a}y{[ab]}[ab]*")
+        projected = compile_projection(va, {"x"})
+        assert len(evaluate_va(projected, "abb")) == 1
+
+    def test_check_flag(self):
+        bad = VA(0, (1,), [(0, open_op("x"), 1)])
+        with pytest.raises(NotSequentialError):
+            compile_projection(bad, {"x"}, check=True)

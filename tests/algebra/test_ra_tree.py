@@ -1,0 +1,79 @@
+"""RA trees and instantiations (§5)."""
+
+import pytest
+
+from repro.core import ArityError
+from repro.regex import parse
+from repro.algebra import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    Project,
+    UnionNode,
+)
+
+
+def figure2_tree():
+    return Project(Difference(Join(Leaf("sm"), Leaf("sp")), Leaf("nr")), "keep")
+
+
+class TestStructure:
+    def test_children_and_arity(self):
+        tree = figure2_tree()
+        assert len(tree.children()) == 1
+        diff = tree.children()[0]
+        assert len(diff.children()) == 2
+
+    def test_placeholders_left_to_right(self):
+        assert figure2_tree().placeholders() == ("sm", "sp", "nr")
+
+    def test_projection_slots(self):
+        assert figure2_tree().projection_slots() == ("keep",)
+
+    def test_inline_projection_has_no_slot(self):
+        tree = Project(Leaf("a"), {"x"})
+        assert tree.projection_slots() == ()
+        assert tree.projection == frozenset({"x"})
+
+    def test_str_rendering(self):
+        text = str(figure2_tree())
+        assert "⋈" in text and "\\" in text and "π" in text
+
+    def test_union_node(self):
+        tree = UnionNode(Leaf("a"), Leaf("b"))
+        assert tree.placeholders() == ("a", "b")
+
+
+class TestInstantiation:
+    def test_lookup(self):
+        inst = Instantiation(spanners={"a": parse("x{a}")}, projections={"p": frozenset({"x"})})
+        assert inst.spanner("a") == parse("x{a}")
+        assert inst.projection("p") == {"x"}
+
+    def test_missing_spanner_raises(self):
+        with pytest.raises(ArityError):
+            Instantiation().spanner("ghost")
+
+    def test_missing_projection_raises(self):
+        with pytest.raises(ArityError):
+            Instantiation().projection("ghost")
+
+    def test_validate_reports_missing_placeholders(self):
+        inst = Instantiation(spanners={"sm": parse("a")}, projections={"keep": frozenset()})
+        with pytest.raises(ArityError, match="nr"):
+            inst.validate(figure2_tree())
+
+    def test_validate_reports_missing_slots(self):
+        inst = Instantiation(
+            spanners={"sm": parse("a"), "sp": parse("a"), "nr": parse("a")}
+        )
+        with pytest.raises(ArityError, match="keep"):
+            inst.validate(figure2_tree())
+
+    def test_validate_accepts_complete_instantiation(self):
+        inst = Instantiation(
+            spanners={"sm": parse("a"), "sp": parse("a"), "nr": parse("a")},
+            projections={"keep": frozenset({"x"})},
+        )
+        inst.validate(figure2_tree())  # no exception

@@ -1,0 +1,73 @@
+"""Documents: 1-based, span-addressed strings (§2.1)."""
+
+import pytest
+
+from repro.core import Document, Span, SpanError, as_document
+
+
+class TestBasics:
+    def test_length(self):
+        assert len(Document("hello")) == 5
+        assert len(Document("")) == 0
+
+    def test_letter_is_one_based(self):
+        doc = Document("abc")
+        assert doc.letter(1) == "a"
+        assert doc.letter(3) == "c"
+
+    def test_letter_out_of_range(self):
+        doc = Document("abc")
+        with pytest.raises(SpanError):
+            doc.letter(0)
+        with pytest.raises(SpanError):
+            doc.letter(4)
+
+    def test_substring_matches_paper_convention(self):
+        # d[i, j> denotes σ_i … σ_{j-1}.
+        doc = Document("abcde")
+        assert doc.substring(Span(2, 4)) == "bc"
+        assert doc.substring(Span(1, 6)) == "abcde"
+        assert doc.substring(Span(3, 3)) == ""
+
+    def test_substring_out_of_range(self):
+        with pytest.raises(SpanError):
+            Document("ab").substring(Span(1, 4))
+
+    def test_full_span(self):
+        assert Document("abc").full_span() == Span(1, 4)
+        assert Document("").full_span() == Span(1, 1)
+
+    def test_alphabet(self):
+        assert Document("abcabc").alphabet() == frozenset("abc")
+
+
+class TestEquality:
+    def test_equal_to_same_document(self):
+        assert Document("ab") == Document("ab")
+        assert Document("ab") != Document("ba")
+
+    def test_equal_to_raw_string(self):
+        assert Document("ab") == "ab"
+
+    def test_hashable(self):
+        assert len({Document("ab"), Document("ab")}) == 1
+
+    def test_iteration(self):
+        assert list(Document("abc")) == ["a", "b", "c"]
+
+
+class TestCoercion:
+    def test_as_document_passthrough(self):
+        doc = Document("x")
+        assert as_document(doc) is doc
+
+    def test_as_document_from_string(self):
+        assert as_document("xy") == Document("xy")
+
+    def test_as_document_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_document(42)
+
+    def test_spans_enumeration(self):
+        doc = Document("ab")
+        assert len(list(doc.spans())) == 6

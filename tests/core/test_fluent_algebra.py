@@ -1,0 +1,51 @@
+"""The fluent operator API on Spanner (semantic combinators)."""
+
+from repro import compile_spanner
+from repro.core import Mapping, Span
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+A = compile_spanner("x{a}[ab]*")
+B = compile_spanner("[ab]*y{b}")
+C = compile_spanner("x{[ab]}[ab]*")
+
+
+class TestFluentOperators:
+    def test_join_method_and_operator_agree(self):
+        doc = "ab"
+        assert A.join(B).evaluate(doc) == (A & B).evaluate(doc)
+        assert (A & B).evaluate(doc) == A.evaluate(doc).join(B.evaluate(doc))
+
+    def test_union_method_and_operator_agree(self):
+        doc = "ba"
+        assert A.union(C).evaluate(doc) == (A | C).evaluate(doc)
+        assert (A | C).evaluate(doc) == A.evaluate(doc).union(C.evaluate(doc))
+
+    def test_minus_method_and_operator_agree(self):
+        doc = "ab"
+        assert C.minus(A).evaluate(doc) == (C - A).evaluate(doc)
+        assert (C - A).evaluate(doc) == C.evaluate(doc).difference(A.evaluate(doc))
+
+    def test_project(self):
+        doc = "ab"
+        assert (A & B).project({"x"}).evaluate(doc) == (
+            (A & B).evaluate(doc).project({"x"})
+        )
+
+    def test_chained_expression(self):
+        doc = "ab"
+        query = ((A & B) - C).project({"y"})
+        expected = (
+            A.evaluate(doc)
+            .join(B.evaluate(doc))
+            .difference(C.evaluate(doc))
+            .project({"y"})
+        )
+        assert query.evaluate(doc) == expected
+
+    def test_enumeration_streams(self):
+        doc = "ab"
+        assert set((A & B).enumerate(doc)) == set((A & B).evaluate(doc))

@@ -1,0 +1,112 @@
+"""Mappings and SPARQL-style compatibility (§2.1, §2.4)."""
+
+import pytest
+
+from repro.core import EMPTY_MAPPING, Mapping, MappingError, Span, compatible, merge
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestConstruction:
+    def test_domain(self):
+        mapping = m(x=(1, 2), y=(3, 3))
+        assert mapping.domain == {"x", "y"}
+        assert mapping["x"] == Span(1, 2)
+
+    def test_empty_mapping(self):
+        assert EMPTY_MAPPING.domain == frozenset()
+        assert len(EMPTY_MAPPING) == 0
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            m(x=(1, 2))["y"]
+
+    def test_get_default(self):
+        assert m(x=(1, 2)).get("y") is None
+        assert m(x=(1, 2)).get("x") == Span(1, 2)
+
+    def test_rejects_non_span_values(self):
+        with pytest.raises(MappingError):
+            Mapping({"x": (1, 2)})
+
+    def test_rejects_non_string_variables(self):
+        with pytest.raises(MappingError):
+            Mapping({3: Span(1, 2)})
+
+    def test_value_equality_ignores_insertion_order(self):
+        a = Mapping({"x": Span(1, 2), "y": Span(2, 3)})
+        b = Mapping({"y": Span(2, 3), "x": Span(1, 2)})
+        assert a == b and hash(a) == hash(b)
+
+    def test_contains_and_iter(self):
+        mapping = m(x=(1, 2), y=(3, 3))
+        assert "x" in mapping and "z" not in mapping
+        assert sorted(mapping) == ["x", "y"]
+
+
+class TestCompatibility:
+    def test_disjoint_domains_are_compatible(self):
+        # The crux of the schemaless difference (§4): no common variable
+        # means vacuous agreement.
+        assert m(x=(1, 2)).is_compatible(m(y=(5, 6)))
+
+    def test_empty_mapping_compatible_with_everything(self):
+        assert EMPTY_MAPPING.is_compatible(m(x=(1, 2)))
+        assert m(x=(1, 2)).is_compatible(EMPTY_MAPPING)
+
+    def test_agreeing_common_variable(self):
+        assert m(x=(1, 2), y=(3, 4)).is_compatible(m(x=(1, 2), z=(5, 6)))
+
+    def test_disagreeing_common_variable(self):
+        assert not m(x=(1, 2)).is_compatible(m(x=(1, 3)))
+
+    def test_compatibility_is_symmetric(self):
+        a, b = m(x=(1, 2), y=(3, 4)), m(y=(3, 4))
+        assert a.is_compatible(b) == b.is_compatible(a) == True  # noqa: E712
+
+    def test_function_form(self):
+        assert compatible(m(x=(1, 2)), m(y=(1, 2)))
+
+
+class TestUnion:
+    def test_union_of_compatible(self):
+        joined = m(x=(1, 2)).union(m(y=(3, 4)))
+        assert joined == m(x=(1, 2), y=(3, 4))
+
+    def test_union_with_overlap(self):
+        joined = m(x=(1, 2), y=(3, 4)).union(m(y=(3, 4), z=(5, 5)))
+        assert joined.domain == {"x", "y", "z"}
+
+    def test_union_of_incompatible_raises(self):
+        with pytest.raises(MappingError):
+            m(x=(1, 2)).union(m(x=(2, 3)))
+
+    def test_merge_function(self):
+        assert merge(m(x=(1, 2)), EMPTY_MAPPING) == m(x=(1, 2))
+
+
+class TestRestriction:
+    def test_restrict(self):
+        assert m(x=(1, 2), y=(3, 4)).restrict({"x", "z"}) == m(x=(1, 2))
+
+    def test_restrict_to_nothing(self):
+        assert m(x=(1, 2)).restrict(()) == EMPTY_MAPPING
+
+    def test_drop(self):
+        assert m(x=(1, 2), y=(3, 4)).drop({"x"}) == m(y=(3, 4))
+
+    def test_rename(self):
+        renamed = m(x=(1, 2)).rename({"x": "z"})
+        assert renamed == m(z=(1, 2))
+
+    def test_rename_collision_raises(self):
+        with pytest.raises(MappingError):
+            m(x=(1, 2), y=(3, 4)).rename({"x": "y"})
+
+    def test_as_dict_is_a_copy(self):
+        mapping = m(x=(1, 2))
+        d = mapping.as_dict()
+        d["y"] = Span(9, 9)
+        assert "y" not in mapping

@@ -1,0 +1,115 @@
+"""Span relations and the semantic algebra of §2.4."""
+
+from repro.core import Document, EMPTY_RELATION, Mapping, Span, SpanRelation
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestContainer:
+    def test_set_semantics(self):
+        rel = SpanRelation([m(x=(1, 2)), m(x=(1, 2)), m(y=(2, 3))])
+        assert len(rel) == 2
+        assert m(x=(1, 2)) in rel
+
+    def test_empty(self):
+        assert EMPTY_RELATION.is_empty
+        assert len(EMPTY_RELATION) == 0
+
+    def test_variables_union_of_domains(self):
+        rel = SpanRelation([m(x=(1, 2)), m(y=(2, 3))])
+        assert rel.variables() == {"x", "y"}
+
+    def test_equality_with_frozenset(self):
+        rel = SpanRelation([m(x=(1, 2))])
+        assert rel == {m(x=(1, 2))}
+
+    def test_iteration_is_deterministic(self):
+        rel = SpanRelation([m(x=(i, i + 1)) for i in range(1, 6)])
+        assert list(rel) == list(rel)
+
+
+class TestUnionAndProjection:
+    def test_union(self):
+        left = SpanRelation([m(x=(1, 2))])
+        right = SpanRelation([m(y=(2, 3))])
+        assert left.union(right) == SpanRelation([m(x=(1, 2)), m(y=(2, 3))])
+
+    def test_projection_restricts_domains(self):
+        rel = SpanRelation([m(x=(1, 2), y=(3, 4))])
+        assert rel.project({"x"}) == SpanRelation([m(x=(1, 2))])
+
+    def test_projection_collapses_duplicates(self):
+        rel = SpanRelation([m(x=(1, 2), y=(3, 4)), m(x=(1, 2), y=(5, 6))])
+        assert len(rel.project({"x"})) == 1
+
+    def test_projection_can_produce_empty_mapping(self):
+        rel = SpanRelation([m(x=(1, 2))])
+        assert rel.project({"z"}) == SpanRelation([Mapping()])
+
+
+class TestJoin:
+    def test_join_on_agreeing_variable(self):
+        left = SpanRelation([m(x=(1, 2), y=(2, 3))])
+        right = SpanRelation([m(x=(1, 2), z=(4, 4))])
+        assert left.join(right) == SpanRelation([m(x=(1, 2), y=(2, 3), z=(4, 4))])
+
+    def test_join_drops_disagreeing(self):
+        left = SpanRelation([m(x=(1, 2))])
+        right = SpanRelation([m(x=(2, 3))])
+        assert left.join(right).is_empty
+
+    def test_schemaless_join_with_partial_domains(self):
+        # A mapping lacking the shared variable joins with everything.
+        left = SpanRelation([m(x=(1, 2)), Mapping()])
+        right = SpanRelation([m(x=(9, 9))])
+        joined = left.join(right)
+        assert joined == SpanRelation([m(x=(9, 9))])
+
+    def test_join_with_empty_relation(self):
+        assert SpanRelation([m(x=(1, 2))]).join(EMPTY_RELATION).is_empty
+
+
+class TestDifference:
+    def test_difference_is_not_set_difference(self):
+        # A compatible (not equal!) subtrahend mapping kills the minuend.
+        left = SpanRelation([m(x=(1, 2), y=(3, 4))])
+        right = SpanRelation([m(x=(1, 2))])
+        assert left.difference(right).is_empty
+
+    def test_incompatible_survives(self):
+        left = SpanRelation([m(x=(1, 2))])
+        right = SpanRelation([m(x=(2, 3))])
+        assert left.difference(right) == left
+
+    def test_empty_mapping_in_subtrahend_kills_everything(self):
+        left = SpanRelation([m(x=(1, 2)), m(y=(5, 6))])
+        right = SpanRelation([Mapping()])
+        assert left.difference(right).is_empty
+
+    def test_difference_with_empty_subtrahend(self):
+        left = SpanRelation([m(x=(1, 2))])
+        assert left.difference(EMPTY_RELATION) == left
+
+
+class TestUtilities:
+    def test_select(self):
+        rel = SpanRelation([m(x=(1, 2)), m(x=(3, 4))])
+        assert rel.select(lambda mu: mu["x"].begin == 1) == SpanRelation([m(x=(1, 2))])
+
+    def test_rename(self):
+        rel = SpanRelation([m(x=(1, 2))])
+        assert rel.rename({"x": "z"}) == SpanRelation([m(z=(1, 2))])
+
+    def test_to_table_marks_undefined_cells(self):
+        rel = SpanRelation([m(x=(1, 2)), m(y=(2, 3))])
+        table = rel.to_table()
+        assert "x" in table and "y" in table
+        # one row has an empty x cell, the other an empty y cell
+        assert table.count("[1, 2>") == 1
+
+    def test_to_table_with_document_shows_content(self):
+        doc = Document("ab")
+        rel = SpanRelation([m(x=(1, 3))])
+        assert "'ab'" in rel.to_table(doc)

@@ -1,0 +1,59 @@
+"""The Spanner ABC and its generic adapters."""
+
+from repro.core import (
+    ConstantSpanner,
+    Mapping,
+    RelationSpanner,
+    Span,
+    SpanRelation,
+)
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestRelationSpanner:
+    def test_enumerate_deduplicates(self):
+        spanner = RelationSpanner(
+            lambda doc: [m(x=(1, 2)), m(x=(1, 2)), m(x=(1, 1))],
+            variables={"x"},
+        )
+        assert len(list(spanner.enumerate("ab"))) == 2
+
+    def test_evaluate_materialises(self):
+        spanner = RelationSpanner(lambda doc: [m(x=(1, 2))], variables={"x"})
+        assert spanner.evaluate("ab") == SpanRelation([m(x=(1, 2))])
+
+    def test_is_nonempty_short_circuits(self):
+        calls = []
+
+        def source(doc):
+            calls.append(doc)
+            yield m(x=(1, 2))
+            raise AssertionError("should not be drained past the first result")
+
+        spanner = RelationSpanner(source, variables={"x"})
+        assert spanner.is_nonempty("ab")
+
+    def test_default_degree_is_variable_count(self):
+        spanner = RelationSpanner(lambda doc: [], variables={"x", "y", "z"})
+        assert spanner.degree() == 3
+
+    def test_function_receives_document_object(self):
+        seen = []
+        spanner = RelationSpanner(lambda doc: seen.append(doc) or [], variables=set())
+        spanner.evaluate("abc")
+        assert seen[0].text == "abc"
+
+
+class TestConstantSpanner:
+    def test_returns_fixed_relation(self):
+        rel = SpanRelation([m(x=(1, 2))])
+        spanner = ConstantSpanner(rel)
+        assert spanner.evaluate("anything") == rel
+        assert spanner.variables() == {"x"}
+
+    def test_empty_constant(self):
+        spanner = ConstantSpanner(SpanRelation())
+        assert not spanner.is_nonempty("doc")

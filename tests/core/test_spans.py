@@ -1,0 +1,87 @@
+"""Spans: the paper's [i, j> interval objects (§2.1)."""
+
+import pytest
+
+from repro.core import Span, SpanError, all_spans, count_spans, span
+
+
+class TestConstruction:
+    def test_simple_span(self):
+        s = Span(2, 5)
+        assert s.begin == 2 and s.end == 5
+        assert len(s) == 3
+
+    def test_empty_span(self):
+        assert Span(3, 3).is_empty
+        assert len(Span(3, 3)) == 0
+
+    def test_begin_must_be_positive(self):
+        with pytest.raises(SpanError):
+            Span(0, 1)
+
+    def test_end_before_begin_rejected(self):
+        with pytest.raises(SpanError):
+            Span(4, 2)
+
+    def test_str_uses_paper_notation(self):
+        assert str(Span(1, 4)) == "[1, 4>"
+
+    def test_span_helper(self):
+        assert span(1, 2) == Span(1, 2)
+
+
+class TestIdentity:
+    def test_empty_spans_at_different_positions_differ(self):
+        # §2.1: [i, i> and [j, j> are different objects even though both
+        # denote the empty string.
+        assert Span(2, 2) != Span(5, 5)
+
+    def test_value_equality_and_hash(self):
+        assert Span(1, 3) == Span(1, 3)
+        assert hash(Span(1, 3)) == hash(Span(1, 3))
+        assert len({Span(1, 3), Span(1, 3), Span(1, 4)}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert Span(1, 2) < Span(1, 3) < Span(2, 2)
+
+
+class TestGeometry:
+    def test_contains(self):
+        assert Span(1, 10).contains(Span(3, 5))
+        assert Span(1, 10).contains(Span(1, 10))
+        assert not Span(3, 5).contains(Span(1, 10))
+
+    def test_overlaps(self):
+        assert Span(1, 5).overlaps(Span(4, 8))
+        assert not Span(1, 4).overlaps(Span(4, 8))
+
+    def test_empty_spans_overlap_nothing(self):
+        assert not Span(3, 3).overlaps(Span(1, 10))
+        assert not Span(1, 10).overlaps(Span(3, 3))
+
+    def test_precedes(self):
+        assert Span(1, 4).precedes(Span(4, 8))
+        assert not Span(1, 5).precedes(Span(4, 8))
+
+    def test_shift(self):
+        assert Span(2, 4).shift(3) == Span(5, 7)
+
+
+class TestEnumeration:
+    def test_all_spans_of_length_two(self):
+        spans = set(all_spans(2))
+        assert spans == {
+            Span(1, 1), Span(1, 2), Span(1, 3),
+            Span(2, 2), Span(2, 3), Span(3, 3),
+        }
+
+    @pytest.mark.parametrize("length", [0, 1, 2, 5, 10])
+    def test_count_matches_formula(self, length):
+        assert count_spans(length) == len(list(all_spans(length)))
+        assert count_spans(length) == (length + 1) * (length + 2) // 2
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SpanError):
+            list(all_spans(-1))
+        with pytest.raises(SpanError):
+            count_spans(-1)

@@ -1,0 +1,110 @@
+"""Cross-representation integration: regex → VA → compilations → results,
+checked against every baseline the library has."""
+
+import random
+
+import pytest
+
+from repro import compile_spanner
+from repro.regex import ReferenceRegexSpanner, parse
+from repro.regex.transform import to_disjunctive_functional
+from repro.va import (
+    evaluate_naive,
+    evaluate_va,
+    regex_to_va,
+    to_disjunctive_functional_va,
+    trim,
+)
+from repro.algebra import (
+    JoinSpanner,
+    adhoc_difference,
+    dfunc_join,
+    fpt_join,
+    synchronized_difference,
+)
+from repro.workloads import random_sequential_formula, synchronized_block_formula
+
+
+class TestFourWayAgreement:
+    """Reference semantics ≡ naive VA ≡ poly-delay VA ≡ dfunc translations."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_evaluators_agree(self, seed):
+        rng = random.Random(seed)
+        formula = random_sequential_formula(rng.randint(0, 3), rng, depth=3)
+        va = trim(regex_to_va(formula))
+        dfunc_regex = to_disjunctive_functional(formula)
+        dfunc_va = to_disjunctive_functional_va(va)
+        for _ in range(3):
+            doc = "".join(rng.choice("ab") for _ in range(rng.randint(0, 5)))
+            reference = ReferenceRegexSpanner(formula).evaluate(doc)
+            assert evaluate_naive(va, doc) == reference
+            assert evaluate_va(va, doc) == reference
+            assert ReferenceRegexSpanner(dfunc_regex).evaluate(doc) == reference
+            assert evaluate_va(dfunc_va, doc) == reference
+
+
+class TestJoinPaths:
+    """fpt_join ≡ dfunc_join ≡ materialised join."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_join_paths_agree(self, seed):
+        rng = random.Random(100 + seed)
+        f1 = random_sequential_formula(rng.randint(0, 2), rng, depth=2)
+        f2 = random_sequential_formula(rng.randint(0, 2), rng, depth=2)
+        a1, a2 = trim(regex_to_va(f1)), trim(regex_to_va(f2))
+        doc = "".join(rng.choice("ab") for _ in range(rng.randint(1, 4)))
+        baseline = JoinSpanner(
+            compile_spanner(a1), compile_spanner(a2)
+        ).evaluate(doc)
+        assert evaluate_va(fpt_join(a1, a2), doc) == baseline
+        assert evaluate_va(dfunc_join(a1, a2), doc) == baseline
+
+
+class TestDifferencePaths:
+    """adhoc_difference ≡ synchronized_difference ≡ materialised, where
+    both apply."""
+
+    def test_difference_paths_agree(self):
+        rng = random.Random(77)
+        subtrahend_formula = synchronized_block_formula(1, alphabet="ab")
+        a2 = trim(regex_to_va(subtrahend_formula))
+        for _ in range(5):
+            f1 = random_sequential_formula(1, rng, alphabet="ab", depth=2)
+            from repro.va import rename_variables
+
+            a1 = trim(regex_to_va(f1))
+            if a1.variables:
+                a1 = rename_variables(a1, {sorted(a1.variables)[0]: "x1"})
+            doc = "".join(rng.choice("ab") for _ in range(rng.randint(1, 4)))
+            baseline = compile_spanner(a1).evaluate(doc).difference(
+                compile_spanner(a2).evaluate(doc)
+            )
+            assert evaluate_va(adhoc_difference(a1, a2, doc), doc) == baseline
+            assert evaluate_va(synchronized_difference(a1, a2, doc), doc) == baseline
+
+
+class TestTextualPipeline:
+    def test_captures_under_star_rejected(self):
+        # (…{…})+ repeats captures — not sequential, no delay guarantee.
+        from repro.core import NotSequentialError
+
+        with pytest.raises(NotSequentialError):
+            compile_spanner("(user{[a-z]+}@host{[a-z.]+} ?)+")
+
+    def test_parse_compile_evaluate(self):
+        # One pair per mapping, anywhere in the document.
+        spanner = compile_spanner(
+            "([a-z@. ]*[ ]|ε)user{[a-z]+}@host{[a-z.]+}([ ][a-z@. ]*|ε)"
+        )
+        doc = "ab@cd.e fg@hi.j"
+        rel = spanner.evaluate(doc)
+        assert all(mu.domain == {"user", "host"} for mu in rel)
+        users = {doc[mu["user"].begin - 1 : mu["user"].end - 1] for mu in rel}
+        assert {"ab", "fg"} <= users
+
+    def test_quickstart_snippet(self):
+        spanner = compile_spanner("(xfirst{[A-Z][a-z]*} |ε)xlast{[A-Z][a-z]*}")
+        results = list(spanner.enumerate("Ada Lovelace"))
+        assert len(results) == 1
+        assert results[0].domain == {"xfirst", "xlast"}

@@ -1,0 +1,116 @@
+"""F1/F2 end-to-end: the paper's running example through the whole stack
+(Figure 1 → Example 2.4's difference → Figure 2's RA tree)."""
+
+import random
+
+from repro import compile_spanner
+from repro.core import Document
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.algebra import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    PlannerConfig,
+    Project,
+    RAQuery,
+    SentimentSpanner,
+    adhoc_difference,
+    semantic_difference,
+)
+from repro.workloads import (
+    STUDENTS_DOCUMENT,
+    alpha_info,
+    alpha_recommendation,
+    alpha_student_mail,
+    alpha_student_phone,
+    alpha_uk_mail,
+    generate_students,
+)
+
+
+class TestExample24Difference:
+    def test_uk_students_filtered_out(self):
+        # ⟦αinfo \ αUKm⟧(dStudents) = {µ1, µ2}: Luzhin (edu.uk) drops out.
+        a_info = trim(regex_to_va(alpha_info()))
+        a_uk = trim(regex_to_va(alpha_uk_mail()))
+        compiled = adhoc_difference(a_info, a_uk, STUDENTS_DOCUMENT)
+        result = evaluate_va(compiled, STUDENTS_DOCUMENT)
+        expected = semantic_difference(
+            evaluate_va(a_info, STUDENTS_DOCUMENT),
+            evaluate_va(a_uk, STUDENTS_DOCUMENT),
+        )
+        assert result == expected
+        assert len(result) == 2
+        names = {
+            STUDENTS_DOCUMENT.substring(mu["xlast"]) for mu in result
+        }
+        assert names == {"Raskolnikov", "Zosimov"}
+
+
+class TestFigure2Query:
+    DOC = Document(
+        "Pyotr Luzhin 6225545 luzi@edu.uk\n"
+        "Zosimov 6222345 mov@edu.ru rec.good work\n"
+        "Sofya Marmeladova 6200001 sm@edu.ru\n"
+    )
+
+    def build_query(self) -> RAQuery:
+        tree = Project(
+            Difference(Join(Leaf("sm"), Leaf("sp")), Leaf("nr")), "keep"
+        )
+        inst = Instantiation(
+            spanners={
+                "sm": alpha_student_mail(),
+                "sp": alpha_student_phone(),
+                "nr": alpha_recommendation(),
+            },
+            projections={"keep": frozenset({"xstdnt"})},
+        )
+        return RAQuery(tree, inst, PlannerConfig(max_shared=2))
+
+    def test_students_without_recommendations(self):
+        result = self.build_query().evaluate(self.DOC)
+        names = {self.DOC.substring(mu["xstdnt"]) for mu in result}
+        assert names == {"Pyotr", "Sofya"}
+
+    def test_agrees_with_semantic_evaluation(self):
+        doc = self.DOC
+        sm = compile_spanner(alpha_student_mail()).evaluate(doc)
+        sp = compile_spanner(alpha_student_phone()).evaluate(doc)
+        nr = compile_spanner(alpha_recommendation()).evaluate(doc)
+        expected = sm.join(sp).difference(nr).project({"xstdnt"})
+        assert self.build_query().evaluate(doc) == expected
+
+    def test_example_54_blackbox_substitution(self):
+        # Replace αnr with the PosRec sentiment black box (Example 5.4).
+        tree = Project(
+            Difference(Join(Leaf("sm"), Leaf("sp")), Leaf("posrec")), "keep"
+        )
+        inst = Instantiation(
+            spanners={
+                "sm": alpha_student_mail(),
+                "sp": alpha_student_phone(),
+                "posrec": SentimentSpanner("xstdnt", "xposrec", lexicon={"good"}),
+            },
+            projections={"keep": frozenset({"xstdnt"})},
+        )
+        query = RAQuery(tree, inst, PlannerConfig(max_shared=2))
+        result = query.evaluate(self.DOC)
+        names = {self.DOC.substring(mu["xstdnt"]) for mu in result}
+        # Zosimov has the positive "good" recommendation and drops out.
+        assert names == {"Pyotr", "Sofya"}
+
+
+class TestScaledCorpus:
+    def test_query_on_generated_corpus_matches_semantics(self):
+        rng = random.Random(12)
+        doc = generate_students(12, rng, with_recommendation=0.4)
+        tree = Difference(Leaf("sm"), Leaf("nr"))
+        inst = Instantiation(
+            spanners={"sm": alpha_student_mail(), "nr": alpha_recommendation()}
+        )
+        query = RAQuery(tree, inst, PlannerConfig(max_shared=2))
+        sm = compile_spanner(alpha_student_mail()).evaluate(doc)
+        nr = compile_spanner(alpha_recommendation()).evaluate(doc)
+        assert query.evaluate(doc) == sm.difference(nr)

@@ -1,0 +1,39 @@
+"""Shared hypothesis strategies for the property-test suite."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core import Mapping, Span
+from repro.regex.ast import RegexFormula
+from repro.workloads import random_sequential_formula
+
+#: Documents over a tiny alphabet, short enough for the naive baselines.
+documents = st.text(alphabet="ab", min_size=0, max_size=5)
+
+
+@st.composite
+def spans(draw, max_position: int = 8) -> Span:
+    begin = draw(st.integers(min_value=1, max_value=max_position))
+    end = draw(st.integers(min_value=begin, max_value=max_position))
+    return Span(begin, end)
+
+
+@st.composite
+def mappings(draw, variables=("x", "y", "z"), max_position: int = 6) -> Mapping:
+    chosen = draw(
+        st.lists(st.sampled_from(variables), unique=True, max_size=len(variables))
+    )
+    return Mapping({var: draw(spans(max_position)) for var in chosen})
+
+
+@st.composite
+def sequential_formulas(draw, max_vars: int = 3) -> RegexFormula:
+    """Random sequential regex formulas via the workload generator,
+    steered by a hypothesis-drawn seed so shrinking works."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    n_vars = draw(st.integers(min_value=0, max_value=max_vars))
+    depth = draw(st.integers(min_value=1, max_value=3))
+    return random_sequential_formula(n_vars, random.Random(seed), depth=depth)

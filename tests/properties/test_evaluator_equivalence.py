@@ -1,0 +1,70 @@
+"""The central correctness property: every evaluation and compilation path
+computes the same spanner (hypothesis)."""
+
+from hypothesis import given, settings
+
+from repro.regex import evaluate as reference_evaluate
+from repro.va import (
+    evaluate_naive,
+    evaluate_va,
+    make_semi_functional,
+    regex_to_va,
+    to_disjunctive_functional_va,
+    trim,
+)
+from repro.algebra import (
+    adhoc_difference,
+    fpt_join,
+    semantic_difference,
+    semantic_join,
+)
+
+from .conftest import documents, sequential_formulas
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+class TestEvaluatorEquivalence:
+    @given(sequential_formulas(), documents)
+    @_SETTINGS
+    def test_compiled_va_matches_reference_semantics(self, formula, doc):
+        va = trim(regex_to_va(formula))
+        assert evaluate_va(va, doc) == reference_evaluate(formula, doc)
+
+    @given(sequential_formulas(), documents)
+    @_SETTINGS
+    def test_poly_delay_matches_naive(self, formula, doc):
+        va = trim(regex_to_va(formula))
+        assert evaluate_va(va, doc) == evaluate_naive(va, doc)
+
+
+class TestTransformEquivalence:
+    @given(sequential_formulas(max_vars=2), documents)
+    @_SETTINGS
+    def test_semi_functionalisation_preserves_semantics(self, formula, doc):
+        va = trim(regex_to_va(formula))
+        prepared = make_semi_functional(va, va.variables)
+        assert evaluate_va(prepared, doc) == evaluate_va(va, doc)
+
+    @given(sequential_formulas(max_vars=2), documents)
+    @_SETTINGS
+    def test_disjunctive_functional_preserves_semantics(self, formula, doc):
+        va = trim(regex_to_va(formula))
+        dfunc = to_disjunctive_functional_va(va)
+        assert evaluate_va(dfunc, doc) == evaluate_va(va, doc)
+
+
+class TestCompiledOperators:
+    @given(sequential_formulas(max_vars=2), sequential_formulas(max_vars=2), documents)
+    @_SETTINGS
+    def test_fpt_join_matches_semantic_join(self, f1, f2, doc):
+        a1, a2 = trim(regex_to_va(f1)), trim(regex_to_va(f2))
+        expected = semantic_join(evaluate_va(a1, doc), evaluate_va(a2, doc))
+        assert evaluate_va(fpt_join(a1, a2), doc) == expected
+
+    @given(sequential_formulas(max_vars=2), sequential_formulas(max_vars=2), documents)
+    @_SETTINGS
+    def test_adhoc_difference_matches_semantic_difference(self, f1, f2, doc):
+        a1, a2 = trim(regex_to_va(f1)), trim(regex_to_va(f2))
+        expected = semantic_difference(evaluate_va(a1, doc), evaluate_va(a2, doc))
+        assert evaluate_va(adhoc_difference(a1, a2, doc), doc) == expected

@@ -1,0 +1,48 @@
+"""Parser round-trips and classification invariants (hypothesis)."""
+
+from hypothesis import given, settings
+
+from repro.regex import (
+    is_disjunctive_functional,
+    is_functional,
+    is_sequential,
+    parse,
+)
+from repro.regex.transform import count_disjuncts, disjunct_set
+
+from .conftest import sequential_formulas
+
+
+class TestRoundTrips:
+    @given(sequential_formulas())
+    @settings(max_examples=80)
+    def test_render_parse_identity(self, formula):
+        assert parse(formula.to_text()) == formula
+
+    @given(sequential_formulas())
+    @settings(max_examples=80)
+    def test_generator_emits_sequential_formulas(self, formula):
+        assert is_sequential(formula)
+
+
+class TestClassHierarchy:
+    @given(sequential_formulas())
+    @settings(max_examples=60)
+    def test_functional_implies_dfunc_implies_sequential(self, formula):
+        if is_functional(formula):
+            assert is_disjunctive_functional(formula)
+        if is_disjunctive_functional(formula):
+            assert is_sequential(formula)
+
+
+class TestDisjunctiveTranslation:
+    @given(sequential_formulas(max_vars=2))
+    @settings(max_examples=40)
+    def test_disjunct_count_matches_materialisation(self, formula):
+        assert count_disjuncts(formula) == len(disjunct_set(formula))
+
+    @given(sequential_formulas(max_vars=2))
+    @settings(max_examples=40)
+    def test_all_disjuncts_functional(self, formula):
+        for disjunct in disjunct_set(formula):
+            assert is_functional(disjunct), disjunct.to_text()

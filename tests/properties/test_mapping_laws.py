@@ -1,0 +1,102 @@
+"""Algebraic laws of spans, mappings, and relations (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Mapping, SpanRelation
+
+from .conftest import mappings, spans
+
+
+class TestSpanLaws:
+    @given(spans(), spans())
+    def test_overlap_is_symmetric(self, s1, s2):
+        assert s1.overlaps(s2) == s2.overlaps(s1)
+
+    @given(spans())
+    def test_contains_is_reflexive(self, s):
+        assert s.contains(s)
+
+    @given(spans(), spans(), spans())
+    def test_contains_is_transitive(self, s1, s2, s3):
+        if s1.contains(s2) and s2.contains(s3):
+            assert s1.contains(s3)
+
+    @given(spans())
+    def test_shift_roundtrip(self, s):
+        assert s.shift(3).shift(-3) == s
+
+
+class TestCompatibilityLaws:
+    @given(mappings(), mappings())
+    def test_compatibility_symmetric(self, m1, m2):
+        assert m1.is_compatible(m2) == m2.is_compatible(m1)
+
+    @given(mappings())
+    def test_compatibility_reflexive(self, m):
+        assert m.is_compatible(m)
+
+    @given(mappings(), mappings())
+    def test_union_commutative_on_compatibles(self, m1, m2):
+        if m1.is_compatible(m2):
+            assert m1.union(m2) == m2.union(m1)
+
+    @given(mappings(), mappings())
+    def test_union_domain(self, m1, m2):
+        if m1.is_compatible(m2):
+            assert m1.union(m2).domain == m1.domain | m2.domain
+
+    @given(mappings())
+    def test_empty_mapping_is_identity(self, m):
+        assert m.union(Mapping()) == m
+
+    @given(mappings(), st.sets(st.sampled_from("xyz")))
+    def test_restriction_shrinks_domain(self, m, keep):
+        restricted = m.restrict(keep)
+        assert restricted.domain <= m.domain
+        assert restricted.domain <= keep
+        assert m.is_compatible(restricted)
+
+
+class TestRelationLaws:
+    @given(st.lists(mappings(), max_size=5), st.lists(mappings(), max_size=5))
+    @settings(max_examples=40)
+    def test_join_commutative(self, l1, l2):
+        r1, r2 = SpanRelation(l1), SpanRelation(l2)
+        assert r1.join(r2) == r2.join(r1)
+
+    @given(
+        st.lists(mappings(), max_size=4),
+        st.lists(mappings(), max_size=4),
+        st.lists(mappings(), max_size=4),
+    )
+    @settings(max_examples=25)
+    def test_join_associative(self, l1, l2, l3):
+        r1, r2, r3 = SpanRelation(l1), SpanRelation(l2), SpanRelation(l3)
+        assert r1.join(r2).join(r3) == r1.join(r2.join(r3))
+
+    @given(st.lists(mappings(), max_size=5))
+    def test_difference_with_empty(self, l):
+        rel = SpanRelation(l)
+        assert rel.difference(SpanRelation()) == rel
+        assert SpanRelation().difference(rel).is_empty
+
+    @given(st.lists(mappings(), max_size=5))
+    def test_self_difference_empty(self, l):
+        rel = SpanRelation(l)
+        assert rel.difference(rel).is_empty
+
+    @given(st.lists(mappings(), max_size=5), st.lists(mappings(), max_size=5))
+    @settings(max_examples=40)
+    def test_difference_is_idempotent_in_subtrahend(self, l1, l2):
+        r1, r2 = SpanRelation(l1), SpanRelation(l2)
+        once = r1.difference(r2)
+        assert once.difference(r2) == once
+
+    @given(st.lists(mappings(), max_size=5), st.lists(mappings(), max_size=5))
+    @settings(max_examples=40)
+    def test_union_upper_bounds_both(self, l1, l2):
+        r1, r2 = SpanRelation(l1), SpanRelation(l2)
+        combined = r1.union(r2)
+        assert all(m in combined for m in r1)
+        assert all(m in combined for m in r2)

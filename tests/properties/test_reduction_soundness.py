@@ -1,0 +1,91 @@
+"""Reductions agree with the DPLL oracle on random formulas (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reductions import (
+    build_difference_instance,
+    build_join_instance,
+    build_tovey_instance,
+    is_satisfiable,
+    random_3cnf,
+    random_tovey_cnf,
+    weighted_satisfiable,
+    build_w1_instance,
+)
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.algebra import semantic_difference, semantic_join
+
+_SETTINGS = settings(max_examples=15, deadline=None)
+
+
+def _relation(formula, document):
+    return evaluate_va(trim(regex_to_va(formula)), document)
+
+
+@st.composite
+def small_3cnf(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    n_clauses = draw(st.integers(min_value=1, max_value=5))
+    return random_3cnf(4, n_clauses, random.Random(seed))
+
+
+@st.composite
+def small_tovey(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return random_tovey_cnf(4, random.Random(seed))
+
+
+class TestJoinReduction:
+    @given(small_3cnf())
+    @_SETTINGS
+    def test_nonempty_iff_satisfiable(self, cnf):
+        instance = build_join_instance(cnf)
+        joined = semantic_join(
+            _relation(instance.gamma1, instance.document),
+            _relation(instance.gamma2, instance.document),
+        )
+        assert (not joined.is_empty) == is_satisfiable(cnf)
+        for mapping in joined:
+            assert cnf.evaluate(instance.decode(mapping))
+
+
+class TestDifferenceReduction:
+    @given(small_3cnf())
+    @_SETTINGS
+    def test_nonempty_iff_satisfiable(self, cnf):
+        instance = build_difference_instance(cnf)
+        difference = semantic_difference(
+            _relation(instance.gamma1, instance.document),
+            _relation(instance.gamma2, instance.document),
+        )
+        assert (not difference.is_empty) == is_satisfiable(cnf)
+        for mapping in difference:
+            assert cnf.evaluate(instance.decode(mapping))
+
+
+class TestToveyReduction:
+    @given(small_tovey())
+    @_SETTINGS
+    def test_nonempty_iff_satisfiable(self, cnf):
+        instance = build_tovey_instance(cnf)
+        difference = semantic_difference(
+            _relation(instance.gamma1, instance.document),
+            _relation(instance.gamma2, instance.document),
+        )
+        assert (not difference.is_empty) == is_satisfiable(cnf)
+
+
+class TestW1Reduction:
+    @given(small_3cnf(), st.integers(min_value=1, max_value=2))
+    @settings(max_examples=10, deadline=None)
+    def test_nonempty_iff_weight_k_satisfiable(self, cnf, weight):
+        instance = build_w1_instance(cnf, weight)
+        difference = semantic_difference(
+            _relation(instance.gamma1, instance.document),
+            _relation(instance.gamma2, instance.document),
+        )
+        expected = weighted_satisfiable(cnf, weight) is not None
+        assert (not difference.is_empty) == expected

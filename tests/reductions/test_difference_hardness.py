@@ -1,0 +1,99 @@
+"""Theorem 4.1's reduction: SAT ⟺ nonempty difference of functional
+regexes."""
+
+import random
+
+from repro.core import Span
+from repro.reductions import (
+    PAPER_PHI,
+    build_difference_instance,
+    is_satisfiable,
+    random_3cnf,
+)
+from repro.regex import is_functional
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.algebra import adhoc_difference, semantic_difference
+
+
+def relation(instance, formula):
+    return evaluate_va(trim(regex_to_va(formula)), instance.document)
+
+
+class TestConstruction:
+    def test_formulas_are_functional_with_same_variables(self):
+        instance = build_difference_instance(PAPER_PHI)
+        assert is_functional(instance.gamma1)
+        assert is_functional(instance.gamma2)
+        assert instance.gamma1.variables == instance.gamma2.variables
+
+    def test_document_is_a_power(self):
+        assert build_difference_instance(PAPER_PHI).document.text == "aaa"
+
+    def test_gamma1_enumerates_assignments(self):
+        instance = build_difference_instance(PAPER_PHI)
+        assert len(relation(instance, instance.gamma1)) == 2 ** PAPER_PHI.n_vars
+
+    def test_gamma2_enumerates_violations(self):
+        instance = build_difference_instance(PAPER_PHI)
+        rel2 = relation(instance, instance.gamma2)
+        # γ2's mappings are exactly the assignments violating some clause.
+        for mapping in rel2:
+            assert not PAPER_PHI.evaluate(instance.decode(mapping))
+
+    def test_encode_decode_roundtrip(self):
+        instance = build_difference_instance(PAPER_PHI)
+        assignment = {1: True, 2: False, 3: True}
+        assert instance.decode(instance.encode(assignment)) == assignment
+
+    def test_paper_worked_example(self):
+        # The proof's example: τ(x)=τ(y)=t, τ(z)=f corresponds to
+        # µ(x)=[1,2>, µ(y)=[2,3>, µ(z)=[3,3> and survives the difference.
+        instance = build_difference_instance(PAPER_PHI)
+        survivor = instance.encode({1: True, 2: True, 3: False})
+        assert survivor["x1"] == Span(1, 2)
+        assert survivor["x3"] == Span(3, 3)
+        difference = semantic_difference(
+            relation(instance, instance.gamma1), relation(instance, instance.gamma2)
+        )
+        assert survivor in difference
+
+
+class TestReductionCorrectness:
+    def test_randomized_equivalence_with_dpll(self):
+        rng = random.Random(23)
+        for _ in range(12):
+            cnf = random_3cnf(4, rng.randint(2, 8), rng)
+            instance = build_difference_instance(cnf)
+            difference = semantic_difference(
+                relation(instance, instance.gamma1),
+                relation(instance, instance.gamma2),
+            )
+            assert (not difference.is_empty) == is_satisfiable(cnf), cnf
+            for mapping in difference:
+                assert cnf.evaluate(instance.decode(mapping))
+
+    def test_survivors_are_exactly_the_models(self):
+        instance = build_difference_instance(PAPER_PHI)
+        difference = semantic_difference(
+            relation(instance, instance.gamma1), relation(instance, instance.gamma2)
+        )
+        from repro.reductions import all_models
+
+        models = {tuple(sorted(m.items())) for m in all_models(PAPER_PHI)}
+        decoded = {
+            tuple(sorted(instance.decode(mapping).items())) for mapping in difference
+        }
+        assert decoded == models
+
+    def test_adhoc_difference_agrees_on_small_instance(self):
+        # The common-variable count here equals n — outside Theorem 4.3's
+        # bounded regime, but the ad-hoc compilation is still correct.
+        cnf = random_3cnf(3, 2, random.Random(1))
+        instance = build_difference_instance(cnf)
+        a1 = trim(regex_to_va(instance.gamma1))
+        a2 = trim(regex_to_va(instance.gamma2))
+        compiled = adhoc_difference(a1, a2, instance.document)
+        expected = semantic_difference(
+            evaluate_va(a1, instance.document), evaluate_va(a2, instance.document)
+        )
+        assert evaluate_va(compiled, instance.document) == expected

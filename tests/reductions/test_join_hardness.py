@@ -1,0 +1,83 @@
+"""Theorem 3.1's reduction: SAT ⟺ nonempty join of sequential regexes."""
+
+import random
+
+from repro.reductions import PAPER_PHI, build_join_instance, is_satisfiable, random_3cnf
+from repro.regex import is_functional, is_sequential
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.algebra import fpt_join, semantic_join
+
+
+def relation(instance, formula):
+    return evaluate_va(trim(regex_to_va(formula)), instance.document)
+
+
+class TestConstruction:
+    def test_formulas_are_sequential_not_functional(self):
+        instance = build_join_instance(PAPER_PHI)
+        assert is_sequential(instance.gamma1) and is_sequential(instance.gamma2)
+        assert not is_functional(instance.gamma1)
+        assert not is_functional(instance.gamma2)
+
+    def test_document_is_single_letter(self):
+        assert build_join_instance(PAPER_PHI).document.text == "a"
+
+    def test_capture_variable_count(self):
+        # 2m capture variables per SAT variable.
+        instance = build_join_instance(PAPER_PHI)
+        assert len(instance.gamma1.variables) == 2 * PAPER_PHI.n_vars * PAPER_PHI.n_clauses
+
+    def test_gamma1_enumerates_polarity_choices(self):
+        instance = build_join_instance(PAPER_PHI)
+        rel = relation(instance, instance.gamma1)
+        assert len(rel) == 2 ** PAPER_PHI.n_vars
+
+    def test_gamma2_enumerates_literal_picks(self):
+        instance = build_join_instance(PAPER_PHI)
+        rel = relation(instance, instance.gamma2)
+        assert len(rel) == 3 ** PAPER_PHI.n_clauses
+
+
+class TestReductionCorrectness:
+    def test_paper_phi_is_satisfiable_and_join_nonempty(self):
+        instance = build_join_instance(PAPER_PHI)
+        joined = semantic_join(
+            relation(instance, instance.gamma1), relation(instance, instance.gamma2)
+        )
+        assert not joined.is_empty
+        for mapping in joined:
+            assert PAPER_PHI.evaluate(instance.decode(mapping))
+
+    def test_randomized_equivalence_with_dpll(self):
+        rng = random.Random(17)
+        for _ in range(12):
+            cnf = random_3cnf(4, rng.randint(2, 8), rng)
+            instance = build_join_instance(cnf)
+            joined = semantic_join(
+                relation(instance, instance.gamma1),
+                relation(instance, instance.gamma2),
+            )
+            assert (not joined.is_empty) == is_satisfiable(cnf), cnf
+            for mapping in joined:
+                assert cnf.evaluate(instance.decode(mapping)), (cnf, mapping)
+
+    def test_fpt_join_would_be_exponential_here(self):
+        # The instance shares *all* capture variables — exactly the regime
+        # Theorem 3.1 proves hard and Lemma 3.2 excludes by its 4^k cost.
+        instance = build_join_instance(random_3cnf(3, 2, random.Random(0)))
+        a1 = trim(regex_to_va(instance.gamma1))
+        a2 = trim(regex_to_va(instance.gamma2))
+        shared = a1.variables & a2.variables
+        assert len(shared) >= instance.cnf.n_clauses  # unbounded with the formula
+
+    def test_fpt_join_still_correct_on_tiny_instance(self):
+        # For a 1-clause formula the shared set is small enough to compile.
+        cnf = random_3cnf(3, 1, random.Random(2))
+        instance = build_join_instance(cnf)
+        a1 = trim(regex_to_va(instance.gamma1))
+        a2 = trim(regex_to_va(instance.gamma2))
+        joined = fpt_join(a1, a2)
+        expected = semantic_join(
+            evaluate_va(a1, instance.document), evaluate_va(a2, instance.document)
+        )
+        assert evaluate_va(joined, instance.document) == expected

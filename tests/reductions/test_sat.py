@@ -1,0 +1,106 @@
+"""CNF machinery and solvers."""
+
+import random
+
+import pytest
+
+from repro.reductions import (
+    CNF,
+    PAPER_PHI,
+    all_models,
+    dpll_satisfiable,
+    is_satisfiable,
+    pigeonhole_cnf,
+    random_3cnf,
+    random_tovey_cnf,
+    to_tovey,
+    weighted_satisfiable,
+)
+
+
+class TestCNF:
+    def test_evaluate(self):
+        assert PAPER_PHI.evaluate({1: False, 2: True, 3: True})
+        assert not PAPER_PHI.evaluate({1: True, 2: False, 3: True})
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(2, ((1, 3),))
+        with pytest.raises(ValueError):
+            CNF(2, ((0,),))
+
+    def test_str_rendering(self):
+        assert "¬x1" in str(CNF(1, ((-1,),)))
+
+    def test_variable_occurrences(self):
+        cnf = CNF(3, ((1, 2), (-1, 3)))
+        assert cnf.variable_occurrences() == {1: 2, 2: 1, 3: 1}
+
+    def test_tovey_form_check(self):
+        assert CNF(3, ((1, 2), (-1, 3), (2, 3))).is_tovey_form()
+        assert not CNF(3, ((1, 2, 3), (1, 2), (1, 3), (-1, 2))).is_tovey_form()  # x1 × 4
+        assert not CNF(1, ((1,),)).is_tovey_form()  # unit clause
+
+
+class TestSolvers:
+    def test_dpll_on_paper_phi(self):
+        model = dpll_satisfiable(PAPER_PHI)
+        assert model is not None and PAPER_PHI.evaluate(model)
+
+    def test_dpll_detects_unsat(self):
+        unsat = CNF(1, ((1,), (-1,)))
+        assert dpll_satisfiable(unsat) is None
+
+    def test_dpll_agrees_with_brute_force(self):
+        rng = random.Random(11)
+        for _ in range(30):
+            cnf = random_3cnf(5, rng.randint(3, 20), rng)
+            brute = any(True for _ in all_models(cnf))
+            assert is_satisfiable(cnf) == brute, cnf
+
+    def test_pigeonhole_is_unsat(self):
+        assert not is_satisfiable(pigeonhole_cnf(2))
+        assert not is_satisfiable(pigeonhole_cnf(3))
+
+    def test_all_models_are_models(self):
+        for model in all_models(PAPER_PHI):
+            assert PAPER_PHI.evaluate(model)
+
+    def test_weighted_satisfiable(self):
+        cnf = CNF(3, ((1, 2),))  # needs at least one of x1/x2 true
+        assert weighted_satisfiable(cnf, 0) is None
+        model = weighted_satisfiable(cnf, 1)
+        assert model is not None and sum(model.values()) == 1
+
+    def test_weighted_exactness(self):
+        cnf = CNF(2, ((-1,), (-2,)))  # both must be false
+        assert weighted_satisfiable(cnf, 0) is not None
+        assert weighted_satisfiable(cnf, 1) is None
+
+
+class TestGenerators:
+    def test_random_3cnf_shape(self):
+        rng = random.Random(0)
+        cnf = random_3cnf(6, 10, rng)
+        assert cnf.n_clauses == 10
+        assert all(len(c) == 3 for c in cnf.clauses)
+        assert all(len({abs(l) for l in c}) == 3 for c in cnf.clauses)
+
+    def test_random_3cnf_needs_three_vars(self):
+        with pytest.raises(ValueError):
+            random_3cnf(2, 1, random.Random(0))
+
+    def test_random_tovey_is_tovey(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            assert random_tovey_cnf(6, rng).is_tovey_form()
+
+    def test_to_tovey_preserves_satisfiability(self):
+        rng = random.Random(9)
+        for _ in range(15):
+            cnf = random_3cnf(4, rng.randint(4, 10), rng)
+            converted = to_tovey(cnf)
+            assert all(
+                count <= 3 for count in converted.variable_occurrences().values()
+            )
+            assert is_satisfiable(cnf) == is_satisfiable(converted), cnf

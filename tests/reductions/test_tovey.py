@@ -1,0 +1,88 @@
+"""Prop. 4.10's reduction: Tovey-SAT ⟺ difference with disjunction-free
+operand structure."""
+
+import random
+
+import pytest
+
+from repro.reductions import (
+    CNF,
+    build_tovey_instance,
+    is_satisfiable,
+    random_tovey_cnf,
+    to_tovey,
+)
+from repro.regex import disjuncts, is_disjunction_free, is_functional
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.algebra import semantic_difference
+
+
+def relation(instance, formula):
+    return evaluate_va(trim(regex_to_va(formula)), instance.document)
+
+
+def small_tovey(seed: int) -> CNF:
+    return random_tovey_cnf(4, random.Random(seed))
+
+
+class TestConstruction:
+    def test_requires_tovey_form(self):
+        not_tovey = CNF(1, ((1,),))
+        with pytest.raises(ValueError):
+            build_tovey_instance(not_tovey)
+
+    def test_gamma1_functional_and_disjunction_free(self):
+        instance = build_tovey_instance(small_tovey(0))
+        assert is_functional(instance.gamma1)
+        assert is_disjunction_free(instance.gamma1)
+
+    def test_gamma2_disjuncts_are_disjunction_free(self):
+        instance = build_tovey_instance(small_tovey(0))
+        for disjunct in disjuncts(instance.gamma2):
+            assert is_disjunction_free(disjunct)
+
+    def test_each_variable_in_at_most_three_disjuncts(self):
+        instance = build_tovey_instance(small_tovey(1))
+        counts: dict[str, int] = {}
+        for disjunct in disjuncts(instance.gamma2):
+            for var in disjunct.variables:
+                counts[var] = counts.get(var, 0) + 1
+        assert all(count <= 3 for count in counts.values())
+
+    def test_document_shape(self):
+        cnf = small_tovey(2)
+        instance = build_tovey_instance(cnf)
+        assert instance.document.text == "bab" * cnf.n_vars
+
+    def test_encode_decode_roundtrip(self):
+        cnf = small_tovey(3)
+        instance = build_tovey_instance(cnf)
+        assignment = {v: bool(v % 2) for v in range(1, cnf.n_vars + 1)}
+        assert instance.decode(instance.encode(assignment)) == assignment
+
+
+class TestReductionCorrectness:
+    def test_randomized_equivalence_with_dpll(self):
+        rng = random.Random(41)
+        for _ in range(10):
+            cnf = random_tovey_cnf(4, rng)
+            instance = build_tovey_instance(cnf)
+            difference = semantic_difference(
+                relation(instance, instance.gamma1),
+                relation(instance, instance.gamma2),
+            )
+            assert (not difference.is_empty) == is_satisfiable(cnf), cnf
+            for mapping in difference:
+                assert cnf.evaluate(instance.decode(mapping))
+
+    def test_composes_with_to_tovey(self):
+        # General 3CNF → Tovey form → Prop.-4.10 instance.
+        from repro.reductions import random_3cnf
+
+        cnf = random_3cnf(3, 5, random.Random(7))
+        tovey = to_tovey(cnf)
+        instance = build_tovey_instance(tovey)
+        difference = semantic_difference(
+            relation(instance, instance.gamma1), relation(instance, instance.gamma2)
+        )
+        assert (not difference.is_empty) == is_satisfiable(cnf)

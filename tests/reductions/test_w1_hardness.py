@@ -1,0 +1,99 @@
+"""Theorem 4.4's reduction: weight-k SAT ⟺ difference nonemptiness with k
+common variables."""
+
+import random
+
+from repro.reductions import (
+    CNF,
+    build_w1_instance,
+    codeword,
+    codeword_width,
+    random_3cnf,
+    weighted_satisfiable,
+)
+from repro.regex import is_functional
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.algebra import semantic_difference
+
+
+def relation(instance, formula):
+    return evaluate_va(trim(regex_to_va(formula)), instance.document)
+
+
+class TestCodewords:
+    def test_codewords_are_distinct_and_fixed_width(self):
+        width = codeword_width(6)
+        words = [codeword(i, width) for i in range(1, 7)]
+        assert len(set(words)) == 6
+        assert all(len(w) == width for w in words)
+
+    def test_codeword_alphabet(self):
+        assert set(codeword(3, 4)) <= {"a", "b"}
+
+    def test_width_is_logarithmic(self):
+        assert codeword_width(2) == 1
+        assert codeword_width(5) == 3
+        assert codeword_width(1024) == 10
+
+
+class TestConstruction:
+    def test_shared_variables_are_exactly_k(self):
+        cnf = random_3cnf(4, 3, random.Random(0))
+        instance = build_w1_instance(cnf, 2)
+        shared = instance.gamma1.variables & instance.gamma2.variables
+        assert shared == {"y1", "y2"} == instance.shared_variables
+
+    def test_formulas_functional(self):
+        cnf = random_3cnf(4, 3, random.Random(0))
+        instance = build_w1_instance(cnf, 2)
+        assert is_functional(instance.gamma1)
+        assert is_functional(instance.gamma2)
+
+    def test_gamma1_counts_weight_k_selections(self):
+        from math import comb
+
+        cnf = random_3cnf(4, 2, random.Random(1))
+        instance = build_w1_instance(cnf, 2)
+        assert len(relation(instance, instance.gamma1)) == comb(4, 2)
+
+
+class TestReductionCorrectness:
+    def test_randomized_equivalence(self):
+        rng = random.Random(31)
+        for _ in range(8):
+            cnf = random_3cnf(4, rng.randint(1, 4), rng)
+            for weight in (1, 2, 3):
+                instance = build_w1_instance(cnf, weight)
+                difference = semantic_difference(
+                    relation(instance, instance.gamma1),
+                    relation(instance, instance.gamma2),
+                )
+                expected = weighted_satisfiable(cnf, weight) is not None
+                assert (not difference.is_empty) == expected, (cnf, weight)
+                for mapping in difference:
+                    model = instance.decode(mapping)
+                    assert cnf.evaluate(model)
+                    assert sum(model.values()) == weight
+
+    def test_all_negative_clause(self):
+        # ¬x1 ∨ ¬x2 ∨ ¬x3 with weight 3 is unsatisfiable, weight 2 is fine.
+        cnf = CNF(3, ((-1, -2, -3),))
+        hard = build_w1_instance(cnf, 3)
+        easy = build_w1_instance(cnf, 2)
+        assert semantic_difference(
+            relation(hard, hard.gamma1), relation(hard, hard.gamma2)
+        ).is_empty
+        assert not semantic_difference(
+            relation(easy, easy.gamma1), relation(easy, easy.gamma2)
+        ).is_empty
+
+    def test_weight_larger_than_negatives_allows_violation_pins(self):
+        # A clause with one negated variable: the pinned-slot disjuncts.
+        cnf = CNF(3, ((-1, 2, 3),))
+        instance = build_w1_instance(cnf, 1)
+        # weight-1 models: {x1} violates, {x2}/{x3} satisfy.
+        difference = semantic_difference(
+            relation(instance, instance.gamma1), relation(instance, instance.gamma2)
+        )
+        decoded = {frozenset(v for v, b in instance.decode(m).items() if b) for m in difference}
+        assert decoded == {frozenset({2}), frozenset({3})}

@@ -1,0 +1,132 @@
+"""Regex-formula AST structure and rendering."""
+
+import pytest
+
+from repro.core import RegexSyntaxError
+from repro.regex import (
+    Capture,
+    CharSet,
+    Concat,
+    Literal,
+    Star,
+    Union,
+    capture,
+    concat,
+    empty,
+    eps,
+    lit,
+    star,
+    sym,
+    union,
+)
+
+
+class TestNodes:
+    def test_literal_single_char_only(self):
+        with pytest.raises(RegexSyntaxError):
+            Literal("ab")
+
+    def test_charset_requires_symbols(self):
+        with pytest.raises(RegexSyntaxError):
+            CharSet([])
+        with pytest.raises(RegexSyntaxError):
+            CharSet(["ab"])
+
+    def test_union_flattens(self):
+        u = Union([sym("a"), Union([sym("b"), sym("c")])])
+        assert len(u.parts) == 3
+
+    def test_concat_flattens(self):
+        c = Concat([sym("a"), Concat([sym("b"), sym("c")])])
+        assert len(c.parts) == 3
+
+    def test_nary_nodes_need_two_operands(self):
+        with pytest.raises(RegexSyntaxError):
+            Union([sym("a")])
+        with pytest.raises(RegexSyntaxError):
+            Concat([sym("a")])
+
+    def test_capture_variable_name_validation(self):
+        with pytest.raises(RegexSyntaxError):
+            Capture("", sym("a"))
+        with pytest.raises(RegexSyntaxError):
+            Capture("1bad", sym("a"))
+        with pytest.raises(RegexSyntaxError):
+            Capture("sp ace", sym("a"))
+
+    def test_nodes_are_immutable(self):
+        node = sym("a")
+        with pytest.raises(AttributeError):
+            node.symbol = "b"
+
+
+class TestVariables:
+    def test_variables_collects_captures(self):
+        f = concat(capture("x", sym("a")), union(capture("y", sym("b")), eps()))
+        assert f.variables == {"x", "y"}
+
+    def test_variable_free(self):
+        assert star(sym("a")).variables == frozenset()
+
+    def test_nested_capture(self):
+        f = capture("x", capture("y", sym("a")))
+        assert f.variables == {"x", "y"}
+
+
+class TestIdentity:
+    def test_structural_equality(self):
+        assert capture("x", sym("a")) == capture("x", sym("a"))
+        assert capture("x", sym("a")) != capture("y", sym("a"))
+        assert hash(lit("ab")) == hash(lit("ab"))
+
+    def test_walk_and_size(self):
+        f = concat(sym("a"), star(sym("b")))
+        kinds = [type(n).__name__ for n in f.walk()]
+        assert kinds == ["Concat", "Literal", "Star", "Literal"]
+        assert f.size() == 4
+
+
+class TestBuilders:
+    def test_lit_builds_concat(self):
+        f = lit("abc")
+        assert isinstance(f, Concat) and f.size() == 4
+
+    def test_lit_empty_is_epsilon(self):
+        assert lit("") == eps()
+
+    def test_union_drops_empty_language(self):
+        assert union(sym("a"), empty()) == sym("a")
+        assert union(empty(), empty()) == empty()
+
+    def test_concat_annihilates_on_empty(self):
+        assert concat(sym("a"), empty()) == empty()
+
+    def test_concat_drops_epsilon(self):
+        assert concat(eps(), sym("a"), eps()) == sym("a")
+
+    def test_star_simplifications(self):
+        assert star(eps()) == eps()
+        assert star(empty()) == eps()
+        assert star(star(sym("a"))) == star(sym("a"))
+
+
+class TestRendering:
+    def test_precedence_parentheses(self):
+        f = concat(union(sym("a"), sym("b")), sym("c"))
+        assert f.to_text() == "(a|b)c"
+
+    def test_star_binds_tighter_than_concat(self):
+        assert concat(sym("a"), star(sym("b"))).to_text() == "ab*"
+        assert star(concat(sym("a"), sym("b"))).to_text() == "(ab)*"
+
+    def test_capture_rendering(self):
+        assert capture("x", sym("a")).to_text() == "x{a}"
+
+    def test_charset_compresses_ranges(self):
+        from repro.regex import char_range
+
+        assert char_range("a", "e").to_text() == "[a-e]"
+
+    def test_escaping_special_characters(self):
+        assert sym("*").to_text() == "\\*"
+        assert sym("|").to_text() == "\\|"

@@ -1,0 +1,161 @@
+"""The textual regex-formula syntax."""
+
+import pytest
+
+from repro.core import RegexSyntaxError
+from repro.regex import (
+    CharSet,
+    capture,
+    chars,
+    concat,
+    eps,
+    lit,
+    opt,
+    parse,
+    plus,
+    star,
+    sym,
+    union,
+)
+
+
+class TestAtoms:
+    def test_single_letter(self):
+        assert parse("a") == sym("a")
+
+    def test_concatenation(self):
+        assert parse("abc") == lit("abc")
+
+    def test_epsilon_symbol_and_escape(self):
+        assert parse("ε") == eps()
+        assert parse("\\e") == eps()
+
+    def test_empty_language(self):
+        assert parse("∅").to_text() == "∅"
+        assert parse("\\0").to_text() == "∅"
+
+    def test_empty_input_is_epsilon(self):
+        assert parse("") == eps()
+
+    def test_space_is_a_literal(self):
+        assert parse("a b") == lit("a b")
+
+    def test_explicit_concat_dot_ignored(self):
+        assert parse("a·b") == lit("ab")
+
+
+class TestOperators:
+    def test_union(self):
+        assert parse("a|b") == union(sym("a"), sym("b"))
+
+    def test_union_paper_symbol(self):
+        assert parse("a∨b") == union(sym("a"), sym("b"))
+
+    def test_star(self):
+        assert parse("a*") == star(sym("a"))
+
+    def test_plus_expands(self):
+        assert parse("a+") == plus(sym("a"))
+
+    def test_opt_expands(self):
+        assert parse("a?") == opt(sym("a"))
+
+    def test_precedence_union_below_concat(self):
+        assert parse("ab|cd") == union(lit("ab"), lit("cd"))
+
+    def test_grouping(self):
+        assert parse("(a|b)c") == concat(union(sym("a"), sym("b")), sym("c"))
+
+    def test_empty_branch_is_epsilon(self):
+        assert parse("a|") == union(sym("a"), eps())
+
+
+class TestCaptures:
+    def test_simple_capture(self):
+        assert parse("x{a}") == capture("x", sym("a"))
+
+    def test_maximal_identifier_rule(self):
+        # "ab{...}" parses as a capture named "ab", per the documented rule.
+        assert parse("ab{c}") == capture("ab", sym("c"))
+
+    def test_literal_then_capture_needs_grouping(self):
+        assert parse("a(b{c})") == concat(sym("a"), capture("b", sym("c")))
+
+    def test_nested_captures(self):
+        assert parse("x{y{a}}") == capture("x", capture("y", sym("a")))
+
+    def test_identifier_without_brace_is_literals(self):
+        assert parse("abc") == lit("abc")
+
+    def test_unbalanced_capture_brace(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("x{a")
+
+    def test_escaped_brace_is_literal(self):
+        assert parse("a\\{b") == lit("a{b")
+
+
+class TestCharSets:
+    def test_explicit_set(self):
+        assert parse("[abc]") == chars("abc")
+
+    def test_range(self):
+        assert parse("[a-c]") == chars("abc")
+
+    def test_mixed_set_and_range(self):
+        assert parse("[a-c9]") == chars("abc9")
+
+    def test_trailing_dash_is_literal(self):
+        assert parse("[a-]") == chars("a-")
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[c-a]")
+
+    def test_unbalanced_bracket(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[abc")
+
+    def test_singleton_set_is_literal(self):
+        assert parse("[a]") == sym("a")
+
+
+class TestWildcardAndEscapes:
+    def test_dot_requires_alphabet(self):
+        with pytest.raises(RegexSyntaxError):
+            parse(".")
+
+    def test_dot_with_alphabet(self):
+        assert parse(".", alphabet="ab") == chars("ab")
+
+    def test_escapes(self):
+        assert parse("\\*\\|\\(\\)") == lit("*|()")
+        assert parse("\\n\\t\\s") == lit("\n\t ")
+
+    def test_dangling_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a\\")
+
+    def test_error_reports_position(self):
+        with pytest.raises(RegexSyntaxError) as excinfo:
+            parse("ab)cd")
+        assert excinfo.value.position == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "abc",
+            "a|b|c",
+            "(a|b)*c",
+            "x{a+}",
+            "x{[a-c]*}@y{[0-9]+}",
+            "a(b{c})|d?",
+            "x{ε}|y{∅*}",
+        ],
+    )
+    def test_parse_render_parse_fixpoint(self, text):
+        once = parse(text)
+        assert parse(once.to_text()) == once

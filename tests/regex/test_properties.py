@@ -1,0 +1,147 @@
+"""The syntactic classes: functional ⊊ dfunc ⊊ sequential, synchronized,
+disjunction-free (§2.2, §3.2, §4.2)."""
+
+import pytest
+
+from repro.regex import (
+    capture,
+    classify,
+    concat,
+    disjuncts,
+    eps,
+    functional_variables,
+    is_disjunction_free,
+    is_disjunctive_functional,
+    is_functional,
+    is_sequential,
+    is_synchronized,
+    is_synchronized_for,
+    lit,
+    parse,
+    sigma_star,
+    star,
+    sym,
+    union,
+)
+from repro.workloads import alpha_info, alpha_name, prop311_formula
+
+
+class TestFunctional:
+    def test_plain_string_is_functional(self):
+        assert is_functional(lit("abc"))
+        assert functional_variables(lit("abc")) == frozenset()
+
+    def test_simple_capture(self):
+        f = capture("x", lit("ab"))
+        assert functional_variables(f) == {"x"}
+
+    def test_union_branches_must_agree(self):
+        same = union(capture("x", sym("a")), capture("x", sym("b")))
+        assert is_functional(same)
+        differ = union(capture("x", sym("a")), capture("y", sym("b")))
+        assert not is_functional(differ)
+
+    def test_optional_variable_not_functional(self):
+        # αname of Example 2.2: xfirst is optional.
+        assert not is_functional(alpha_name())
+
+    def test_variable_under_star_not_functional(self):
+        assert not is_functional(star(capture("x", sym("a"))))
+
+    def test_repeated_variable_in_concat_not_functional(self):
+        f = concat(capture("x", sym("a")), capture("x", sym("b")))
+        assert not is_functional(f)
+
+    def test_nested_capture_same_name_not_functional(self):
+        assert not is_functional(capture("x", capture("x", sym("a"))))
+
+    def test_paper_example_22_not_functional(self):
+        assert not is_functional(alpha_info())
+
+
+class TestSequential:
+    def test_functional_implies_sequential(self):
+        f = capture("x", lit("ab"))
+        assert is_functional(f) and is_sequential(f)
+
+    def test_alpha_name_is_sequential(self):
+        assert is_sequential(alpha_name())
+
+    def test_alpha_info_is_sequential(self):
+        # Example 2.2: sequential but not functional.
+        assert is_sequential(alpha_info())
+
+    def test_concat_sharing_variable_not_sequential(self):
+        f = concat(capture("x", sym("a")), union(capture("x", sym("b")), eps()))
+        assert not is_sequential(f)
+
+    def test_variable_under_star_not_sequential(self):
+        assert not is_sequential(star(capture("x", sym("a"))))
+
+    def test_self_capture_not_sequential(self):
+        assert not is_sequential(capture("x", capture("x", sym("a"))))
+
+
+class TestDisjunctiveFunctional:
+    def test_functional_is_single_disjunct_dfunc(self):
+        f = capture("x", sym("a"))
+        assert is_disjunctive_functional(f)
+        assert disjuncts(f) == (f,)
+
+    def test_union_of_functional_with_different_vars(self):
+        f = union(capture("x", sym("a")), capture("y", sym("b")))
+        assert is_disjunctive_functional(f)
+        assert not is_functional(f)
+
+    def test_paper_counterexample(self):
+        # z{Σ*}·(x{Σ*} ∨ y{Σ*}) is sequential but not dfunc (§3.2).
+        sigma = sigma_star("ab")
+        f = concat(
+            capture("z", sigma),
+            union(capture("x", sigma), capture("y", sigma)),
+        )
+        assert is_sequential(f)
+        assert not is_disjunctive_functional(f)
+
+    def test_strict_inclusions(self):
+        # funcRGX ⊊ dfuncRGX ⊊ seqRGX on witnesses.
+        func = capture("x", sym("a"))
+        dfunc_only = union(capture("x", sym("a")), capture("y", sym("b")))
+        seq_only = prop311_formula(2)
+        assert classify(func)["functional"]
+        assert classify(dfunc_only)["disjunctive_functional"] and not classify(dfunc_only)["functional"]
+        assert classify(seq_only)["sequential"] and not classify(seq_only)["disjunctive_functional"]
+
+
+class TestSynchronized:
+    def test_example_45(self):
+        # (x{Σ*} ∨ ε)·y{Σ*}: synchronized for y, not for x.
+        sigma = sigma_star("ab")
+        f = concat(union(capture("x", sigma), eps()), capture("y", sigma))
+        assert is_synchronized_for(f, {"y"})
+        assert not is_synchronized_for(f, {"x"})
+        assert not is_synchronized(f)
+
+    def test_no_disjunctions_is_synchronized(self):
+        f = concat(capture("x", sym("a")), capture("y", star(sym("b"))))
+        assert is_synchronized(f)
+
+    def test_variable_free_disjunction_is_fine(self):
+        f = concat(union(sym("a"), sym("b")), capture("x", sym("c")))
+        assert is_synchronized(f)
+
+    def test_empty_target_set(self):
+        assert is_synchronized_for(parse("x{a}|y{b}"), set())
+
+
+class TestDisjunctionFree:
+    def test_star_is_allowed(self):
+        assert is_disjunction_free(concat(capture("x", star(sym("a"))), sym("b")))
+
+    def test_union_is_not(self):
+        assert not is_disjunction_free(union(sym("a"), sym("b")))
+
+    def test_charset_strictness(self):
+        f = capture("x", parse("[ab]"))
+        assert not is_disjunction_free(f, strict=True)
+        assert is_disjunction_free(f, strict=False)

@@ -1,0 +1,111 @@
+"""The reference semantics ``[α](d)`` and ``⟦α⟧(d)`` (§2.2)."""
+
+from repro.core import Mapping, Span
+from repro.regex import (
+    capture,
+    concat,
+    empty,
+    eps,
+    evaluate,
+    lit,
+    matches,
+    parse,
+    star,
+    sym,
+    union,
+)
+from repro.regex.semantics import ReferenceRegexSpanner
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestGrammarCases:
+    def test_empty_language(self):
+        assert matches(empty(), "ab") == frozenset()
+
+    def test_epsilon_matches_every_position(self):
+        result = matches(eps(), "ab")
+        assert {sp for sp, _ in result} == {Span(1, 1), Span(2, 2), Span(3, 3)}
+
+    def test_letter_matches_occurrences(self):
+        result = matches(sym("a"), "aba")
+        assert {sp for sp, _ in result} == {Span(1, 2), Span(3, 4)}
+
+    def test_capture_records_span(self):
+        result = matches(capture("x", sym("a")), "ab")
+        assert result == {(Span(1, 2), m(x=(1, 2)))}
+
+    def test_union_is_set_union(self):
+        result = matches(union(sym("a"), sym("b")), "ab")
+        assert {sp for sp, _ in result} == {Span(1, 2), Span(2, 3)}
+
+    def test_concat_adjoins_spans(self):
+        result = matches(lit("ab"), "ab")
+        assert (Span(1, 3), Mapping()) in result
+
+    def test_concat_requires_disjoint_domains(self):
+        # x{a}·x{b}: the second binding is dropped by the grammar's
+        # disjointness condition, so nothing matches.
+        f = concat(capture("x", sym("a")), capture("x", sym("b")))
+        assert evaluate(f, "ab").is_empty
+
+    def test_star_zero_and_many(self):
+        f = star(sym("a"))
+        spans = {sp for sp, _ in matches(f, "aa")}
+        assert Span(1, 1) in spans  # zero copies
+        assert Span(1, 3) in spans  # two copies
+
+    def test_star_with_variables_drops_repeats(self):
+        # (x{a})* can use x in at most one copy; longer repetitions are
+        # filtered by the domain-disjointness rule.
+        f = star(capture("x", sym("a")))
+        rel = evaluate(f, "aa")
+        assert rel.is_empty  # covering "aa" needs two copies, both binding x
+
+    def test_star_one_copy_with_variable(self):
+        f = star(capture("x", sym("a")))
+        rel = evaluate(f, "a")
+        assert rel == {m(x=(1, 2))}
+
+
+class TestEvaluate:
+    def test_requires_full_document_span(self):
+        f = capture("x", sym("a"))
+        assert evaluate(f, "ab").is_empty  # must cover the whole document
+        assert evaluate(f, "a") == {m(x=(1, 2))}
+
+    def test_empty_document(self):
+        assert evaluate(eps(), "") == {Mapping()}
+        assert evaluate(sym("a"), "").is_empty
+
+    def test_boolean_formula_yields_empty_mapping(self):
+        assert evaluate(lit("ab"), "ab") == {Mapping()}
+
+    def test_example_23_equivalence(self):
+        # (Σ* x{Σ*} Σ*) ∨ Σ+ on "ab": all spans for x, plus the empty
+        # mapping from the Boolean branch.
+        f = parse("([ab]*x{[ab]*}[ab]*)|[ab]+")
+        rel = evaluate(f, "ab")
+        spans = {mu["x"] for mu in rel if "x" in mu.domain}
+        assert spans == {Span(i, j) for i in range(1, 4) for j in range(i, 4)}
+        assert Mapping() in rel
+
+    def test_optional_field_produces_partial_mappings(self):
+        f = parse("(x{a}|ε)y{b*}")
+        rel = evaluate(f, "b")
+        assert rel == {m(y=(1, 2))}
+        rel2 = evaluate(f, "ab")
+        assert rel2 == {m(x=(1, 2), y=(2, 3))}
+
+
+class TestReferenceSpanner:
+    def test_spanner_interface(self):
+        spanner = ReferenceRegexSpanner(parse("x{a}b"))
+        assert spanner.variables() == {"x"}
+        assert list(spanner.enumerate("ab")) == [m(x=(1, 2))]
+
+    def test_empty_result(self):
+        spanner = ReferenceRegexSpanner(parse("x{a}"))
+        assert not spanner.is_nonempty("b")

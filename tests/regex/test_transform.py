@@ -1,0 +1,85 @@
+"""Sequential → disjunctive-functional translation (Prop. 3.9(1), 3.11)."""
+
+import pytest
+
+from repro.core import NotSequentialError
+from repro.regex import (
+    capture,
+    concat,
+    count_disjuncts,
+    disjunct_set,
+    empty,
+    evaluate,
+    is_disjunctive_functional,
+    is_functional,
+    parse,
+    star,
+    sym,
+    to_disjunctive_functional,
+    union,
+)
+from repro.workloads import alpha_name, prop311_formula
+
+
+class TestDisjunctSet:
+    def test_functional_formula_is_its_own_disjunct(self):
+        f = capture("x", sym("a"))
+        assert disjunct_set(f) == (f,)
+
+    def test_empty_language_has_no_disjuncts(self):
+        assert disjunct_set(empty()) == ()
+        assert to_disjunctive_functional(empty()) == empty()
+
+    def test_alpha_name_splits_into_two(self):
+        parts = disjunct_set(alpha_name())
+        assert len(parts) == 2
+        assert all(is_functional(p) for p in parts)
+
+    def test_variable_free_union_stays_whole(self):
+        f = union(sym("a"), sym("b"))
+        assert disjunct_set(f) == (f,)
+
+    def test_concat_takes_cross_product(self):
+        f = concat(
+            union(capture("x", sym("a")), sym("b")),
+            union(capture("y", sym("c")), sym("d")),
+        )
+        assert len(disjunct_set(f)) == 4
+
+    def test_non_sequential_rejected(self):
+        with pytest.raises(NotSequentialError):
+            disjunct_set(star(capture("x", sym("a"))))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("doc", ["", "a", "ab", "ba", "abab"])
+    def test_alpha_name_like_equivalence(self, doc):
+        f = parse("(x{a} y{b})|y{b*}")
+        g = to_disjunctive_functional(f)
+        assert is_disjunctive_functional(g)
+        assert evaluate(f, doc) == evaluate(g, doc)
+
+    @pytest.mark.parametrize("doc", ["", "a", "ab", "bb"])
+    def test_prop311_equivalence_small(self, doc):
+        f = prop311_formula(2)
+        g = to_disjunctive_functional(f)
+        assert is_disjunctive_functional(g)
+        assert evaluate(f, doc) == evaluate(g, doc)
+
+
+class TestBlowup:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_prop311_needs_2_to_the_n_disjuncts(self, n):
+        assert count_disjuncts(prop311_formula(n)) == 2 ** n
+
+    def test_count_matches_materialisation(self):
+        f = prop311_formula(3)
+        assert count_disjuncts(f) == len(disjunct_set(f))
+
+    def test_count_without_materialisation_scales(self):
+        # 2^40 disjuncts would never fit in memory; counting is instant.
+        assert count_disjuncts(prop311_formula(40)) == 2 ** 40
+
+    def test_non_sequential_count_rejected(self):
+        with pytest.raises(NotSequentialError):
+            count_disjuncts(star(capture("x", sym("a"))))

@@ -1,0 +1,118 @@
+"""Interchange (JSON / DOT) and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.core import Mapping, Span, SpanRelation, SpannerError
+from repro.cli import main
+from repro.io import (
+    dumps_relation,
+    dumps_va,
+    loads_relation,
+    loads_va,
+    match_graph_to_dot,
+    va_to_dot,
+)
+from repro.regex import parse
+from repro.va import FactorizedVA, MatchGraph, evaluate_va, regex_to_va, trim
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+def sample_va():
+    return trim(regex_to_va(parse("x{a*}b|c")))
+
+
+class TestVASerialisation:
+    def test_roundtrip_preserves_semantics(self):
+        va = sample_va()
+        restored = loads_va(dumps_va(va))
+        for doc in ("b", "ab", "aab", "c", "a"):
+            assert evaluate_va(restored, doc) == evaluate_va(va, doc), doc
+
+    def test_json_is_valid_and_versioned(self):
+        payload = json.loads(dumps_va(sample_va()))
+        assert payload["format"] == "repro-va"
+        assert payload["version"] == 1
+        assert isinstance(payload["transitions"], list)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SpannerError):
+            loads_va(json.dumps({"format": "something-else", "version": 1}))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SpannerError):
+            loads_va(json.dumps({"format": "repro-va", "version": 99}))
+
+    def test_bad_label_rejected(self):
+        doc = {
+            "format": "repro-va",
+            "version": 1,
+            "initial": 0,
+            "accepting": [1],
+            "transitions": [[0, {"zap": "x"}, 1]],
+        }
+        with pytest.raises(SpannerError):
+            loads_va(json.dumps(doc))
+
+
+class TestRelationSerialisation:
+    def test_roundtrip(self):
+        relation = SpanRelation([m(x=(1, 2), y=(3, 3)), Mapping()])
+        assert loads_relation(dumps_relation(relation)) == relation
+
+    def test_empty_relation(self):
+        assert loads_relation(dumps_relation(SpanRelation())) == SpanRelation()
+
+
+class TestDot:
+    def test_va_dot_mentions_everything(self):
+        dot = va_to_dot(sample_va())
+        assert dot.startswith("digraph")
+        assert "x⊢" in dot and "⊣x" in dot
+        assert "doublecircle" in dot  # accepting states
+
+    def test_match_graph_dot(self):
+        graph = MatchGraph(FactorizedVA(sample_va()), "ab")
+        dot = match_graph_to_dot(graph)
+        assert dot.startswith("digraph") and "·a" in dot
+
+
+class TestCli:
+    def test_extract_table(self, capsys):
+        assert main(["extract", "x{[a-z]+}@y{[a-z]+}", "--text", "ab@cd"]) == 0
+        out = capsys.readouterr().out
+        assert "1 mapping(s)" in out and "[1, 3>" in out
+
+    def test_extract_json(self, capsys):
+        assert main(["extract", "x{a}b", "--text", "ab", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mappings"] == [{"x": [1, 2]}]
+
+    def test_extract_from_file(self, tmp_path, capsys):
+        path = tmp_path / "doc.txt"
+        path.write_text("ab@cd")
+        assert main(["extract", "x{[a-z]+}@y{[a-z]+}", "--file", str(path)]) == 0
+        assert "1 mapping(s)" in capsys.readouterr().out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "x{a}(y{b}|ε)"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential:" in out and "functional:" in out
+
+    def test_dot_output(self, capsys):
+        assert main(["dot", "x{a}b"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_syntax_error_reported(self, capsys):
+        assert main(["extract", "x{a", "--text", "a"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_show_content(self, capsys):
+        assert main(
+            ["extract", "x{[a-z]+}", "--text", "abc", "--show-content"]
+        ) == 0
+        assert "'abc'" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Measurement and rendering utilities."""
+
+import time
+
+import pytest
+
+from repro.utils import (
+    DelayRecorder,
+    fit_power_law,
+    format_table,
+    growth_factors,
+    record_enumeration,
+    time_call,
+)
+
+
+class TestDelayRecorder:
+    def test_counts_and_totals(self):
+        recorder = DelayRecorder(iter(range(5)))
+        assert list(recorder) == [0, 1, 2, 3, 4]
+        assert recorder.stats.count == 5
+        assert recorder.stats.total_time >= 0
+        assert len(recorder.stats.delays) == 5
+
+    def test_first_delay_includes_preprocessing(self):
+        def slow_start():
+            time.sleep(0.02)
+            yield 1
+            yield 2
+
+        recorder = DelayRecorder(slow_start())
+        list(recorder)
+        assert recorder.stats.first_delay >= 0.02
+        assert recorder.stats.max_inter_delay < recorder.stats.first_delay
+
+    def test_empty_source(self):
+        recorder = DelayRecorder(iter(()))
+        assert list(recorder) == []
+        assert recorder.stats.count == 0
+        assert recorder.stats.mean_delay == 0.0
+
+    def test_record_enumeration_with_limit(self):
+        stats = record_enumeration(iter(range(1000)), limit=10)
+        assert stats.count == 10
+
+    def test_stats_str(self):
+        stats = record_enumeration(iter(range(3)))
+        assert "3 results" in str(stats)
+
+    def test_time_call(self):
+        seconds, result = time_call(lambda x: x * 2, 21, repeat=3)
+        assert result == 42 and seconds >= 0
+
+
+class TestRender:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 22], [333, 4]], title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert "---" in lines[2]
+        assert lines[3].startswith("1  ")
+
+    def test_format_table_float_formatting(self):
+        table = format_table(["x"], [[0.12345], [12345.6], [0.0]])
+        assert "0.1234" in table or "0.1235" in table
+        assert "e+" in table.lower() or "1.235e" in table.lower()
+        assert "0" in table
+
+    def test_growth_factors(self):
+        assert growth_factors([1, 2, 8]) == [2.0, 4.0]
+
+    def test_growth_factors_with_zero(self):
+        assert growth_factors([0, 5]) == [float("inf")]
+
+    def test_fit_power_law_exact(self):
+        xs = [1, 2, 4, 8]
+        ys = [3 * x ** 2 for x in xs]
+        assert fit_power_law(xs, ys) == pytest.approx(2.0, abs=1e-9)
+
+    def test_fit_power_law_linear(self):
+        xs = [1, 10, 100]
+        ys = [5 * x for x in xs]
+        assert fit_power_law(xs, ys) == pytest.approx(1.0, abs=1e-9)
+
+    def test_fit_power_law_degenerate(self):
+        import math
+
+        assert math.isnan(fit_power_law([1], [1]))
+        assert math.isnan(fit_power_law([1, 1], [2, 3]))

@@ -1,0 +1,101 @@
+"""VA structure: states, transitions, labels (§2.3)."""
+
+import pytest
+
+from repro.core import SpannerError
+from repro.va import VA, VarOp, close_op, gamma, open_op
+
+
+def simple_va() -> VA:
+    """q0 --x⊢--> q1 --a--> q1 --⊣x--> q2, accepting q2."""
+    return VA(
+        0,
+        (2,),
+        [
+            (0, open_op("x"), 1),
+            (1, "a", 1),
+            (1, close_op("x"), 2),
+        ],
+    )
+
+
+class TestVarOp:
+    def test_rendering(self):
+        assert str(open_op("x")) == "x⊢"
+        assert str(close_op("x")) == "⊣x"
+
+    def test_is_close(self):
+        assert close_op("x").is_close and not open_op("x").is_close
+
+    def test_gamma(self):
+        assert gamma({"x"}) == {open_op("x"), close_op("x")}
+        assert len(gamma({"x", "y"})) == 4
+
+
+class TestConstruction:
+    def test_states_inferred_from_transitions(self):
+        va = simple_va()
+        assert va.states == {0, 1, 2}
+        assert va.n_states == 3 and va.n_transitions == 3
+
+    def test_variables_collected(self):
+        assert simple_va().variables == {"x"}
+
+    def test_letters_collected(self):
+        assert simple_va().letters() == {"a"}
+
+    def test_isolated_states_kept(self):
+        va = VA(0, (), (), states=(0, 1))
+        assert va.states == {0, 1}
+
+    def test_multi_char_letter_rejected(self):
+        with pytest.raises(SpannerError):
+            VA(0, (1,), [(0, "ab", 1)])
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(SpannerError):
+            VA(0, (1,), [(0, 42, 1)])
+
+    def test_transitions_from(self):
+        va = simple_va()
+        assert (open_op("x"), 1) in va.transitions_from(0)
+        assert va.transitions_from(99) == ()
+
+    def test_is_accepting(self):
+        va = simple_va()
+        assert va.is_accepting(2) and not va.is_accepting(0)
+
+
+class TestRewrites:
+    def test_with_accepting(self):
+        va = simple_va().with_accepting((1,))
+        assert va.accepting == {1}
+        assert va.n_transitions == 3
+
+    def test_map_states(self):
+        va = simple_va().map_states(lambda s: s + 10)
+        assert va.initial == 10 and va.accepting == {12}
+
+    def test_map_states_must_be_injective(self):
+        with pytest.raises(SpannerError):
+            simple_va().map_states(lambda s: 0)
+
+    def test_relabelled_uses_bfs_order(self):
+        va = VA("start", ("end",), [("start", "a", "mid"), ("mid", "b", "end")])
+        canon = va.relabelled()
+        assert canon.initial == 0
+        assert canon.states == {0, 1, 2}
+
+    def test_map_labels(self):
+        va = simple_va().map_labels(
+            lambda label: None if isinstance(label, VarOp) else label
+        )
+        assert va.variables == frozenset()
+        assert va.n_transitions == 3
+
+    def test_describe_smoke(self):
+        text = simple_va().describe()
+        assert "x⊢" in text and "initial" in text
+
+    def test_iter_var_ops(self):
+        assert set(simple_va().iter_var_ops()) == {open_op("x"), close_op("x")}

@@ -1,0 +1,95 @@
+"""Boolean automata: determinisation, complement, static difference (E11
+substrate)."""
+
+import pytest
+
+from repro.core import SpannerError
+from repro.regex import parse
+from repro.va import evaluate_naive, evaluate_va, regex_to_va, trim
+from repro.va.boolean import (
+    boolean_nfa,
+    complement_dfa,
+    determinize,
+    dfa_to_va,
+    static_boolean_difference,
+)
+from repro.workloads import nth_from_end_va
+
+
+def compile_boolean(text: str):
+    return trim(regex_to_va(parse(text)))
+
+
+class TestNFA:
+    def test_epsilon_elimination(self):
+        va = compile_boolean("a*b")
+        nfa = boolean_nfa(va)
+        assert nfa.accepts("b") and nfa.accepts("aab")
+        assert not nfa.accepts("a") and not nfa.accepts("ba")
+
+    def test_variables_rejected(self):
+        with pytest.raises(SpannerError):
+            boolean_nfa(compile_boolean("x{a}"))
+
+    def test_agrees_with_va_semantics(self):
+        va = compile_boolean("(ab)*|a*")
+        nfa = boolean_nfa(va)
+        for doc in ("", "a", "ab", "abab", "aab", "ba"):
+            assert nfa.accepts(doc) == (not evaluate_naive(va, doc).is_empty), doc
+
+
+class TestDFA:
+    def test_determinisation_preserves_language(self):
+        va = compile_boolean("(a|b)*a")
+        nfa = boolean_nfa(va, "ab")
+        dfa = determinize(nfa)
+        for doc in ("", "a", "b", "ba", "ab", "bba"):
+            assert dfa.accepts(doc) == nfa.accepts(doc), doc
+
+    def test_complement_flips_membership(self):
+        dfa = determinize(boolean_nfa(compile_boolean("a*"), "ab"))
+        comp = complement_dfa(dfa)
+        assert dfa.accepts("aa") and not comp.accepts("aa")
+        assert not dfa.accepts("ab") and comp.accepts("ab")
+
+    def test_dfa_to_va_roundtrip(self):
+        dfa = determinize(boolean_nfa(compile_boolean("a(a|b)*"), "ab"))
+        va = dfa_to_va(dfa)
+        for doc in ("", "a", "ab", "ba"):
+            assert (not evaluate_naive(va, doc).is_empty) == dfa.accepts(doc), doc
+
+    def test_exponential_blowup_on_nth_from_end(self):
+        # Jirásková [17]: the complement of "n-th letter from the end is a"
+        # needs 2^n deterministic states.
+        sizes = {}
+        for n in (2, 4, 6):
+            dfa = determinize(boolean_nfa(trim(nth_from_end_va(n)), "ab"))
+            sizes[n] = dfa.n_states
+        assert sizes[4] >= 2 ** 4
+        assert sizes[6] >= 2 ** 6
+        assert sizes[6] / sizes[4] >= 3.5  # exponential growth signature
+
+
+class TestStaticDifference:
+    def test_static_difference_language(self):
+        a1 = compile_boolean("(a|b)*")
+        a2 = compile_boolean("(a|b)*a")  # ends in a
+        compiled, _ = static_boolean_difference(a1, a2, "ab")
+        for doc in ("", "a", "b", "ab", "ba"):
+            expected = not doc.endswith("a")
+            assert (not evaluate_va(trim(compiled), doc).is_empty) == expected, doc
+
+    def test_reports_determinised_size(self):
+        a1 = compile_boolean("(a|b)*")
+        _, size = static_boolean_difference(a1, trim(nth_from_end_va(5)), "ab")
+        assert size >= 2 ** 5
+
+    def test_agrees_with_adhoc_difference(self):
+        from repro.algebra import adhoc_difference
+
+        a1 = compile_boolean("(a|b)*")
+        a2 = trim(nth_from_end_va(2))
+        static, _ = static_boolean_difference(a1, a2, "ab")
+        for doc in ("ab", "ba", "bb", "abab"):
+            adhoc = adhoc_difference(a1, a2, doc)
+            assert evaluate_va(trim(static), doc) == evaluate_va(adhoc, doc), doc

@@ -1,0 +1,97 @@
+"""Regex → VA compilation: equivalence and class preservation (Lemma 4.6)."""
+
+import random
+
+import pytest
+
+from repro.regex import evaluate as regex_evaluate, parse
+from repro.regex.properties import is_functional as rf_functional
+from repro.regex.properties import is_sequential as rf_sequential
+from repro.va import (
+    evaluate_naive,
+    evaluate_va,
+    is_functional,
+    is_sequential,
+    is_synchronized_for,
+    regex_to_va,
+    trim,
+)
+from repro.workloads import random_sequential_formula
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "text,docs",
+        [
+            ("a", ["", "a", "b", "aa"]),
+            ("x{a*}", ["", "a", "aa"]),
+            ("x{a}|y{b}", ["a", "b", "ab"]),
+            ("(x{a} y{b})|y{ab}", ["a b", "ab"]),
+            ("x{a?}b*", ["b", "ab", "abb"]),
+            ("z{[ab]*}(x{a}|y{b})", ["a", "b", "ab", "ba"]),
+            ("x{ε}a|x{a}", ["a"]),
+            ("∅", ["", "a"]),
+            ("ε", ["", "a"]),
+        ],
+    )
+    def test_matches_reference_semantics(self, text, docs):
+        formula = parse(text)
+        va = regex_to_va(formula)
+        for doc in docs:
+            assert evaluate_naive(va, doc) == regex_evaluate(formula, doc), doc
+
+    def test_randomized_equivalence(self):
+        rng = random.Random(7)
+        for trial in range(25):
+            formula = random_sequential_formula(rng.randint(0, 2), rng, depth=3)
+            va = regex_to_va(formula)
+            for _ in range(3):
+                doc = "".join(rng.choice("ab") for _ in range(rng.randint(0, 4)))
+                assert evaluate_naive(va, doc) == regex_evaluate(formula, doc), (
+                    formula.to_text(),
+                    doc,
+                )
+
+    def test_shared_ast_nodes_get_fresh_states(self):
+        # Regression: the ε singleton is shared across captures; fragments
+        # must not be (a run could otherwise open x and close y).
+        formula = parse("x{ε}y{ε}a")
+        rel = evaluate_va(trim(regex_to_va(formula)), "a")
+        assert len(rel) == 1
+        mapping = next(iter(rel))
+        assert mapping.domain == {"x", "y"}
+
+
+class TestClassPreservation:
+    @pytest.mark.parametrize(
+        "text", ["x{a}b", "x{a}|x{b}", "x{[ab]*}y{a+}"]
+    )
+    def test_functional_formula_gives_functional_va(self, text):
+        formula = parse(text)
+        assert rf_functional(formula)
+        assert is_functional(trim(regex_to_va(formula)))
+
+    @pytest.mark.parametrize("text", ["(x{a}|ε)b", "x{a}(y{b}|ε)"])
+    def test_sequential_formula_gives_sequential_va(self, text):
+        formula = parse(text)
+        assert rf_sequential(formula)
+        va = trim(regex_to_va(formula))
+        assert is_sequential(va)
+        assert not is_functional(va)
+
+    def test_synchronized_preserved(self):
+        # Example 4.5: (x{Σ*} ∨ ε)·y{Σ*} — synchronized for y, not x.
+        formula = parse("(x{[ab]*}|ε)y{[ab]*}")
+        va = trim(regex_to_va(formula))
+        assert is_synchronized_for(va, {"y"})
+        assert not is_synchronized_for(va, {"x"})
+
+    def test_linear_size(self):
+        formula = parse("x{" + "a" * 200 + "}")
+        va = regex_to_va(formula)
+        assert va.n_states <= 4 * formula.size()
+
+    def test_deep_formula_no_recursion_error(self):
+        text = "a" * 5000
+        va = regex_to_va(parse(text))
+        assert va.n_states > 5000

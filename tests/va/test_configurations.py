@@ -1,0 +1,97 @@
+"""Extended variable configurations c̃_q (§3.1, Examples 3.4/3.5)."""
+
+import pytest
+
+from repro.core import NotSequentialError
+from repro.va import (
+    CLOSED,
+    DONE,
+    OPEN,
+    UNSEEN,
+    VA,
+    accepting_used_sets,
+    close_op,
+    configuration_table,
+    extended_configuration,
+    is_semi_functional_for,
+    open_op,
+    status_sets,
+    trim,
+)
+
+from .test_runs import example_23_va
+
+
+class TestStatusSets:
+    def test_example_34_ambiguous_state(self):
+        # In Example 2.3's VA, q2 is reachable with x closed (run ρ1) and
+        # with x unseen (run ρ2): c̃_q2(x) = d.
+        va = trim(example_23_va())
+        sets = status_sets(va, "x")
+        assert sets[2] == frozenset((UNSEEN, CLOSED))
+
+    def test_initial_state_is_unseen(self):
+        va = trim(example_23_va())
+        assert status_sets(va, "x")[0] == frozenset((UNSEEN,))
+
+    def test_open_state(self):
+        va = trim(example_23_va())
+        assert status_sets(va, "x")[1] == frozenset((OPEN,))
+
+    def test_double_open_raises(self):
+        va = VA(
+            0,
+            (2,),
+            [(0, open_op("x"), 1), (1, open_op("x"), 1), (1, close_op("x"), 2)],
+        )
+        with pytest.raises(NotSequentialError):
+            status_sets(va, "x")
+
+
+class TestExtendedConfiguration:
+    def test_example_34_labels(self):
+        va = trim(example_23_va())
+        config = extended_configuration(va, "x")
+        assert config[0] == UNSEEN
+        assert config[1] == OPEN
+        assert config[2] == DONE
+
+    def test_configuration_table(self):
+        va = trim(example_23_va())
+        table = configuration_table(va)
+        assert table[2]["x"] == DONE
+
+    def test_table_requires_trim(self):
+        va = VA(0, (1,), [(0, "a", 1), (0, "b", 2)])  # state 2 is dead
+        with pytest.raises(NotSequentialError):
+            configuration_table(va)
+
+
+class TestSemiFunctionalPredicate:
+    def test_example_23_is_not_semi_functional(self):
+        assert not is_semi_functional_for(trim(example_23_va()), {"x"})
+
+    def test_functional_fragment_is_semi_functional(self):
+        transitions = [
+            t for t in example_23_va().transitions if not (t[0] == 0 and t[2] == 2)
+        ]
+        va = trim(VA(0, (2,), transitions))
+        assert is_semi_functional_for(va, {"x"})
+
+    def test_unmentioned_variable_ignored(self):
+        va = trim(example_23_va())
+        assert is_semi_functional_for(va, {"ghost"})
+
+
+class TestUsedSets:
+    def test_used_sets_after_semi_functionalisation(self):
+        from repro.va import make_semi_functional
+
+        va = make_semi_functional(trim(example_23_va()), {"x"})
+        used = accepting_used_sets(va, {"x"})
+        assert set(used.values()) == {frozenset(), frozenset({"x"})}
+
+    def test_ambiguous_accepting_state_rejected(self):
+        va = trim(example_23_va())
+        with pytest.raises(NotSequentialError):
+            accepting_used_sets(va, {"x"})

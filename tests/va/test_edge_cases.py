@@ -1,0 +1,115 @@
+"""Edge cases and failure injection across the VA stack."""
+
+import pytest
+
+from repro.core import Mapping, NotSequentialError, Span
+from repro.regex import parse
+from repro.va import (
+    VA,
+    close_op,
+    enumerate_mappings,
+    evaluate_naive,
+    evaluate_va,
+    is_sequential,
+    make_semi_functional,
+    open_op,
+    project_va,
+    regex_to_va,
+    trim,
+)
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestEmptyDocument:
+    def test_epsilon_spanner(self):
+        va = trim(regex_to_va(parse("ε")))
+        assert evaluate_va(va, "") == {Mapping()}
+
+    def test_capture_of_epsilon(self):
+        va = trim(regex_to_va(parse("x{ε}")))
+        assert evaluate_va(va, "") == {m(x=(1, 1))}
+
+    def test_star_spanner(self):
+        va = trim(regex_to_va(parse("a*")))
+        assert evaluate_va(va, "") == {Mapping()}
+
+    def test_letter_requires_input(self):
+        va = trim(regex_to_va(parse("a")))
+        assert evaluate_va(va, "").is_empty
+
+
+class TestUnusualAlphabets:
+    def test_unicode_letters(self):
+        va = trim(regex_to_va(parse("x{é*}ß")))
+        assert evaluate_va(va, "ééß") == {m(x=(1, 3))}
+
+    def test_digits_and_punctuation(self):
+        va = trim(regex_to_va(parse("x{[0-9]+}\\.[0-9]+")))
+        assert evaluate_va(va, "31.41") == {m(x=(1, 3))}
+
+    def test_newline_and_tab_literals(self):
+        va = trim(regex_to_va(parse("a\\nx{\\t}b")))
+        assert evaluate_va(va, "a\n\tb") == {m(x=(3, 4))}
+
+
+class TestStructuralOddities:
+    def test_accepting_initial_state(self):
+        va = VA(0, (0,), [(0, "a", 0)])
+        assert evaluate_va(va, "") == {Mapping()}
+        assert evaluate_va(va, "aaa") == {Mapping()}
+
+    def test_variable_ops_on_self_loop_not_sequential(self):
+        va = VA(
+            0,
+            (0,),
+            [(0, open_op("x"), 1), (1, close_op("x"), 0), (0, "a", 0)],
+        )
+        # A run may open/close x arbitrarily often → invalid accepting runs.
+        assert not is_sequential(va)
+        with pytest.raises(NotSequentialError):
+            list(enumerate_mappings(va, "a"))
+
+    def test_naive_evaluator_handles_the_same_loop(self):
+        va = VA(
+            0,
+            (0,),
+            [(0, open_op("x"), 1), (1, close_op("x"), 0), (0, "a", 0)],
+        )
+        # The exhaustive baseline enumerates only the *valid* runs.
+        rel = evaluate_naive(va, "a")
+        assert m(x=(1, 1)) in rel and Mapping() in rel
+
+    def test_projection_of_everything_is_boolean(self):
+        va = trim(regex_to_va(parse("x{a}y{b}")))
+        boolean = trim(project_va(va, ()))
+        assert evaluate_va(boolean, "ab") == {Mapping()}
+        assert evaluate_va(boolean, "ba").is_empty
+
+    def test_semi_functional_of_variable_free_is_identity_semantics(self):
+        va = trim(regex_to_va(parse("(a|b)*")))
+        assert evaluate_va(make_semi_functional(va, ()), "ab") == {Mapping()}
+
+
+class TestScale:
+    def test_long_document_enumeration(self):
+        va = trim(regex_to_va(parse("[ab]*x{ab}[ab]*")))
+        doc = "ab" * 100
+        count = sum(1 for _ in enumerate_mappings(va, doc))
+        assert count == 100  # one per "ab" occurrence at even offset
+
+    def test_wide_union(self):
+        # 120 parallel captures, each a different variable.
+        text = "|".join(f"v{i}{{a}}" for i in range(120))
+        va = trim(regex_to_va(parse(text)))
+        rel = evaluate_va(va, "a")
+        assert len(rel) == 120
+
+    def test_many_variables_in_sequence(self):
+        text = "".join(f"v{i}{{a}}" for i in range(60))
+        va = trim(regex_to_va(parse(text)))
+        rel = evaluate_va(va, "a" * 60)
+        assert len(rel) == 1
+        assert len(next(iter(rel)).domain) == 60

@@ -1,0 +1,141 @@
+"""Polynomial-delay enumeration (Theorem 2.5) vs the naive baseline."""
+
+import random
+
+import pytest
+
+from repro.core import Mapping, NotSequentialError, Span
+from repro.va import (
+    VA,
+    FactorizedVA,
+    MatchGraph,
+    VASpanner,
+    close_op,
+    enumerate_mappings,
+    evaluate_naive,
+    evaluate_va,
+    is_nonempty,
+    mapping_from_opsets,
+    open_op,
+    regex_to_va,
+    trim,
+)
+from repro.workloads import random_sequential_formula
+from repro.regex import parse
+
+from .test_runs import example_23_va
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("doc", ["", "a", "ab", "ba", "abab"])
+    def test_example_23(self, doc):
+        va = example_23_va()
+        assert evaluate_va(va, doc) == evaluate_naive(va, doc)
+
+    def test_randomized_against_naive(self):
+        rng = random.Random(99)
+        for _ in range(30):
+            formula = random_sequential_formula(rng.randint(0, 3), rng, depth=3)
+            va = trim(regex_to_va(formula))
+            for _ in range(2):
+                doc = "".join(rng.choice("ab") for _ in range(rng.randint(0, 5)))
+                assert evaluate_va(va, doc) == evaluate_naive(va, doc), (
+                    formula.to_text(),
+                    doc,
+                )
+
+    def test_no_duplicates(self):
+        va = trim(regex_to_va(parse("x{[ab]*}[ab]*|[ab]*x{[ab]*}")))
+        results = list(enumerate_mappings(va, "ab"))
+        assert len(results) == len(set(results))
+
+    def test_empty_document(self):
+        va = trim(regex_to_va(parse("x{a*}")))
+        assert evaluate_va(va, "") == {m(x=(1, 1))}
+
+    def test_empty_result(self):
+        va = trim(regex_to_va(parse("x{a}")))
+        assert evaluate_va(va, "b").is_empty
+
+    def test_epsilon_cycles_handled(self):
+        va = VA(0, (1,), [(0, None, 0), (0, "a", 1), (1, None, 1)])
+        assert evaluate_va(va, "a") == {Mapping()}
+
+    def test_non_sequential_rejected(self):
+        va = VA(0, (1,), [(0, open_op("x"), 1)])  # accepts with x open
+        with pytest.raises(NotSequentialError):
+            list(enumerate_mappings(va, "a"))
+
+    def test_is_nonempty_short_circuits(self):
+        va = trim(regex_to_va(parse("x{[ab]*}[ab]*")))
+        assert is_nonempty(va, "a" * 30)  # huge output; must return fast
+
+
+class TestMatchGraph:
+    def test_layer_count(self):
+        graph = MatchGraph(FactorizedVA(example_23_va()), "ab")
+        assert len(graph.layers) == 3
+
+    def test_dead_branches_pruned(self):
+        va = trim(regex_to_va(parse("x{a}b|y{a}c")))
+        graph = MatchGraph(FactorizedVA(va), "ab")
+        # only the x-branch survives the backward pass
+        final_states = graph.layers[-1]
+        assert all(graph.final_opsets[q] for q in final_states)
+
+    def test_emptiness_detection(self):
+        va = trim(regex_to_va(parse("x{a}")))
+        graph = MatchGraph(FactorizedVA(va), "b")
+        assert graph.is_empty
+
+    def test_width_bounded_by_states(self):
+        va = trim(example_23_va())
+        graph = MatchGraph(FactorizedVA(va), "abab")
+        assert graph.width() <= va.n_states
+
+    def test_factorized_closure_caching(self):
+        fva = FactorizedVA(example_23_va())
+        first = fva.closure(fva.va.initial)
+        assert fva.closure(fva.va.initial) is first
+
+
+class TestMappingAssembly:
+    def test_simple(self):
+        ops = [
+            frozenset({open_op("x")}),
+            frozenset({close_op("x")}),
+        ]
+        assert mapping_from_opsets(ops) == m(x=(1, 2))
+
+    def test_empty_span(self):
+        ops = [frozenset({open_op("x"), close_op("x")})]
+        assert mapping_from_opsets(ops) == m(x=(1, 1))
+
+    def test_double_open_rejected(self):
+        ops = [frozenset({open_op("x")}), frozenset({open_op("x")})]
+        with pytest.raises(NotSequentialError):
+            mapping_from_opsets(ops)
+
+    def test_close_without_open_rejected(self):
+        with pytest.raises(NotSequentialError):
+            mapping_from_opsets([frozenset({close_op("x")})])
+
+
+class TestVASpanner:
+    def test_spanner_interface(self):
+        spanner = VASpanner(trim(example_23_va()))
+        assert spanner.variables() == {"x"}
+        assert spanner.evaluate("a") == evaluate_naive(example_23_va(), "a")
+
+    def test_rejects_non_sequential(self):
+        va = VA(0, (1,), [(0, open_op("x"), 1)])
+        with pytest.raises(NotSequentialError):
+            VASpanner(va)
+
+    def test_factorization_shared_across_documents(self):
+        spanner = VASpanner(trim(example_23_va()))
+        assert spanner.evaluate("a") != spanner.evaluate("ab")

@@ -1,0 +1,98 @@
+"""Match structures, determinisation, operation order (Theorem 4.8's
+machinery)."""
+
+import pytest
+
+from repro.core import NotSynchronizedError
+from repro.va import (
+    DeterminizedMatchStructure,
+    FactorizedVA,
+    MatchGraph,
+    close_op,
+    enumerate_mappings,
+    never_used_variables,
+    open_op,
+    operation_order,
+    regex_to_va,
+    trim,
+)
+from repro.va.operations import ops_at_positions
+from repro.workloads import synchronized_block_formula
+from repro.regex import parse
+
+from .test_runs import example_23_va
+
+
+def _sync_va(n_vars: int = 2):
+    return trim(regex_to_va(synchronized_block_formula(n_vars)))
+
+
+class TestOperationOrder:
+    def test_block_formula_order(self):
+        order = operation_order(_sync_va(2))
+        assert [str(op) for op in order] == ["x1⊢", "⊣x1", "x2⊢", "⊣x2"]
+
+    def test_variable_free(self):
+        va = trim(regex_to_va(parse("a*")))
+        assert operation_order(va) == ()
+
+    def test_unsynchronized_rejected(self):
+        with pytest.raises(NotSynchronizedError):
+            operation_order(trim(example_23_va()))
+
+
+class TestDeterminizedMatchStructure:
+    def test_accepts_iff_member(self):
+        va = _sync_va(2)
+        doc = "abcba"
+        d2 = DeterminizedMatchStructure(va, doc)
+        for mapping in enumerate_mappings(va, doc):
+            opsets = [frozenset(b) for b in ops_at_positions(mapping, len(doc))]
+            assert d2.accepts(opsets), mapping
+
+    def test_rejects_non_member(self):
+        va = _sync_va(2)
+        doc = "abcba"
+        d2 = DeterminizedMatchStructure(va, doc)
+        # x1 covering the 'c' separator is impossible.
+        bad = [frozenset() for _ in range(len(doc) + 1)]
+        bad[0] = frozenset({open_op("x1")})
+        bad[4] = frozenset({close_op("x1"), open_op("x2")})
+        bad[5] = frozenset({close_op("x2")})
+        assert not d2.accepts(bad)
+
+    def test_wrong_length_rejected(self):
+        d2 = DeterminizedMatchStructure(_sync_va(1), "ab")
+        with pytest.raises(ValueError):
+            d2.accepts([frozenset()])
+
+    def test_width_small_for_synchronized(self):
+        # The Theorem-4.8 argument: subsets stay polynomial (here tiny).
+        va = _sync_va(3)
+        doc = "abcabcab"
+        d2 = DeterminizedMatchStructure(va, doc)
+        assert d2.subset_width() <= va.n_states
+        assert d2.n_subset_states() > 0
+
+    def test_empty_language(self):
+        va = trim(regex_to_va(parse("x{a}")))
+        d2 = DeterminizedMatchStructure(va, "bb")
+        assert not d2.accepting
+
+
+class TestNeverUsed:
+    def test_unmentioned_variable(self):
+        va = _sync_va(1)
+        assert never_used_variables(va, frozenset({"x1", "ghost"})) == {"ghost"}
+
+    def test_skippable_variable(self):
+        va = trim(regex_to_va(parse("(x{a}|b)c")))
+        # x is used on some accepting runs: not "never used".
+        assert never_used_variables(va, frozenset({"x"})) == frozenset()
+
+    def test_projected_away_variable(self):
+        va = trim(regex_to_va(parse("x{a}")))
+        from repro.va import project_va
+
+        projected = trim(project_va(va, ()))
+        assert never_used_variables(projected, frozenset({"x"})) == {"x"}

@@ -1,0 +1,161 @@
+"""Structural VA operations: trim, union, projection, mapping paths."""
+
+import pytest
+
+from repro.core import Mapping, Span, SpannerError
+from repro.va import (
+    VA,
+    close_op,
+    empty_va,
+    evaluate_naive,
+    evaluate_va,
+    is_trim,
+    mapping_path_va,
+    open_op,
+    ops_at_positions,
+    project_va,
+    relation_va,
+    rename_variables,
+    single_span_va,
+    trim,
+    union_va,
+    universal_empty_mapping_va,
+)
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+class TestTrim:
+    def test_removes_unreachable(self):
+        va = VA(0, (1,), [(0, "a", 1), (2, "a", 1)])
+        trimmed = trim(va)
+        assert 2 not in trimmed.states
+
+    def test_removes_dead_ends(self):
+        va = VA(0, (1,), [(0, "a", 1), (0, "b", 2)])
+        trimmed = trim(va)
+        assert 2 not in trimmed.states
+
+    def test_dead_initial_yields_empty_automaton(self):
+        va = VA(0, (), [(0, "a", 1)])
+        trimmed = trim(va)
+        assert trimmed.accepting == frozenset()
+        assert trimmed.n_transitions == 0
+
+    def test_is_trim(self):
+        assert is_trim(VA(0, (1,), [(0, "a", 1)]))
+        assert not is_trim(VA(0, (1,), [(0, "a", 1), (0, "b", 2)]))
+
+    def test_trim_preserves_semantics(self):
+        va = VA(0, (1,), [(0, "a", 1), (0, "b", 2), (3, "a", 1)])
+        assert evaluate_naive(trim(va), "a") == evaluate_naive(va, "a")
+
+
+class TestUnionProjection:
+    def test_union_va(self):
+        left = VA(0, (1,), [(0, open_op("x"), 2), (2, "a", 3), (3, close_op("x"), 1)])
+        right = VA(0, (1,), [(0, "a", 1)])
+        combined = union_va(left, right)
+        assert evaluate_va(combined, "a") == {m(x=(1, 2)), Mapping()}
+
+    def test_project_drops_variables(self):
+        va = VA(
+            0,
+            (4,),
+            [
+                (0, open_op("x"), 1),
+                (1, "a", 2),
+                (2, close_op("x"), 3),
+                (3, open_op("y"), 3),
+                (3, close_op("y"), 4),
+            ],
+        )
+        projected = project_va(va, {"x"})
+        assert projected.variables == {"x"}
+        assert evaluate_va(projected, "a") == {m(x=(1, 2))}
+
+    def test_rename_variables(self):
+        va = single_span_va("x", "ab")
+        renamed = rename_variables(va, {"x": "z"})
+        assert renamed.variables == {"z"}
+
+    def test_rename_collision_rejected(self):
+        va = VA(
+            0,
+            (2,),
+            [
+                (0, open_op("x"), 1),
+                (1, close_op("x"), 1),
+                (1, open_op("y"), 2),
+                (2, close_op("y"), 2),
+            ],
+        )
+        with pytest.raises(SpannerError):
+            rename_variables(va, {"x": "y"})
+
+    def test_empty_va(self):
+        assert evaluate_va(empty_va(), "abc").is_empty
+
+    def test_universal_empty_mapping_va(self):
+        va = universal_empty_mapping_va("ab")
+        assert evaluate_va(va, "abba") == {Mapping()}
+        assert evaluate_va(va, "") == {Mapping()}
+
+
+class TestOpsSchedule:
+    def test_simple_schedule(self):
+        buckets = ops_at_positions(m(x=(1, 3)), 3)
+        assert buckets[0] == [open_op("x")]
+        assert buckets[2] == [close_op("x")]
+
+    def test_empty_span_opens_before_closing(self):
+        buckets = ops_at_positions(m(x=(2, 2)), 2)
+        assert buckets[1] == [open_op("x"), close_op("x")]
+
+    def test_closes_before_opens_at_same_position(self):
+        buckets = ops_at_positions(m(x=(1, 2), y=(2, 3)), 2)
+        assert buckets[1] == [close_op("x"), open_op("y")]
+
+    def test_mapping_beyond_document_rejected(self):
+        with pytest.raises(SpannerError):
+            ops_at_positions(m(x=(1, 9)), 3)
+
+
+class TestMappingPaths:
+    @pytest.mark.parametrize(
+        "mapping",
+        [
+            Mapping(),
+            m(x=(1, 3)),
+            m(x=(1, 1)),
+            m(x=(4, 4)),
+            m(x=(1, 2), y=(2, 3)),
+            m(x=(2, 2), y=(1, 4)),
+        ],
+    )
+    def test_path_va_roundtrip(self, mapping):
+        doc = "abc"
+        va = mapping_path_va(mapping, doc)
+        assert evaluate_va(va, doc) == {mapping}
+
+    def test_path_rejects_other_documents(self):
+        va = mapping_path_va(m(x=(1, 2)), "ab")
+        assert evaluate_va(va, "ba").is_empty
+
+    def test_relation_va(self):
+        mappings = {m(x=(1, 2)), m(x=(2, 3)), Mapping()}
+        va = relation_va(mappings, "ab")
+        assert evaluate_va(va, "ab") == mappings
+
+    def test_relation_va_empty(self):
+        assert evaluate_va(relation_va([], "ab"), "ab").is_empty
+
+    def test_empty_document_path(self):
+        va = mapping_path_va(m(x=(1, 1)), "")
+        assert evaluate_va(va, "") == {m(x=(1, 1))}
+
+    def test_single_span_va(self):
+        rel = evaluate_va(single_span_va("x", "ab"), "ab")
+        assert rel == {m(x=(i, j)) for i in range(1, 4) for j in range(i, 4)}

@@ -1,0 +1,68 @@
+"""Proposition 4.7: synchronized VAs are strictly less expressive.
+
+The witness: γ := (a·x{ε}·a) ∨ (b·x{ε}·b).  No sequential VA synchronized
+for x is equivalent to γ.  We cannot test nonexistence directly, but we
+can reproduce the proof's mechanism concretely:
+
+* γ itself (compiled) is functional yet *not* synchronized for x;
+* forcing unique target states by gluing the two x-operations — the only
+  way to satisfy the synchronizedness condition — creates the proof's
+  crossover run and accepts the forbidden document "ab".
+"""
+
+from repro.core import Mapping, Span
+from repro.regex import parse
+from repro.va import (
+    VA,
+    close_op,
+    evaluate_naive,
+    evaluate_va,
+    is_functional,
+    is_synchronized_for,
+    open_op,
+    regex_to_va,
+    trim,
+)
+
+GAMMA = parse("(a·x{ε}a)|(b·x{ε}b)")
+
+
+def witness_va() -> VA:
+    return trim(regex_to_va(GAMMA))
+
+
+class TestWitness:
+    def test_gamma_semantics(self):
+        va = witness_va()
+        expected = {Mapping({"x": Span(2, 2)})}
+        assert evaluate_va(va, "aa") == expected
+        assert evaluate_va(va, "bb") == expected
+        assert evaluate_va(va, "ab").is_empty
+        assert evaluate_va(va, "ba").is_empty
+
+    def test_gamma_is_functional_but_not_synchronized(self):
+        va = witness_va()
+        assert is_functional(va)
+        assert not is_synchronized_for(va, {"x"})
+
+    def test_gluing_the_operations_breaks_the_spanner(self):
+        # The proof's argument: identify the targets of the two x⊢ (and
+        # ⊣x) occurrences to force unique target states.  The glued
+        # automaton is synchronized for x — and now accepts "ab" via the
+        # crossover run ρ1,2, so it is NOT equivalent to γ.
+        glued = VA(
+            0,
+            (4,),
+            [
+                (0, "a", 1),
+                (0, "b", 1),  # both letter prefixes funnel into one state
+                (1, open_op("x"), 2),
+                (2, close_op("x"), 3),
+                (3, "a", 4),
+                (3, "b", 4),
+            ],
+        )
+        assert is_synchronized_for(glued, {"x"})
+        crossover = evaluate_naive(glued, "ab")
+        assert not crossover.is_empty  # accepts the forbidden document
+        assert crossover != evaluate_va(witness_va(), "ab")

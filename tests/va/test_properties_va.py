@@ -1,0 +1,96 @@
+"""VA property checks: sequential, functional, synchronized (§2.3, §4.2)."""
+
+from repro.va import (
+    VA,
+    close_op,
+    is_functional,
+    is_sequential,
+    is_synchronized,
+    is_synchronized_for,
+    open_op,
+    regex_to_va,
+    trim,
+    unique_target_state,
+)
+from repro.regex import parse
+
+from .test_runs import example_23_va
+
+
+class TestSequential:
+    def test_example_23_is_sequential_not_functional(self):
+        va = example_23_va()
+        assert is_sequential(va)
+        assert not is_functional(va)  # the q0 → q2 branch skips x
+
+    def test_dropping_skip_branch_makes_functional(self):
+        # "Omitting the transition from q0 to q2 results in a functional VA."
+        transitions = [
+            t for t in example_23_va().transitions if not (t[0] == 0 and t[2] == 2)
+        ]
+        va = VA(0, (2,), transitions)
+        assert is_functional(va)
+
+    def test_double_open_not_sequential(self):
+        va = VA(
+            0,
+            (2,),
+            [
+                (0, open_op("x"), 1),
+                (1, open_op("x"), 1),
+                (1, close_op("x"), 2),
+            ],
+        )
+        assert not is_sequential(va)
+
+    def test_accept_while_open_not_sequential(self):
+        va = VA(0, (1,), [(0, open_op("x"), 1), (1, close_op("x"), 2)])
+        assert not is_sequential(va)
+
+    def test_close_without_open_not_sequential(self):
+        va = VA(0, (1,), [(0, close_op("x"), 1)])
+        assert not is_sequential(va)
+
+    def test_variable_free_is_sequential_and_functional(self):
+        va = VA(0, (1,), [(0, "a", 1)])
+        assert is_sequential(va) and is_functional(va)
+
+
+class TestSynchronized:
+    def test_unique_target_state(self):
+        va = example_23_va()
+        assert unique_target_state(va, open_op("x")) == 1
+        assert unique_target_state(va, close_op("x")) == 2
+
+    def test_multiple_targets_detected(self):
+        va = VA(
+            0,
+            (3,),
+            [
+                (0, open_op("x"), 1),
+                (0, open_op("x"), 2),
+                (1, close_op("x"), 3),
+                (2, close_op("x"), 3),
+            ],
+        )
+        assert unique_target_state(va, open_op("x")) is None
+        assert not is_synchronized_for(va, {"x"})
+
+    def test_example_23_not_synchronized_for_x(self):
+        # Unique targets hold, but some accepting runs skip x entirely.
+        va = example_23_va()
+        assert not is_synchronized_for(va, {"x"})
+
+    def test_example_45_automaton(self):
+        va = trim(regex_to_va(parse("(x{[ab]*}|ε)y{[ab]*}")))
+        assert is_synchronized_for(va, {"y"})
+        assert not is_synchronized_for(va, {"x"})
+        assert not is_synchronized(va)
+
+    def test_unmentioned_variable_is_trivially_synchronized(self):
+        va = VA(0, (1,), [(0, "a", 1)])
+        assert is_synchronized_for(va, {"ghost"})
+
+    def test_fully_synchronized_chain(self):
+        va = trim(regex_to_va(parse("x{a*}by{a*}")))
+        assert is_synchronized(va)

@@ -1,0 +1,90 @@
+"""Run semantics and the naive baseline evaluator (§2.3, Example 2.3)."""
+
+from repro.core import Mapping, Span
+from repro.regex import evaluate as regex_evaluate, parse
+from repro.va import (
+    VA,
+    accepts_boolean,
+    close_op,
+    count_runs_explored,
+    evaluate_naive,
+    open_op,
+)
+
+
+def m(**kwargs) -> Mapping:
+    return Mapping({k: Span(*v) for k, v in kwargs.items()})
+
+
+def example_23_va() -> VA:
+    """The sequential VA of Example 2.3 over Σ = {a, b}."""
+    transitions = []
+    for letter in "ab":
+        transitions.append((0, letter, 0))
+        transitions.append((1, letter, 1))
+        transitions.append((2, letter, 2))
+        transitions.append((0, letter, 2))  # the q0 → q2 letter transition
+    transitions.append((0, open_op("x"), 1))
+    transitions.append((1, close_op("x"), 2))
+    return VA(0, (2,), transitions)
+
+
+class TestExample23:
+    def test_equivalent_to_regex_formula(self):
+        # ⟦A⟧ = ⟦(Σ* x{Σ*} Σ*) ∨ Σ+⟧ (Example 2.3).
+        alpha = parse("([ab]*x{[ab]*}[ab]*)|[ab]+")
+        va = example_23_va()
+        for doc in ("", "a", "ab", "ba", "aab"):
+            assert evaluate_naive(va, doc) == regex_evaluate(alpha, doc), doc
+
+    def test_empty_document_still_produces_x(self):
+        # On ε, only the x-branch can accept (Σ+ needs a letter).
+        assert evaluate_naive(example_23_va(), "") == {m(x=(1, 1))}
+
+
+class TestValidity:
+    def test_unclosed_variable_rejected(self):
+        va = VA(0, (1,), [(0, open_op("x"), 1), (1, "a", 1)])
+        assert evaluate_naive(va, "a").is_empty
+
+    def test_close_without_open_rejected(self):
+        va = VA(0, (1,), [(0, close_op("x"), 1), (1, "a", 1)])
+        assert evaluate_naive(va, "a").is_empty
+
+    def test_double_open_pruned(self):
+        va = VA(
+            0,
+            (3,),
+            [
+                (0, open_op("x"), 1),
+                (1, open_op("x"), 1),
+                (1, "a", 2),
+                (2, close_op("x"), 3),
+            ],
+        )
+        # The only valid run opens x once.
+        assert evaluate_naive(va, "a") == {m(x=(1, 2))}
+
+    def test_epsilon_cycle_terminates(self):
+        va = VA(0, (1,), [(0, None, 0), (0, "a", 1)])
+        assert evaluate_naive(va, "a") == {Mapping()}
+
+
+class TestBaselineUtilities:
+    def test_accepts_boolean(self):
+        va = VA(0, (1,), [(0, "a", 1)])
+        assert accepts_boolean(va, "a")
+        assert not accepts_boolean(va, "b")
+
+    def test_count_runs_explored_grows_with_document(self):
+        va = example_23_va()
+        small = count_runs_explored(va, "a")
+        large = count_runs_explored(va, "aaaa")
+        assert large > small > 0
+
+    def test_accepting_state_with_continuation(self):
+        # Accepting mid-run and continuing must both be observed.
+        va = VA(0, (0, 1), [(0, "a", 1), (1, "a", 0)])
+        assert accepts_boolean(va, "")
+        assert accepts_boolean(va, "a")
+        assert accepts_boolean(va, "aa")

@@ -1,0 +1,80 @@
+"""Semi-functionalisation (Lemma 3.6 / A.1, Examples 3.5 and 3.7)."""
+
+import random
+
+from repro.va import (
+    evaluate_naive,
+    evaluate_va,
+    is_semi_functional_for,
+    make_semi_functional,
+    regex_to_va,
+    split_for_variable,
+    trim,
+)
+from repro.workloads import random_sequential_formula
+from repro.regex import parse
+
+from .test_runs import example_23_va
+
+
+class TestExample35:
+    def test_split_resolves_the_ambiguity(self):
+        va = trim(example_23_va())
+        assert not is_semi_functional_for(va, {"x"})
+        split = split_for_variable(va, "x")
+        assert is_semi_functional_for(split, {"x"})
+
+    def test_split_grows_by_one_state(self):
+        # Example 3.5/3.7: q2 is replaced by q2^u and q2^c.
+        va = trim(example_23_va())
+        split = split_for_variable(va, "x")
+        assert split.n_states == va.n_states + 1
+
+    def test_equivalence_preserved(self):
+        va = trim(example_23_va())
+        split = split_for_variable(va, "x")
+        for doc in ("", "a", "ab", "ba", "aab"):
+            assert evaluate_va(split, doc) == evaluate_naive(va, doc), doc
+
+    def test_idempotent_when_already_semi_functional(self):
+        va = trim(example_23_va())
+        once = split_for_variable(va, "x")
+        assert split_for_variable(once, "x") is once
+
+
+class TestMakeSemiFunctional:
+    def test_multiple_variables(self):
+        formula = parse("(x{a}|ε)(y{b}|ε)[ab]*")
+        va = trim(regex_to_va(formula))
+        prepared = make_semi_functional(va, {"x", "y"})
+        assert is_semi_functional_for(prepared, {"x", "y"})
+        for doc in ("", "a", "b", "ab", "aab"):
+            assert evaluate_va(prepared, doc) == evaluate_va(trim(va), doc), doc
+
+    def test_randomized_equivalence(self):
+        rng = random.Random(13)
+        for _ in range(15):
+            formula = random_sequential_formula(rng.randint(1, 3), rng, depth=3)
+            va = trim(regex_to_va(formula))
+            if not va.accepting:
+                continue
+            prepared = make_semi_functional(va, va.variables)
+            assert is_semi_functional_for(prepared, va.variables)
+            for _ in range(3):
+                doc = "".join(rng.choice("ab") for _ in range(rng.randint(0, 4)))
+                assert evaluate_va(prepared, doc) == evaluate_naive(va, doc), (
+                    formula.to_text(),
+                    doc,
+                )
+
+    def test_preserves_other_variables_semi_functionality(self):
+        # Lemma A.1: splitting for x keeps semi-functionality for y.
+        formula = parse("y{a}((x{a}|ε)[ab]*)")
+        va = trim(regex_to_va(formula))
+        prepared = make_semi_functional(va, {"x"})
+        assert is_semi_functional_for(prepared, {"x", "y"})
+
+    def test_unmentioned_variables_are_noops(self):
+        va = trim(example_23_va())
+        prepared = make_semi_functional(va, {"ghost"})
+        assert evaluate_va(prepared, "a") == evaluate_naive(va, "a")

@@ -1,0 +1,70 @@
+"""Sequential VA → disjunctive functional VA (Prop. 3.9(2), 3.11)."""
+
+import pytest
+
+from repro.core import NotSequentialError, SpannerError
+from repro.va import (
+    VA,
+    count_functional_components,
+    evaluate_naive,
+    evaluate_va,
+    functional_components,
+    is_functional,
+    open_op,
+    regex_to_va,
+    to_disjunctive_functional_va,
+    trim,
+)
+from repro.workloads import prop311_va
+from repro.regex import parse
+
+from .test_runs import example_23_va
+
+
+class TestComponents:
+    def test_example_23_splits_in_two(self):
+        components = functional_components(trim(example_23_va()))
+        assert set(components) == {frozenset(), frozenset({"x"})}
+        for used, component in components.items():
+            assert is_functional(component)
+            assert component.variables == used
+
+    def test_component_count_prop311(self):
+        # Example 3.10 / Prop. 3.11: the family needs 2^n components.
+        for n in (1, 2, 3, 4):
+            assert count_functional_components(trim(prop311_va(n))) == 2 ** n
+
+    def test_max_components_guard(self):
+        with pytest.raises(SpannerError):
+            functional_components(trim(prop311_va(4)), max_components=8)
+
+    def test_non_sequential_rejected(self):
+        va = VA(0, (1,), [(0, open_op("x"), 1)])
+        with pytest.raises(NotSequentialError):
+            functional_components(va)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("doc", ["", "a", "ab", "ba"])
+    def test_example_23(self, doc):
+        va = trim(example_23_va())
+        dfunc = to_disjunctive_functional_va(va)
+        assert evaluate_va(dfunc, doc) == evaluate_naive(va, doc)
+
+    @pytest.mark.parametrize("doc", ["", "a", "ab"])
+    def test_prop311_family(self, doc):
+        va = trim(prop311_va(2))
+        dfunc = to_disjunctive_functional_va(va)
+        assert evaluate_va(dfunc, doc) == evaluate_naive(va, doc)
+
+    def test_optional_variables_formula(self):
+        f = parse("(x{a}|ε)(y{b}|ε)[ab]*")
+        va = trim(regex_to_va(f))
+        dfunc = to_disjunctive_functional_va(va)
+        for doc in ("", "a", "b", "ab", "ba"):
+            assert evaluate_va(dfunc, doc) == evaluate_va(va, doc), doc
+
+    def test_empty_spanner(self):
+        va = trim(regex_to_va(parse("∅")))
+        dfunc = to_disjunctive_functional_va(va)
+        assert evaluate_va(dfunc, "a").is_empty

@@ -1,0 +1,96 @@
+"""Parametrised workload families."""
+
+import random
+
+from repro.regex import is_functional, is_sequential, is_synchronized
+from repro.va import (
+    evaluate_naive,
+    evaluate_va,
+    is_sequential as va_sequential,
+    regex_to_va,
+    trim,
+)
+from repro.workloads import (
+    nth_from_end_formula,
+    nth_from_end_va,
+    prop311_formula,
+    prop311_va,
+    random_document,
+    random_sequential_formula,
+    synchronized_block_formula,
+    unsynchronized_block_formula,
+)
+
+
+class TestRandomFamilies:
+    def test_random_sequential_formula_is_always_sequential(self):
+        rng = random.Random(5)
+        for _ in range(40):
+            formula = random_sequential_formula(rng.randint(0, 4), rng, depth=4)
+            assert is_sequential(formula), formula.to_text()
+
+    def test_random_formula_mentions_requested_variables(self):
+        rng = random.Random(8)
+        formula = random_sequential_formula(3, rng, depth=4)
+        assert len(formula.variables) == 3
+
+    def test_random_document(self):
+        rng = random.Random(0)
+        doc = random_document("ab", 50, rng)
+        assert len(doc) == 50 and doc.alphabet() <= {"a", "b"}
+
+
+class TestProp311Family:
+    def test_formula_matches_va(self):
+        formula = prop311_formula(2)
+        va = trim(prop311_va(2))
+        formula_va = trim(regex_to_va(formula))
+        for doc in ("", "a", "ab"):
+            assert evaluate_va(va, doc) == evaluate_va(formula_va, doc), doc
+
+    def test_va_is_sequential_with_3n_plus_1_states(self):
+        for n in (1, 2, 4):
+            va = prop311_va(n)
+            assert va_sequential(va)
+            assert va.n_states == 3 * n + 1
+
+    def test_output_count(self):
+        # Each block chooses x or y and a split point; on a document of
+        # length m with n=1: 2 choices × (m+1) splits... spans are fixed by
+        # the block structure though — here one block covers everything.
+        rel = evaluate_va(trim(prop311_va(1)), "ab")
+        assert rel.variables() == {"x1", "y1"}
+        assert len(rel) == 2
+
+
+class TestNthFromEnd:
+    def test_formula_and_va_agree(self):
+        formula_va = trim(regex_to_va(nth_from_end_formula(2)))
+        direct = trim(nth_from_end_va(2))
+        for doc in ("ab", "ba", "aab", "bbb", "abab"):
+            assert evaluate_naive(direct, doc) == evaluate_va(formula_va, doc), doc
+
+    def test_language_membership(self):
+        va = trim(nth_from_end_va(2))
+        assert evaluate_naive(va, "ab").__len__() == 1  # 2nd-from-end is 'a'
+        assert evaluate_naive(va, "bb").is_empty
+
+    def test_state_count_linear(self):
+        assert nth_from_end_va(10).n_states == 11
+
+
+class TestSynchronizedFamilies:
+    def test_block_formula_is_synchronized_functional(self):
+        formula = synchronized_block_formula(3)
+        assert is_functional(formula)
+        assert is_synchronized(formula)
+
+    def test_unsynchronized_control_is_functional_not_synchronized(self):
+        formula = unsynchronized_block_formula(2)
+        assert is_functional(formula)
+        assert not is_synchronized(formula)
+
+    def test_block_formula_extraction(self):
+        va = trim(regex_to_va(synchronized_block_formula(2)))
+        rel = evaluate_va(va, "abcba")
+        assert len(rel) == 1  # the separator fixes both spans

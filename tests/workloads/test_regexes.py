@@ -1,0 +1,76 @@
+"""The realistic regex-formula library (§1's RegExLib-scale extractors)."""
+
+import pytest
+
+from repro.regex import is_sequential
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.workloads import (
+    LIBRARY,
+    anywhere,
+    date_formula,
+    email_formula,
+    ipv4_formula,
+    log_line_formula,
+    phone_formula,
+    url_formula,
+    us_address_formula,
+)
+
+
+def extract(formula, doc):
+    return evaluate_va(trim(regex_to_va(formula)), doc)
+
+
+class TestLibraryShape:
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_all_formulas_sequential(self, name):
+        assert is_sequential(LIBRARY[name])
+
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_realistic_sizes(self, name):
+        # The paper's point: practical extractors are large.
+        assert LIBRARY[name].size() > 20
+
+
+class TestExtractors:
+    def test_email(self):
+        rel = extract(email_formula(), "john.doe@mail.example.org")
+        assert len(rel) == 1
+        mapping = next(iter(rel))
+        assert mapping.domain == {"user", "host"}
+
+    def test_email_rejects_garbage(self):
+        assert extract(email_formula(), "not-an-email").is_empty
+
+    def test_date_numeric(self):
+        rel = extract(date_formula(), "12-06-2026")
+        assert len(rel) == 1
+
+    def test_date_month_name(self):
+        rel = extract(date_formula(), "3 Mar 2019")
+        assert len(rel) == 1
+
+    def test_phone_with_area_code(self):
+        rel = extract(phone_formula(), "(04) 123-4567")
+        assert not rel.is_empty
+
+    def test_url(self):
+        rel = extract(url_formula(), "https://db.example.org/papers/spanners.pdf")
+        assert len(rel) == 1
+
+    def test_us_address(self):
+        rel = extract(us_address_formula(), "42 Main St, Springfield, 12345")
+        assert not rel.is_empty
+
+    def test_ipv4(self):
+        assert not extract(ipv4_formula(), "10.0.200.1").is_empty
+
+    def test_log_line(self):
+        rel = extract(log_line_formula(), "12:00:01 ERROR disk on fire")
+        mapping = next(iter(rel))
+        assert mapping.domain == {"ts", "level", "msg"}
+
+    def test_anywhere_wrapper(self):
+        doc = "contact: ada@lab.org today"
+        assert extract(email_formula(), doc).is_empty
+        assert not extract(anywhere(email_formula()), doc).is_empty

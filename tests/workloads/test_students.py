@@ -1,0 +1,121 @@
+"""F1: the paper's students example (Figure 1, Examples 2.1/2.2)."""
+
+import random
+
+from repro.core import Mapping, Span
+from repro.regex import is_functional, is_sequential
+from repro.va import evaluate_va, regex_to_va, trim
+from repro.workloads import (
+    STUDENTS_DOCUMENT,
+    alpha_info,
+    alpha_mail,
+    alpha_name,
+    alpha_phone,
+    alpha_recommendation,
+    alpha_student_mail,
+    alpha_student_phone,
+    alpha_uk_mail,
+    generate_students,
+)
+
+
+def evaluate(formula, doc=STUDENTS_DOCUMENT):
+    return evaluate_va(trim(regex_to_va(formula)), doc)
+
+
+class TestFigure1Positions:
+    def test_key_positions_match_the_paper(self):
+        text = STUDENTS_DOCUMENT.text
+        # Figure 1's position marks: R1, R8, r20, Z30, 638, m46, P57, L63,
+        # 670, l78.
+        assert text[0] == "R" and text[7] == "R"
+        assert text[19] == "r" and text[29] == "Z"
+        assert text[37] == "6" and text[45] == "m"
+        assert text[56] == "P" and text[62] == "L"
+        assert text[69] == "6" and text[77] == "l"
+
+
+class TestExample21:
+    def test_pstudinfo_extracts_exactly_three_mappings(self):
+        rel = evaluate(alpha_info())
+        assert len(rel) == 3
+
+    def test_mu1_rodion_raskolnikov(self):
+        # µ1 of Example 2.1 (the paper's table misprints the mail span as
+        # [20,22>; [20,29> is "rr@edu.ru" per Figure 1's own marks).
+        rel = evaluate(alpha_info())
+        mu1 = Mapping(
+            {"xfirst": Span(1, 7), "xlast": Span(8, 19), "xmail": Span(20, 29)}
+        )
+        assert mu1 in rel
+
+    def test_mu2_zosimov_has_no_first_name(self):
+        # µ2: the schemaless point — xfirst ∉ dom(µ2).
+        rel = evaluate(alpha_info())
+        mu2 = Mapping(
+            {"xlast": Span(30, 37), "xphone": Span(38, 45), "xmail": Span(46, 56)}
+        )
+        assert mu2 in rel
+
+    def test_mu3_pyotr_luzhin(self):
+        rel = evaluate(alpha_info())
+        mu3 = Mapping(
+            {
+                "xfirst": Span(57, 62),
+                "xlast": Span(63, 69),
+                "xphone": Span(70, 77),
+                "xmail": Span(78, 89),
+            }
+        )
+        assert mu3 in rel
+
+    def test_extracted_contents(self):
+        doc = STUDENTS_DOCUMENT
+        rel = evaluate(alpha_info())
+        names = {doc.substring(mu["xlast"]) for mu in rel}
+        assert names == {"Raskolnikov", "Zosimov", "Luzhin"}
+
+
+class TestExample22Classification:
+    def test_alpha_info_sequential_not_functional(self):
+        formula = alpha_info()
+        assert is_sequential(formula)
+        assert not is_functional(formula)
+
+    def test_component_formulas(self):
+        assert is_functional(alpha_mail())
+        assert is_functional(alpha_phone())
+        assert is_sequential(alpha_name()) and not is_functional(alpha_name())
+
+    def test_example_51_formulas_are_functional(self):
+        assert is_functional(alpha_student_mail())
+        assert is_functional(alpha_student_phone())
+        assert is_functional(alpha_recommendation())
+
+
+class TestUKMail:
+    def test_extracts_only_uk_addresses(self):
+        doc = STUDENTS_DOCUMENT
+        rel = evaluate(alpha_uk_mail())
+        assert {doc.substring(mu["xmail"]) for mu in rel} == {"luzi@edu.uk"}
+
+
+class TestGenerator:
+    def test_generated_corpus_is_extractable(self):
+        rng = random.Random(0)
+        doc = generate_students(10, rng)
+        rel = evaluate(alpha_info(), doc)
+        assert len(rel) == 10  # one mapping per student line
+
+    def test_optional_fields_vary(self):
+        rng = random.Random(1)
+        doc = generate_students(30, rng, with_first_name=0.5, with_phone=0.5)
+        rel = evaluate(alpha_info(), doc)
+        domains = {frozenset(mu.domain) for mu in rel}
+        assert len(domains) > 1  # schemaless: several different shapes
+
+    def test_recommendations_marker(self):
+        rng = random.Random(2)
+        doc = generate_students(15, rng, with_recommendation=1.0)
+        rel = evaluate(alpha_recommendation(), doc)
+        assert len(rel) == 15
