@@ -56,6 +56,7 @@ from .algebra import (
     fpt_join,
     synchronized_difference,
 )
+from .engine import Engine, EngineStats
 
 __version__ = "1.0.0"
 
@@ -88,6 +89,8 @@ def compile_spanner(source: "str | RegexFormula | VA", alphabet=None) -> VASpann
 __all__ = [
     "Difference",
     "Document",
+    "Engine",
+    "EngineStats",
     "Instantiation",
     "Join",
     "Leaf",

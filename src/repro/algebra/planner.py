@@ -5,25 +5,30 @@ provided every join and difference node shares at most ``max_shared``
 variables between its subtrees (Theorem 5.2's precondition — checked, not
 assumed).
 
-Strategy (the paper's two compilation modes):
+The module is structured around the paper's two compilation modes:
 
-* positive operators and joins compile *statically* (document-independent
-  VAs: ``union_va``, ``project_va``, ``fpt_join``);
-* differences compile *ad hoc* for the document at hand
+* **static** (document independent): positive operators and joins compile
+  once per query (``union_va``, ``project_va``, ``fpt_join``) — see
+  :func:`compile_static_atom`, :func:`apply_project`, :func:`apply_union`
+  and :func:`apply_join`;
+* **ad hoc** (per document): differences compile for the document at hand
   (:func:`~repro.algebra.difference.adhoc_difference`) — Section 4 shows
-  no static compilation can work;
-* black-box leaves (tractable, degree-bounded :class:`Spanner` objects)
-  are materialised per document and folded in as straight-line automata
-  (Corollary 5.3) — the ad-hoc mode is what makes this possible.
+  no static compilation can work — and black-box leaves (tractable,
+  degree-bounded :class:`Spanner` objects) are materialised per document
+  and folded in as straight-line automata (Corollary 5.3); see
+  :func:`materialise_blackbox` and :func:`apply_difference`.
 
-The result of the bottom-up compilation is a single sequential VA for the
-document, enumerated by the Theorem-2.5 evaluator.
+:func:`compile_ra` runs both modes bottom-up for a single document.  The
+:mod:`repro.engine` subsystem reuses the same helpers but caches the
+static prefix across documents (:class:`~repro.engine.plan.CompiledPlan`);
+:class:`RAQuery` delegates its evaluation there, so repeated evaluations
+of one query share all document-independent work.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..core.document import Document, as_document
 from ..core.errors import SpannerError
@@ -47,12 +52,15 @@ from .ra_tree import (
     UnionNode,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - layering: engine imports algebra
+    from ..engine.core import Engine
+
 #: Default cap on black-box spanner degree (Corollary 5.3 asks for *some*
 #: constant; 4 covers all shipped black boxes with room to spare).
 DEFAULT_DEGREE_BOUND = 4
 
 
-@dataclass
+@dataclass(frozen=True)
 class PlannerConfig:
     """Knobs of the RA-tree evaluator.
 
@@ -65,6 +73,80 @@ class PlannerConfig:
 
     max_shared: int | None = None
     degree_bound: int = DEFAULT_DEGREE_BOUND
+
+
+# -- compilation primitives (shared with repro.engine.plan) -----------------
+
+
+def compile_static_atom(atom) -> VA | None:
+    """The document-independent VA of an atomic spanner, or ``None`` when
+    the atom is a black box that must be materialised per document."""
+    if isinstance(atom, RegexFormula):
+        return trim(regex_to_va(atom))
+    if isinstance(atom, VA):
+        return trim(atom)
+    if isinstance(atom, Spanner):
+        return None
+    raise TypeError(f"cannot instantiate a placeholder with {type(atom).__name__}")
+
+
+def materialise_blackbox(atom: Spanner, doc: Document, config: PlannerConfig) -> VA:
+    """Fold a degree-bounded black box into a straight-line automaton for
+    one document (Corollary 5.3)."""
+    degree = atom.degree()
+    if degree > config.degree_bound:
+        raise SpannerError(
+            f"black-box spanner {atom!r} has degree {degree} > bound "
+            f"{config.degree_bound}; Corollary 5.3 requires degree-bounded "
+            "black boxes (raise PlannerConfig.degree_bound if intentional)"
+        )
+    return relation_va(atom.evaluate(doc), doc)
+
+
+def resolve_projection(node: Project, inst: Instantiation) -> frozenset[Variable]:
+    """The concrete variable set of a projection node."""
+    if isinstance(node.projection, str):
+        return inst.projection(node.projection)
+    return node.projection
+
+
+def apply_project(child: VA, keep: frozenset[Variable]) -> VA:
+    """``π_keep`` over a compiled child."""
+    return trim(project_va(child, keep))
+
+
+def apply_union(left: VA, right: VA) -> VA:
+    """``∪`` over compiled children."""
+    return union_va(left, right)
+
+
+def apply_join(left: VA, right: VA, config: PlannerConfig) -> VA:
+    """``⋈`` over compiled children (static FPT compilation, Lemma 3.2)."""
+    check_shared(left, right, config, "join")
+    return fpt_join(left, right)
+
+
+def apply_difference(
+    left: VA, right: VA, doc: Document, config: PlannerConfig
+) -> VA:
+    """``\\`` over compiled children — always ad hoc (Lemma 4.2)."""
+    check_shared(left, right, config, "difference")
+    return adhoc_difference(left, right, doc)
+
+
+def check_shared(left: VA, right: VA, config: PlannerConfig, what: str) -> None:
+    """Enforce Theorem 5.2's shared-variable bound at a binary node."""
+    if config.max_shared is None:
+        return
+    shared = left.variables & right.variables
+    if len(shared) > config.max_shared:
+        raise SpannerError(
+            f"{what} node shares {len(shared)} variables {sorted(shared)}, "
+            f"exceeding the configured bound {config.max_shared} (Theorem 5.2)"
+        )
+
+
+# -- one-shot compilation (no cross-document caching) -----------------------
 
 
 def compile_ra(
@@ -85,59 +167,32 @@ def _compile(
     node: RANode, inst: Instantiation, doc: Document, config: PlannerConfig
 ) -> VA:
     if isinstance(node, Leaf):
-        return _compile_leaf(inst.spanner(node.name), doc, config)
+        atom = inst.spanner(node.name)
+        static = compile_static_atom(atom)
+        return static if static is not None else materialise_blackbox(atom, doc, config)
     if isinstance(node, Project):
-        child = _compile(node.child, inst, doc, config)
-        keep = (
-            inst.projection(node.projection)
-            if isinstance(node.projection, str)
-            else node.projection
+        return apply_project(
+            _compile(node.child, inst, doc, config), resolve_projection(node, inst)
         )
-        return trim(project_va(child, keep))
     if isinstance(node, UnionNode):
-        return union_va(
+        return apply_union(
             _compile(node.left, inst, doc, config),
             _compile(node.right, inst, doc, config),
         )
     if isinstance(node, Join):
-        left = _compile(node.left, inst, doc, config)
-        right = _compile(node.right, inst, doc, config)
-        _check_shared(left, right, config, "join")
-        return fpt_join(left, right)
-    if isinstance(node, Difference):
-        left = _compile(node.left, inst, doc, config)
-        right = _compile(node.right, inst, doc, config)
-        _check_shared(left, right, config, "difference")
-        return adhoc_difference(left, right, doc)
-    raise TypeError(f"unknown RA node type {type(node).__name__}")
-
-
-def _compile_leaf(atom, doc: Document, config: PlannerConfig) -> VA:
-    if isinstance(atom, RegexFormula):
-        return trim(regex_to_va(atom))
-    if isinstance(atom, VA):
-        return trim(atom)
-    if isinstance(atom, Spanner):
-        degree = atom.degree()
-        if degree > config.degree_bound:
-            raise SpannerError(
-                f"black-box spanner {atom!r} has degree {degree} > bound "
-                f"{config.degree_bound}; Corollary 5.3 requires degree-bounded "
-                "black boxes (raise PlannerConfig.degree_bound if intentional)"
-            )
-        return relation_va(atom.evaluate(doc), doc)
-    raise TypeError(f"cannot instantiate a placeholder with {type(atom).__name__}")
-
-
-def _check_shared(left: VA, right: VA, config: PlannerConfig, what: str) -> None:
-    if config.max_shared is None:
-        return
-    shared = left.variables & right.variables
-    if len(shared) > config.max_shared:
-        raise SpannerError(
-            f"{what} node shares {len(shared)} variables {sorted(shared)}, "
-            f"exceeding the configured bound {config.max_shared} (Theorem 5.2)"
+        return apply_join(
+            _compile(node.left, inst, doc, config),
+            _compile(node.right, inst, doc, config),
+            config,
         )
+    if isinstance(node, Difference):
+        return apply_difference(
+            _compile(node.left, inst, doc, config),
+            _compile(node.right, inst, doc, config),
+            doc,
+            config,
+        )
+    raise TypeError(f"unknown RA node type {type(node).__name__}")
 
 
 def enumerate_ra(
@@ -166,11 +221,18 @@ class RAQuery:
     """A fixed RA tree bundled with an instantiation — the unit whose
     *extraction complexity* §5 studies.
 
+    Evaluation delegates to a (lazily created, per-query)
+    :class:`repro.engine.core.Engine`, so the static prefix of the tree is
+    compiled once and shared across every document this query touches.
+    Pass ``engine=`` to share one engine (and its caches/statistics)
+    between queries.
+
     Usage::
 
         query = RAQuery(tree, instantiation, PlannerConfig(max_shared=2))
         for mapping in query.enumerate(document):
             ...
+        relations = query.evaluate_many(["doc one", "doc two"])
     """
 
     def __init__(
@@ -178,21 +240,41 @@ class RAQuery:
         tree: RANode,
         instantiation: Instantiation,
         config: PlannerConfig | None = None,
+        engine: "Engine | None" = None,
     ):
         instantiation.validate(tree)
         self.tree = tree
         self.instantiation = instantiation
         self.config = config or PlannerConfig()
+        self._engine = engine
+
+    @property
+    def engine(self) -> "Engine":
+        """The engine evaluating this query (created on first use)."""
+        if self._engine is None:
+            from ..engine.core import Engine
+
+            self._engine = Engine()
+        return self._engine
 
     def compile(self, document: Document | str) -> VA:
-        """The ad-hoc VA for one document."""
-        return compile_ra(self.tree, self.instantiation, document, self.config)
+        """The ad-hoc VA for one document (static prefix served from the
+        engine's plan cache)."""
+        return self.engine.compile(self, document)
 
     def enumerate(self, document: Document | str) -> Iterator[Mapping]:
-        return enumerate_ra(self.tree, self.instantiation, document, self.config)
+        return self.engine.enumerate(self, document)
 
     def evaluate(self, document: Document | str) -> SpanRelation:
-        return evaluate_ra(self.tree, self.instantiation, document, self.config)
+        return self.engine.evaluate(self, document)
+
+    def evaluate_many(self, documents) -> list[SpanRelation]:
+        """Evaluate a batch of documents, sharing all static compilation."""
+        return self.engine.evaluate_many(self, documents)
+
+    def enumerate_stream(self, documents) -> Iterator[tuple[int, Mapping]]:
+        """Stream ``(document_index, mapping)`` pairs over many documents."""
+        return self.engine.enumerate_stream(self, documents)
 
     def __repr__(self) -> str:
         return f"RAQuery({self.tree})"

@@ -5,14 +5,21 @@ Usage::
 
     python -m repro.cli extract 'x{[a-z]+}@y{[a-z.]+}' --text 'ab@cd.e'
     python -m repro.cli extract "$(cat formula.rgx)" --file corpus.txt --json
+    python -m repro.cli batch 'x{[ab]+}' --file docs.txt --stats
     python -m repro.cli classify 'x{a}(y{b}|ε)'
     python -m repro.cli dot 'x{a*}b' > automaton.dot
 
 Subcommands:
 
 * ``extract``  — evaluate a formula on a document (table or JSON output);
+* ``batch``    — evaluate a formula on many documents (one per line)
+  through the execution engine, sharing all compiled state;
 * ``classify`` — report the formula's syntactic classes (§2.2/§3.2/§4.2);
 * ``dot``      — compile to a vset-automaton and emit Graphviz DOT.
+
+``extract`` and ``batch`` run through :class:`repro.engine.Engine`;
+``--backend`` picks the enumeration backend and ``--stats`` prints the
+engine's cache/compile/enumerate statistics to stderr.
 """
 
 from __future__ import annotations
@@ -22,12 +29,12 @@ import sys
 
 from .core.document import Document
 from .core.errors import SpannerError
+from .engine import BACKENDS, DEFAULT_BACKEND, Engine
 from .io.dot import va_to_dot
 from .io.serialize import dumps_relation
 from .regex.parser import parse
 from .regex.properties import classify
 from .va.compile_regex import regex_to_va
-from .va.evaluation import VASpanner
 from .va.operations import trim
 
 
@@ -40,16 +47,50 @@ def _read_document(args: argparse.Namespace) -> Document:
     return Document(sys.stdin.read())
 
 
+def _compile(args: argparse.Namespace):
+    return trim(regex_to_va(parse(args.formula, alphabet=args.alphabet)))
+
+
+def _print_stats(engine: Engine) -> None:
+    print("── engine statistics ──", file=sys.stderr)
+    print(engine.stats.summary(), file=sys.stderr)
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
-    formula = parse(args.formula, alphabet=args.alphabet)
     document = _read_document(args)
-    spanner = VASpanner(trim(regex_to_va(formula)))
-    relation = spanner.evaluate(document)
+    engine = Engine(backend=args.backend)
+    relation = engine.evaluate(_compile(args), document)
     if args.json:
         print(dumps_relation(relation, indent=2))
     else:
         print(relation.to_table(document if args.show_content else None))
         print(f"\n{len(relation)} mapping(s)")
+    if args.stats:
+        _print_stats(engine)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.file is not None:
+        with open(args.file, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    engine = Engine(backend=args.backend, document_cache_size=args.cache_documents)
+    va = _compile(args)
+    relations = engine.evaluate_many(va, lines)
+    if args.json:
+        for relation in relations:
+            print(dumps_relation(relation))
+    else:
+        total = 0
+        for index, (line, relation) in enumerate(zip(lines, relations)):
+            total += len(relation)
+            preview = line if len(line) <= 32 else line[:29] + "..."
+            print(f"doc {index:4d}  {len(relation):6d} mapping(s)  {preview}")
+        print(f"\n{len(lines)} document(s), {total} mapping(s)")
+    if args.stats:
+        _print_stats(engine)
     return 0
 
 
@@ -80,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("formula", help="regex formula, e.g. 'x{[a-z]+}@y{[a-z.]+}'")
         p.add_argument("--alphabet", help="explicit alphabet enabling '.'", default=None)
 
+    def add_engine(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default=DEFAULT_BACKEND,
+            help="enumeration backend (default: %(default)s)",
+        )
+        p.add_argument(
+            "--stats", action="store_true", help="print engine statistics to stderr"
+        )
+
     extract = sub.add_parser("extract", help="evaluate a formula on a document")
     add_common(extract)
     source = extract.add_mutually_exclusive_group()
@@ -89,7 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument(
         "--show-content", action="store_true", help="show span contents in the table"
     )
+    add_engine(extract)
     extract.set_defaults(func=_cmd_extract)
+
+    batch = sub.add_parser(
+        "batch", help="evaluate a formula on many documents (one per line)"
+    )
+    add_common(batch)
+    batch.add_argument("--file", help="documents file, one per line (default: stdin)")
+    batch.add_argument("--json", action="store_true", help="JSON-lines output")
+    batch.add_argument(
+        "--cache-documents",
+        type=int,
+        default=64,
+        metavar="N",
+        help="LRU size for repeated documents (default: %(default)s)",
+    )
+    add_engine(batch)
+    batch.set_defaults(func=_cmd_batch)
 
     classify_cmd = sub.add_parser("classify", help="report the formula's classes")
     add_common(classify_cmd)

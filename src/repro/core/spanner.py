@@ -18,7 +18,7 @@ The central methods:
 from __future__ import annotations
 
 import abc
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from .document import Document, as_document
 from .mapping import Mapping, Variable
@@ -53,6 +53,28 @@ class Spanner(abc.ABC):
         for _ in self.enumerate(as_document(document)):
             return True
         return False
+
+    # -- batch protocol ------------------------------------------------------
+
+    def evaluate_many(
+        self, documents: Iterable[Document | str]
+    ) -> list[SpanRelation]:
+        """Materialise ``⟦q⟧(d)`` for a batch of documents.
+
+        The default loops over :meth:`evaluate`; representations with
+        document-independent compiled state (prepared VAs, engine-backed
+        queries) share it across the whole batch.
+        """
+        return [self.evaluate(doc) for doc in documents]
+
+    def enumerate_stream(
+        self, documents: Iterable[Document | str]
+    ) -> Iterator[tuple[int, Mapping]]:
+        """Stream ``(document_index, mapping)`` pairs over a (possibly
+        unbounded) document stream, lazily."""
+        for index, doc in enumerate(documents):
+            for mapping in self.enumerate(as_document(doc)):
+                yield index, mapping
 
     def degree(self) -> int:
         """Upper bound on ``|dom(µ)|`` over all outputs (Corollary 5.3).

@@ -1,0 +1,47 @@
+"""The staged execution engine: plan caching, pluggable backends, batch
+evaluation.
+
+Layering: ``core`` → ``regex``/``va`` → ``algebra`` → **engine**.  The
+engine sits on top of the algebra and owns everything that amortises work
+across documents:
+
+* :class:`Engine` / :class:`ExecutionContext` — the compiled-plan cache
+  and the batch/streaming entry points;
+* :mod:`repro.engine.plan` — the static-prefix / ad-hoc-suffix split of
+  every RA query (the paper's Sections 3–5 compilation modes);
+* :mod:`repro.engine.backends` — interchangeable enumeration backends
+  (``matchgraph``, ``indexed``);
+* :class:`EngineStats` — cache, compile-time and graph-size statistics.
+"""
+
+from .backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    EnumerationBackend,
+    IndexedBackend,
+    MatchGraphBackend,
+    PreparedRun,
+    PreparedVA,
+    get_backend,
+)
+from .core import Engine, ExecutionContext
+from .plan import CompiledPlan, PlanNode, StaticNode, build_plan
+from .stats import EngineStats
+
+__all__ = [
+    "BACKENDS",
+    "CompiledPlan",
+    "DEFAULT_BACKEND",
+    "Engine",
+    "EngineStats",
+    "EnumerationBackend",
+    "ExecutionContext",
+    "IndexedBackend",
+    "MatchGraphBackend",
+    "PlanNode",
+    "PreparedRun",
+    "PreparedVA",
+    "StaticNode",
+    "build_plan",
+    "get_backend",
+]

@@ -1,0 +1,185 @@
+"""Pluggable enumeration backends.
+
+A backend turns a sequential VA into a document-independent *prepared*
+form once (:meth:`EnumerationBackend.prepare`), then builds a per-document
+*run* (:meth:`PreparedVA.run`) exposing the Theorem-2.5 enumeration plus
+the match-graph size gauges the engine's statistics report.
+
+Shipped backends:
+
+* ``matchgraph`` — the original path: states stay arbitrary hashable
+  objects, the prepared form is a
+  :class:`~repro.va.matchgraph.FactorizedVA` and runs are
+  :class:`~repro.va.matchgraph.MatchGraph` DFS walks.
+* ``indexed`` — states relabelled to dense integers with precomputed
+  per-letter/per-opset transition tables and bitmask state sets
+  (:mod:`repro.va.indexed`); same semantics, faster hot loop.
+
+All backends are interchangeable: ``tests/engine`` checks each against the
+naive run-semantics enumerator on random automata and documents, in both
+content and enumeration order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from ..core.document import Document, as_document
+from ..core.errors import NotSequentialError, SpannerError
+from ..core.mapping import Mapping
+from ..va.automaton import VA
+from ..va.evaluation import enumerate_matchgraph
+from ..va.indexed import IndexedMatchGraph, IndexedVA
+from ..va.matchgraph import FactorizedVA, MatchGraph
+from ..va.properties import is_sequential
+
+
+class PreparedRun(abc.ABC):
+    """A per-document match graph ready to enumerate."""
+
+    @property
+    @abc.abstractmethod
+    def is_empty(self) -> bool:
+        """Whether the result is empty (no live source state)."""
+
+    @abc.abstractmethod
+    def states_alive(self) -> int:
+        """Total live states across the graph's layers (size gauge)."""
+
+    @abc.abstractmethod
+    def enumerate(self) -> Iterator[Mapping]:
+        """Enumerate the mappings with polynomial delay (Theorem 2.5)."""
+
+
+class PreparedVA(abc.ABC):
+    """The document-independent prepared form of one sequential VA."""
+
+    va: VA
+
+    @abc.abstractmethod
+    def run(self, document: Document | str) -> PreparedRun:
+        """Build the per-document run (graph construction)."""
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        return self.run(document).enumerate()
+
+
+class EnumerationBackend(abc.ABC):
+    """A strategy for preparing and enumerating sequential VAs."""
+
+    name: str
+
+    @abc.abstractmethod
+    def prepare(self, va: VA) -> PreparedVA:
+        """Compile the document-independent form (checks sequentiality)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _require_sequential(va: VA) -> None:
+    if not is_sequential(va):
+        raise NotSequentialError(
+            "enumeration backends require a sequential VA"
+        )
+
+
+# -- matchgraph: the original Theorem-2.5 path ------------------------------
+
+
+class _MatchGraphRun(PreparedRun):
+    __slots__ = ("graph",)
+
+    def __init__(self, graph: MatchGraph):
+        self.graph = graph
+
+    @property
+    def is_empty(self) -> bool:
+        return self.graph.is_empty
+
+    def states_alive(self) -> int:
+        return self.graph.states_alive()
+
+    def enumerate(self) -> Iterator[Mapping]:
+        return enumerate_matchgraph(self.graph)
+
+
+class PreparedMatchGraphVA(PreparedVA):
+    """Prepared form of the ``matchgraph`` backend: a shared
+    :class:`FactorizedVA` whose closure caches grow across documents."""
+
+    __slots__ = ("va", "factorized")
+
+    def __init__(self, va: VA):
+        _require_sequential(va)
+        self.factorized = FactorizedVA(va)
+        self.va = self.factorized.va
+
+    def run(self, document: Document | str) -> _MatchGraphRun:
+        return _MatchGraphRun(MatchGraph(self.factorized, document))
+
+
+class MatchGraphBackend(EnumerationBackend):
+    """The original evaluator: frozenset profiles over hashable states."""
+
+    name = "matchgraph"
+
+    def prepare(self, va: VA) -> PreparedMatchGraphVA:
+        return PreparedMatchGraphVA(va)
+
+
+# -- indexed: dense-int states, precomputed tables, bitmask profiles --------
+
+
+class PreparedIndexedVA(PreparedVA):
+    """Prepared form of the ``indexed`` backend: an :class:`IndexedVA`
+    (cached on the automaton via :meth:`VA.indexed`)."""
+
+    __slots__ = ("va", "indexed")
+
+    def __init__(self, va: VA):
+        _require_sequential(va)
+        self.indexed = va.indexed()
+        self.va = self.indexed.va
+
+    def run(self, document: Document | str) -> IndexedMatchGraph:
+        return IndexedMatchGraph(self.indexed, as_document(document))
+
+
+class IndexedBackend(EnumerationBackend):
+    """Dense-indexed evaluator (see :mod:`repro.va.indexed`)."""
+
+    name = "indexed"
+
+    def prepare(self, va: VA) -> PreparedIndexedVA:
+        return PreparedIndexedVA(va)
+
+
+# IndexedMatchGraph already exposes the full run interface.
+PreparedRun.register(IndexedMatchGraph)
+
+
+# -- registry ---------------------------------------------------------------
+
+BACKENDS: dict[str, type[EnumerationBackend]] = {
+    MatchGraphBackend.name: MatchGraphBackend,
+    IndexedBackend.name: IndexedBackend,
+}
+
+DEFAULT_BACKEND = IndexedBackend.name
+
+
+def get_backend(backend: "str | EnumerationBackend | None") -> EnumerationBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, EnumerationBackend):
+        return backend
+    try:
+        return BACKENDS[backend]()
+    except KeyError:
+        raise SpannerError(
+            f"unknown enumeration backend {backend!r}; "
+            f"available: {sorted(BACKENDS)}"
+        ) from None

@@ -1,0 +1,273 @@
+"""The staged execution engine.
+
+An :class:`Engine` owns:
+
+* a **plan cache** — every query (an :class:`~repro.algebra.planner.RAQuery`,
+  a ``(tree, instantiation)`` pair, or a bare sequential VA) is compiled
+  once into a :class:`~repro.engine.plan.CompiledPlan` whose static prefix
+  is shared across all documents;
+* a pluggable **enumeration backend** (``matchgraph`` or ``indexed``, see
+  :mod:`repro.engine.backends`) preparing each compiled VA for fast
+  repeated evaluation;
+* **batch/streaming APIs** — :meth:`Engine.evaluate_many` and
+  :meth:`Engine.enumerate_stream` amortise all document-independent work
+  over a document stream;
+* per-run **statistics** (:class:`~repro.engine.stats.EngineStats`).
+
+The per-query prepared state lives in an :class:`ExecutionContext`; the
+engine hands the same context back for the same query, which is what makes
+repeated and batched evaluation cheap.
+
+Usage::
+
+    engine = Engine(backend="indexed")
+    relations = engine.evaluate_many(query, ["doc one", "doc two", "doc one"])
+    print(engine.stats.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Iterable, Iterator
+
+from ..algebra.planner import PlannerConfig, RAQuery
+from ..algebra.ra_tree import Instantiation, RANode
+from ..core.document import Document, as_document
+from ..core.errors import SpannerError
+from ..core.mapping import Mapping
+from ..core.relation import SpanRelation
+from ..va.automaton import VA
+from .backends import EnumerationBackend, PreparedVA, get_backend
+from .plan import CompiledPlan, StaticNode, build_plan
+from .stats import EngineStats
+
+
+class ExecutionContext:
+    """Prepared per-query state: the compiled plan, the prepared static
+    form (for fully static plans), and an optional per-document cache of
+    prepared ad-hoc automata."""
+
+    __slots__ = ("plan", "backend", "stats", "_static_prepared", "_doc_cache", "_doc_cache_size")
+
+    def __init__(
+        self,
+        plan: CompiledPlan,
+        backend: EnumerationBackend,
+        stats: EngineStats,
+        document_cache_size: int = 0,
+    ):
+        self.plan = plan
+        self.backend = backend
+        self.stats = stats
+        self._static_prepared: PreparedVA | None = None
+        self._doc_cache: OrderedDict[str, PreparedVA] = OrderedDict()
+        self._doc_cache_size = document_cache_size
+
+    def prepared_for(self, doc: Document) -> PreparedVA:
+        """The prepared automaton evaluating the query on ``doc``."""
+        stats = self.stats
+        if self.plan.is_fully_static:
+            if self._static_prepared is None:
+                stats.document_misses += 1
+                start = time.perf_counter()
+                self._static_prepared = self.backend.prepare(self.plan.root.va)
+                stats.compile_seconds += time.perf_counter() - start
+                stats.static_reuses += 1
+            else:
+                stats.document_hits += 1
+            return self._static_prepared
+        key = doc.text
+        cached = self._doc_cache.get(key)
+        if cached is not None:
+            self._doc_cache.move_to_end(key)
+            stats.document_hits += 1
+            return cached
+        stats.document_misses += 1
+        start = time.perf_counter()
+        prepared = self.backend.prepare(self.plan.va_for(doc, stats))
+        stats.compile_seconds += time.perf_counter() - start
+        if self._doc_cache_size > 0:
+            self._doc_cache[key] = prepared
+            while len(self._doc_cache) > self._doc_cache_size:
+                self._doc_cache.popitem(last=False)
+        return prepared
+
+    def compile(self, doc: Document) -> VA:
+        """The (possibly ad-hoc) VA for one document, bypassing the
+        backend."""
+        return self.plan.va_for(doc, self.stats)
+
+    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
+        """Enumerate the query on one document, recording statistics."""
+        doc = as_document(document)
+        stats = self.stats
+        prepared = self.prepared_for(doc)
+        stats.documents += 1
+        start = time.perf_counter()
+        run = prepared.run(doc)
+        stats.compile_seconds += time.perf_counter() - start
+        stats.states_explored += run.states_alive()
+        start = time.perf_counter()
+        iterator = run.enumerate()
+        while True:
+            try:
+                mapping = next(iterator)
+            except StopIteration:
+                stats.enumerate_seconds += time.perf_counter() - start
+                return
+            stats.enumerate_seconds += time.perf_counter() - start
+            stats.mappings += 1
+            yield mapping
+            start = time.perf_counter()
+
+
+class Engine:
+    """The staged execution engine (see module docstring).
+
+    Args:
+        backend: an :class:`EnumerationBackend` name or instance
+            (default ``indexed``).
+        plan_cache_size: maximum number of distinct queries whose plans
+            stay cached (LRU).
+        document_cache_size: per-query LRU of prepared ad-hoc automata,
+            keyed by document text — serves repeated documents without
+            recompiling the ad-hoc suffix.  ``0`` disables it.
+    """
+
+    def __init__(
+        self,
+        backend: "str | EnumerationBackend | None" = None,
+        plan_cache_size: int = 128,
+        document_cache_size: int = 0,
+    ):
+        self.backend = get_backend(backend)
+        self.stats = EngineStats()
+        self._plan_cache_size = plan_cache_size
+        self._document_cache_size = document_cache_size
+        self._contexts: OrderedDict[object, ExecutionContext] = OrderedDict()
+
+    # -- query resolution ---------------------------------------------------
+
+    def prepare(
+        self,
+        query: "RAQuery | RANode | VA",
+        instantiation: Instantiation | None = None,
+        config: PlannerConfig | None = None,
+    ) -> ExecutionContext:
+        """The (cached) execution context for a query.
+
+        Accepts an :class:`RAQuery`, a bare sequential :class:`VA`, or an
+        RA tree plus its instantiation.  A plan-cache miss compiles the
+        query's static prefix; every later call is a hit.
+        """
+        if isinstance(query, RAQuery):
+            tree, instantiation, config = query.tree, query.instantiation, query.config
+        elif isinstance(query, VA):
+            return self._context_for_va(query)
+        elif isinstance(query, RANode):
+            if instantiation is None:
+                raise SpannerError("an RA tree query needs an instantiation")
+            tree = query
+        else:
+            raise TypeError(f"cannot evaluate a {type(query).__name__}")
+        config = config or PlannerConfig()
+        key = self._plan_key(tree, instantiation, config)
+        context = self._contexts.get(key)
+        if context is not None:
+            self._contexts.move_to_end(key)
+            self.stats.plan_hits += 1
+            return context
+        self.stats.plan_misses += 1
+        start = time.perf_counter()
+        plan = build_plan(tree, instantiation, config)
+        self.stats.compile_seconds += time.perf_counter() - start
+        context = ExecutionContext(
+            plan, self.backend, self.stats, self._document_cache_size
+        )
+        self._store(key, context)
+        return context
+
+    def _context_for_va(self, va: VA) -> ExecutionContext:
+        # The StaticNode in the cached plan keeps `va` alive, so its id is
+        # stable for the lifetime of the entry.
+        key = ("va", id(va))
+        context = self._contexts.get(key)
+        if context is not None:
+            self._contexts.move_to_end(key)
+            self.stats.plan_hits += 1
+            return context
+        self.stats.plan_misses += 1
+        plan = CompiledPlan(StaticNode(va), None, None, PlannerConfig())
+        context = ExecutionContext(
+            plan, self.backend, self.stats, self._document_cache_size
+        )
+        self._store(key, context)
+        return context
+
+    def _store(self, key: object, context: ExecutionContext) -> None:
+        self._contexts[key] = context
+        while len(self._contexts) > self._plan_cache_size:
+            self._contexts.popitem(last=False)
+
+    @staticmethod
+    def _plan_key(
+        tree: RANode, instantiation: Instantiation, config: PlannerConfig
+    ) -> object:
+        atoms = tuple(
+            sorted((name, id(atom)) for name, atom in instantiation.spanners.items())
+        )
+        slots = tuple(
+            sorted(
+                (slot, frozenset(variables))
+                for slot, variables in instantiation.projections.items()
+            )
+        )
+        return (tree, atoms, slots, config)
+
+    # -- single-document API ------------------------------------------------
+
+    def compile(self, query, document: Document | str) -> VA:
+        """The (possibly ad-hoc) VA for one document, with the static
+        prefix served from the plan cache."""
+        return self.prepare(query).compile(as_document(document))
+
+    def enumerate(self, query, document: Document | str) -> Iterator[Mapping]:
+        """Enumerate a query on one document (polynomial delay)."""
+        return self.prepare(query).enumerate(document)
+
+    def evaluate(self, query, document: Document | str) -> SpanRelation:
+        """Materialise a query on one document."""
+        return SpanRelation(self.enumerate(query, document))
+
+    def is_nonempty(self, query, document: Document | str) -> bool:
+        """Decide ``⟦q⟧(d) ≠ ∅`` (first result only)."""
+        for _ in self.enumerate(query, document):
+            return True
+        return False
+
+    # -- batch / streaming API ----------------------------------------------
+
+    def evaluate_many(
+        self, query, documents: Iterable[Document | str]
+    ) -> list[SpanRelation]:
+        """Materialise a query over a batch of documents, compiling the
+        static prefix exactly once."""
+        context = self.prepare(query)
+        return [SpanRelation(context.enumerate(doc)) for doc in documents]
+
+    def enumerate_stream(
+        self, query, documents: Iterable[Document | str]
+    ) -> Iterator[tuple[int, Mapping]]:
+        """Stream ``(document_index, mapping)`` pairs over a document
+        stream, lazily — suitable for unbounded streams."""
+        context = self.prepare(query)
+        for index, doc in enumerate(documents):
+            for mapping in context.enumerate(doc):
+                yield index, mapping
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(backend={self.backend.name!r}, "
+            f"plans={len(self._contexts)})"
+        )

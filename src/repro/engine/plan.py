@@ -1,0 +1,274 @@
+"""Compiled query plans: the static prefix / ad-hoc suffix split.
+
+The paper separates RA-tree compilation into a *static* part that is
+document independent — regex/VA leaves, projections, unions, and FPT joins
+(Sections 3 and 5) — and an *ad-hoc* part that must be rebuilt per
+document — differences (Section 4 proves static compilation blows up) and
+black-box leaves (Corollary 5.3 materialises them on the document).
+
+:func:`build_plan` fuses every maximal static subtree bottom-up into a
+single pre-compiled :class:`StaticNode`, leaving only the ad-hoc suffix as
+live plan nodes.  Evaluating the plan on a document then recompiles *only*
+the suffix; a query with no difference and no black box collapses to one
+:class:`StaticNode` and is compiled exactly once, ever.
+
+The compilation primitives themselves live in
+:mod:`repro.algebra.planner` — this module only decides *when* each one
+runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from ..algebra.planner import (
+    PlannerConfig,
+    apply_difference,
+    apply_join,
+    apply_project,
+    apply_union,
+    compile_static_atom,
+    materialise_blackbox,
+    resolve_projection,
+)
+from ..algebra.ra_tree import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    Project,
+    RANode,
+    UnionNode,
+)
+from ..core.document import Document
+from ..core.mapping import Variable
+from ..core.spanner import Spanner
+from ..va.automaton import VA
+from .stats import EngineStats
+
+
+class PlanNode(abc.ABC):
+    """A node of a compiled plan.  Static nodes carry their VA; ad-hoc
+    nodes compile per document on demand."""
+
+    is_static: bool = False
+
+    @abc.abstractmethod
+    def compile_for(self, doc: Document, stats: EngineStats) -> VA:
+        """The node's VA for one document."""
+
+    def walk(self) -> Iterator["PlanNode"]:
+        stack: list[PlanNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+
+class StaticNode(PlanNode):
+    """A maximal document-independent subtree, compiled once at plan-build
+    time."""
+
+    is_static = True
+    __slots__ = ("va",)
+
+    def __init__(self, va: VA):
+        self.va = va
+
+    def compile_for(self, doc: Document, stats: EngineStats) -> VA:
+        stats.static_reuses += 1
+        return self.va
+
+    def __repr__(self) -> str:
+        return f"StaticNode({self.va!r})"
+
+
+class BlackboxNode(PlanNode):
+    """A black-box leaf, materialised per document (Corollary 5.3)."""
+
+    __slots__ = ("atom", "config")
+
+    def __init__(self, atom: Spanner, config: PlannerConfig):
+        self.atom = atom
+        self.config = config
+
+    def compile_for(self, doc: Document, stats: EngineStats) -> VA:
+        stats.adhoc_compiles += 1
+        return materialise_blackbox(self.atom, doc, self.config)
+
+    def __repr__(self) -> str:
+        return f"BlackboxNode({self.atom!r})"
+
+
+class ProjectNode(PlanNode):
+    """Projection over an ad-hoc child."""
+
+    __slots__ = ("child", "keep")
+
+    def __init__(self, child: PlanNode, keep: frozenset[Variable]):
+        self.child = child
+        self.keep = keep
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def compile_for(self, doc: Document, stats: EngineStats) -> VA:
+        stats.adhoc_compiles += 1
+        return apply_project(self.child.compile_for(doc, stats), self.keep)
+
+
+class UnionPlanNode(PlanNode):
+    """Union with at least one ad-hoc side."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PlanNode, right: PlanNode):
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def compile_for(self, doc: Document, stats: EngineStats) -> VA:
+        stats.adhoc_compiles += 1
+        return apply_union(
+            self.left.compile_for(doc, stats), self.right.compile_for(doc, stats)
+        )
+
+
+class JoinPlanNode(PlanNode):
+    """FPT join with at least one ad-hoc side."""
+
+    __slots__ = ("left", "right", "config")
+
+    def __init__(self, left: PlanNode, right: PlanNode, config: PlannerConfig):
+        self.left = left
+        self.right = right
+        self.config = config
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def compile_for(self, doc: Document, stats: EngineStats) -> VA:
+        stats.adhoc_compiles += 1
+        return apply_join(
+            self.left.compile_for(doc, stats),
+            self.right.compile_for(doc, stats),
+            self.config,
+        )
+
+
+class DifferencePlanNode(PlanNode):
+    """Difference — always ad hoc (Section 4)."""
+
+    __slots__ = ("left", "right", "config")
+
+    def __init__(self, left: PlanNode, right: PlanNode, config: PlannerConfig):
+        self.left = left
+        self.right = right
+        self.config = config
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def compile_for(self, doc: Document, stats: EngineStats) -> VA:
+        stats.adhoc_compiles += 1
+        return apply_difference(
+            self.left.compile_for(doc, stats),
+            self.right.compile_for(doc, stats),
+            doc,
+            self.config,
+        )
+
+
+class CompiledPlan:
+    """The compiled form of one instantiated RA tree.
+
+    Attributes:
+        root: the plan's root node.
+        config: the planner configuration baked into the plan.
+        n_static: plan nodes compiled once at build time (each may cover a
+            whole fused subtree of the original RA tree).
+        n_adhoc: plan nodes recompiled for every document.
+    """
+
+    __slots__ = ("root", "tree", "instantiation", "config", "n_static", "n_adhoc")
+
+    def __init__(
+        self,
+        root: PlanNode,
+        tree: RANode,
+        instantiation: Instantiation,
+        config: PlannerConfig,
+    ):
+        self.root = root
+        self.tree = tree
+        self.instantiation = instantiation
+        self.config = config
+        nodes = list(root.walk())
+        self.n_static = sum(1 for node in nodes if node.is_static)
+        self.n_adhoc = len(nodes) - self.n_static
+
+    @property
+    def is_fully_static(self) -> bool:
+        """Whether one VA serves every document (no ad-hoc suffix)."""
+        return self.root.is_static
+
+    def va_for(self, doc: Document, stats: EngineStats) -> VA:
+        """The (possibly ad-hoc) VA evaluating the query on ``doc``."""
+        return self.root.compile_for(doc, stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlan(static={self.n_static}, adhoc={self.n_adhoc}, "
+            f"fully_static={self.is_fully_static})"
+        )
+
+
+def build_plan(
+    tree: RANode, instantiation: Instantiation, config: PlannerConfig | None = None
+) -> CompiledPlan:
+    """Compile the static prefix of an instantiated RA tree and return the
+    plan evaluating the rest per document."""
+    config = config or PlannerConfig()
+    instantiation.validate(tree)
+    root = _build(tree, instantiation, config)
+    return CompiledPlan(root, tree, instantiation, config)
+
+
+def _build(node: RANode, inst: Instantiation, config: PlannerConfig) -> PlanNode:
+    if isinstance(node, Leaf):
+        atom = inst.spanner(node.name)
+        static = compile_static_atom(atom)
+        if static is None:
+            return BlackboxNode(atom, config)
+        return StaticNode(static)
+    if isinstance(node, Project):
+        child = _build(node.child, inst, config)
+        keep = resolve_projection(node, inst)
+        if child.is_static:
+            return StaticNode(apply_project(child.va, keep))
+        return ProjectNode(child, keep)
+    if isinstance(node, UnionNode):
+        left = _build(node.left, inst, config)
+        right = _build(node.right, inst, config)
+        if left.is_static and right.is_static:
+            return StaticNode(apply_union(left.va, right.va))
+        return UnionPlanNode(left, right)
+    if isinstance(node, Join):
+        left = _build(node.left, inst, config)
+        right = _build(node.right, inst, config)
+        if left.is_static and right.is_static:
+            return StaticNode(apply_join(left.va, right.va, config))
+        return JoinPlanNode(left, right, config)
+    if isinstance(node, Difference):
+        return DifferencePlanNode(
+            _build(node.left, inst, config),
+            _build(node.right, inst, config),
+            config,
+        )
+    raise TypeError(f"unknown RA node type {type(node).__name__}")

@@ -1,0 +1,78 @@
+"""Per-engine run statistics.
+
+One :class:`EngineStats` instance lives on each
+:class:`~repro.engine.core.Engine` and is updated by every evaluation that
+flows through it: plan-cache behaviour, static-vs-ad-hoc compilation
+counts, compile/enumerate wall time, and match-graph size.  ``snapshot()``
+copies the counters so callers can diff before/after a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine instance (cumulative across queries).
+
+    Attributes:
+        documents: documents evaluated.
+        mappings: mappings yielded to callers.
+        plan_hits / plan_misses: compiled-plan cache behaviour — a miss
+            builds the plan and compiles its static prefix.
+        static_reuses: static plan nodes served from the plan's cache
+            instead of being recompiled for a document.
+        adhoc_compiles: ad-hoc plan nodes (differences, black boxes)
+            compiled for a specific document.
+        document_hits / document_misses: per-document prepared-VA cache
+            (fully-static plans hit on every document after the first;
+            ad-hoc plans hit only when the engine's document cache is
+            enabled and the same text recurs).
+        compile_seconds: wall time spent compiling and preparing automata.
+        enumerate_seconds: wall time spent inside enumeration.
+        states_explored: total live match-graph states across all runs.
+    """
+
+    documents: int = 0
+    mappings: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    static_reuses: int = 0
+    adhoc_compiles: int = 0
+    document_hits: int = 0
+    document_misses: int = 0
+    compile_seconds: float = 0.0
+    enumerate_seconds: float = 0.0
+    states_explored: int = 0
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    def delta(self, since: "EngineStats") -> "EngineStats":
+        """The counter differences ``self - since``."""
+        return EngineStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        """A compact human-readable one-per-line report."""
+        lines = [
+            f"documents          {self.documents}",
+            f"mappings           {self.mappings}",
+            f"plan cache         {self.plan_hits} hit / {self.plan_misses} miss",
+            f"prepared documents {self.document_hits} hit / {self.document_misses} miss",
+            f"static reuses      {self.static_reuses}",
+            f"ad-hoc compiles    {self.adhoc_compiles}",
+            f"compile time       {self.compile_seconds * 1e3:.2f} ms",
+            f"enumerate time     {self.enumerate_seconds * 1e3:.2f} ms",
+            f"states explored    {self.states_explored}",
+        ]
+        return "\n".join(lines)

@@ -20,11 +20,15 @@ The class is immutable after construction; all "mutations" in
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Iterator
 
 from ..core.errors import SpannerError
 from ..core.mapping import Variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .indexed import IndexedVA
 
 State = Hashable
 
@@ -79,7 +83,15 @@ class VA:
     Following footnote 4 of the paper we allow multiple accepting states.
     """
 
-    __slots__ = ("_initial", "_accepting", "_transitions", "_out", "_states", "_vars")
+    __slots__ = (
+        "_initial",
+        "_accepting",
+        "_transitions",
+        "_out",
+        "_states",
+        "_vars",
+        "_indexed",
+    )
 
     def __init__(
         self,
@@ -108,6 +120,7 @@ class VA:
         self._states = frozenset(all_states)
         self._out = {state: tuple(edges) for state, edges in out.items()}
         self._vars = frozenset(variables)
+        self._indexed: "IndexedVA | None" = None
 
     # -- structure accessors ---------------------------------------------------
 
@@ -151,6 +164,20 @@ class VA:
     def is_accepting(self, state: State) -> bool:
         return state in self._accepting
 
+    def indexed(self) -> "IndexedVA":
+        """The dense-integer indexed form of this automaton (see
+        :mod:`repro.va.indexed`), computed once and cached.
+
+        The indexed form is document independent; sharing it across
+        documents amortises factorization and table building.  Requires a
+        sequential automaton (checked by the enumeration entry points).
+        """
+        if self._indexed is None:
+            from .indexed import IndexedVA
+
+            self._indexed = IndexedVA(self)
+        return self._indexed
+
     def letters(self) -> frozenset[str]:
         """All letters occurring on transitions."""
         return frozenset(
@@ -183,9 +210,9 @@ class VA:
         initial state, unreachable states last in arbitrary-but-stable
         order)."""
         order: dict[State, int] = {self._initial: 0}
-        queue = [self._initial]
+        queue = deque((self._initial,))
         while queue:
-            state = queue.pop(0)
+            state = queue.popleft()
             for _, target in self.transitions_from(state):
                 if target not in order:
                     order[target] = len(order)

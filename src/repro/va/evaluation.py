@@ -26,8 +26,38 @@ from ..core.mapping import Mapping, Variable
 from ..core.relation import SpanRelation
 from ..core.spanner import Spanner
 from .automaton import VA, State
-from .matchgraph import FactorizedVA, MatchGraph, OpSet, mapping_from_opsets
+from .matchgraph import (
+    FactorizedVA,
+    MatchGraph,
+    OpSet,
+    mapping_from_opsets,
+    opset_sort_key,
+)
 from .properties import is_sequential
+
+
+def enumerate_matchgraph(graph: MatchGraph) -> Iterator[Mapping]:
+    """Enumerate ``⟦A⟧(d)`` with polynomial delay from a prebuilt
+    :class:`MatchGraph` (shared-graph entry point used by the engine
+    backends)."""
+    if graph.is_empty:
+        return
+    n = len(graph.document)
+    initial_profile = frozenset((graph.factorized.va.initial,))
+    # Explicit DFS stack: (layer, profile, opsets chosen so far).
+    stack: list[tuple[int, frozenset[State], list[OpSet]]] = [
+        (0, initial_profile, [])
+    ]
+    while stack:
+        layer, profile, chosen = stack.pop()
+        if layer == n:
+            for ops in sorted(graph.final_options(profile), key=opset_sort_key):
+                yield mapping_from_opsets(chosen + [ops])
+            continue
+        options = graph.successor_options(layer, profile)
+        # Reverse-sorted so the DFS pops options in canonical order.
+        for ops in sorted(options, key=opset_sort_key, reverse=True):
+            stack.append((layer + 1, options[ops], chosen + [ops]))
 
 
 def enumerate_compiled(
@@ -37,30 +67,10 @@ def enumerate_compiled(
 
     Sharing the :class:`FactorizedVA` across documents amortises the
     closure computation (useful in the RA-tree evaluator and the benches).
+    The match graph is built lazily on the first ``next()``, so the first
+    delay carries the linear preprocessing (as Theorem 2.5 accounts it).
     """
-    graph = MatchGraph(factorized, document)
-    if graph.is_empty:
-        return
-    n = len(graph.document)
-    initial_profile = frozenset((factorized.va.initial,))
-    # Explicit DFS stack: (layer, profile, opsets chosen so far).
-    stack: list[tuple[int, frozenset[State], list[OpSet]]] = [
-        (0, initial_profile, [])
-    ]
-    while stack:
-        layer, profile, chosen = stack.pop()
-        if layer == n:
-            for ops in sorted(graph.final_options(profile), key=_opset_key):
-                yield mapping_from_opsets(chosen + [ops])
-            continue
-        options = graph.successor_options(layer, profile)
-        # Reverse-sorted so the DFS pops options in canonical order.
-        for ops in sorted(options, key=_opset_key, reverse=True):
-            stack.append((layer + 1, options[ops], chosen + [ops]))
-
-
-def _opset_key(ops: OpSet) -> tuple:
-    return tuple(sorted((op.var, not op.is_open) for op in ops))
+    yield from enumerate_matchgraph(MatchGraph(factorized, document))
 
 
 def enumerate_mappings(va: VA, document: Document | str) -> Iterator[Mapping]:

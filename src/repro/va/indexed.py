@@ -1,0 +1,251 @@
+"""Dense-indexed evaluation substrate (the engine's ``indexed`` backend).
+
+:class:`~repro.va.matchgraph.FactorizedVA` keeps states as arbitrary
+hashable objects and macro transitions as per-state dictionaries — flexible,
+but the match-graph hot loop then spends its time hashing tuples and
+chasing dictionaries.  :class:`IndexedVA` relabels the states of a trimmed
+sequential VA to dense integers ``0..n-1`` (BFS order from the initial
+state), interns every operation set to a small integer, and precomputes,
+for every (state, letter) pair, the grouped macro transitions as tuples of
+``(opset_id, target_bitmask)``.
+
+State *sets* are then Python integers used as bitsets: the forward pass,
+backward pruning, and DFS profile bookkeeping of Theorem 2.5 all become
+``|``/``&`` on machine words instead of frozenset algebra.  The semantics
+are identical to the :class:`~repro.va.matchgraph.MatchGraph` path — the
+equivalence tests in ``tests/engine`` check both against the naive
+enumerator on random inputs.
+
+Both forms are document independent and safe to share across documents;
+:meth:`VA.indexed` caches one per automaton.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from ..core.document import Document, as_document
+from ..core.errors import NotSequentialError
+from ..core.mapping import Mapping
+from .automaton import VA, State
+from .matchgraph import FactorizedVA, OpSet, mapping_from_opsets, opset_sort_key
+from .properties import is_sequential
+
+
+class IndexedVA:
+    """Document-independent indexed form of a (sequential) VA.
+
+    Attributes:
+        factorized: the underlying factorization (shares closure caches).
+        n_states: number of live states after trimming.
+        initial_id: dense id of the initial state (always 0).
+        opsets: interned operation sets; index = opset id.
+        letter_table: ``letter_table[letter][state_id]`` is a tuple of
+            ``(opset_id, target_bitmask)`` macro transitions, canonically
+            ordered.
+        accept: ``accept[state_id]`` is the tuple of accepting opset ids,
+            canonically ordered.
+    """
+
+    def __init__(self, va: VA, factorized: FactorizedVA | None = None):
+        if factorized is None:
+            factorized = FactorizedVA(va)
+        self.factorized = factorized
+        tva = factorized.va  # trimmed
+        order: dict[State, int] = {tva.initial: 0}
+        queue = deque((tva.initial,))
+        while queue:
+            state = queue.popleft()
+            for _, target in tva.transitions_from(state):
+                if target not in order:
+                    order[target] = len(order)
+                    queue.append(target)
+        # Trimming keeps only reachable states, so `order` covers them all.
+        self.n_states = len(order)
+        self.initial_id = 0
+        self.opsets: list[OpSet] = []
+        opset_ids: dict[OpSet, int] = {}
+
+        def intern(ops: OpSet) -> int:
+            found = opset_ids.get(ops)
+            if found is None:
+                found = opset_ids[ops] = len(self.opsets)
+                self.opsets.append(ops)
+            return found
+
+        states_by_id = sorted(order, key=order.__getitem__)
+        letter_rows: dict[str, list[tuple[tuple[int, int], ...]]] = {
+            letter: [()] * self.n_states for letter in tva.letters()
+        }
+        accept: list[tuple[int, ...]] = [()] * self.n_states
+        for state, sid in order.items():
+            grouped: dict[str, dict[int, int]] = {}
+            for ops, mid in factorized.closure(state):
+                for label, target in tva.transitions_from(mid):
+                    if isinstance(label, str):
+                        per_ops = grouped.setdefault(label, {})
+                        oid = intern(ops)
+                        per_ops[oid] = per_ops.get(oid, 0) | (1 << order[target])
+            for letter, per_ops in grouped.items():
+                letter_rows[letter][sid] = tuple(
+                    sorted(per_ops.items(), key=lambda kv: opset_sort_key(self.opsets[kv[0]]))
+                )
+            accept[sid] = tuple(
+                sorted(
+                    (intern(ops) for ops in factorized.accepting_opsets(state)),
+                    key=lambda oid: opset_sort_key(self.opsets[oid]),
+                )
+            )
+        self.letter_table = letter_rows
+        self.accept = accept
+        self.states_by_id = tuple(states_by_id)
+        # Canonical enumeration rank per opset id (ids are interned in
+        # discovery order, which is not the canonical order).
+        ranked = sorted(range(len(self.opsets)), key=lambda oid: opset_sort_key(self.opsets[oid]))
+        self.opset_rank = [0] * len(self.opsets)
+        for rank, oid in enumerate(ranked):
+            self.opset_rank[oid] = rank
+
+    @property
+    def va(self) -> VA:
+        """The trimmed automaton this form indexes."""
+        return self.factorized.va
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexedVA(states={self.n_states}, opsets={len(self.opsets)}, "
+            f"letters={len(self.letter_table)})"
+        )
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class IndexedMatchGraph:
+    """The layered match graph of an :class:`IndexedVA` on one document,
+    with layers as state bitmasks.
+
+    Mirrors :class:`~repro.va.matchgraph.MatchGraph` (forward pass,
+    acceptance, backward pruning) but on dense integer states.
+    """
+
+    __slots__ = ("indexed", "document", "alive", "edges", "final")
+
+    def __init__(self, indexed: IndexedVA, document: Document | str):
+        self.indexed = indexed
+        self.document = as_document(document)
+        doc = self.document
+        n = len(doc)
+        table = indexed.letter_table
+        # Forward pass: reachable state masks per layer.
+        forward = [0] * (n + 1)
+        forward[0] = 1 << indexed.initial_id
+        edges: list[dict[int, tuple[tuple[int, int], ...]]] = [{} for _ in range(n)]
+        for i in range(n):
+            rows = table.get(doc.letter(i + 1))
+            if rows is None:
+                break  # letter unknown to the VA: nothing lives past here
+            layer_edges = edges[i]
+            next_mask = 0
+            for sid in _iter_bits(forward[i]):
+                entries = rows[sid]
+                if entries:
+                    layer_edges[sid] = entries
+                    for _, target_mask in entries:
+                        next_mask |= target_mask
+            forward[i + 1] = next_mask
+        # Acceptance at the last layer.
+        final: dict[int, tuple[int, ...]] = {}
+        for sid in _iter_bits(forward[n]):
+            if indexed.accept[sid]:
+                final[sid] = indexed.accept[sid]
+        # Backward pruning to co-reachable states; edges keep live targets.
+        alive = [0] * (n + 1)
+        for sid in final:
+            alive[n] |= 1 << sid
+        for i in range(n - 1, -1, -1):
+            live_targets = alive[i + 1]
+            layer_alive = 0
+            pruned: dict[int, tuple[tuple[int, int], ...]] = {}
+            for sid, entries in edges[i].items():
+                kept = tuple(
+                    (oid, masked)
+                    for oid, target_mask in entries
+                    if (masked := target_mask & live_targets)
+                )
+                if kept:
+                    pruned[sid] = kept
+                    layer_alive |= 1 << sid
+            edges[i] = pruned
+            alive[i] = layer_alive
+        self.alive = alive
+        self.edges = edges
+        self.final = final
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether ``⟦A⟧(d) = ∅`` — the source state is dead."""
+        return not (self.alive[0] >> self.indexed.initial_id) & 1
+
+    def states_alive(self) -> int:
+        """Total live states across all layers (graph-size gauge)."""
+        return sum(mask.bit_count() for mask in self.alive)
+
+    def width(self) -> int:
+        """Maximum number of live states in any layer."""
+        return max((mask.bit_count() for mask in self.alive), default=0)
+
+    def enumerate(self) -> Iterator[Mapping]:
+        """DFS enumeration with polynomial delay (Theorem 2.5), bitmask
+        profiles."""
+        if self.is_empty:
+            return
+        indexed = self.indexed
+        opsets, rank = indexed.opsets, indexed.opset_rank
+        n = len(self.document)
+        edges, final = self.edges, self.final
+        stack: list[tuple[int, int, tuple[int, ...]]] = [
+            (0, 1 << indexed.initial_id, ())
+        ]
+        while stack:
+            layer, profile, chosen = stack.pop()
+            if layer == n:
+                options_set: set[int] = set()
+                for sid in _iter_bits(profile):
+                    options_set.update(final.get(sid, ()))
+                for oid in sorted(options_set, key=rank.__getitem__):
+                    yield mapping_from_opsets(
+                        [opsets[o] for o in chosen] + [opsets[oid]]
+                    )
+                continue
+            level = edges[layer]
+            options: dict[int, int] = {}
+            for sid in _iter_bits(profile):
+                for oid, target_mask in level.get(sid, ()):
+                    options[oid] = options.get(oid, 0) | target_mask
+            # Reverse rank order so the DFS pops options canonically.
+            for oid in sorted(options, key=rank.__getitem__, reverse=True):
+                stack.append((layer + 1, options[oid], chosen + (oid,)))
+
+
+def enumerate_indexed(
+    indexed: IndexedVA | VA, document: Document | str
+) -> Iterator[Mapping]:
+    """Enumerate ``⟦A⟧(d)`` via the indexed substrate.
+
+    Accepts a prebuilt :class:`IndexedVA` (shared across documents) or a
+    raw sequential :class:`VA`.  The match graph is built lazily on the
+    first ``next()``, so the first delay carries the preprocessing.
+    """
+    if isinstance(indexed, VA):
+        if not is_sequential(indexed):
+            raise NotSequentialError(
+                "indexed enumeration requires a sequential VA"
+            )
+        indexed = IndexedVA(indexed)
+    yield from IndexedMatchGraph(indexed, document).enumerate()

@@ -44,6 +44,12 @@ OpSet = frozenset[VarOp]
 EMPTY_OPSET: OpSet = frozenset()
 
 
+def opset_sort_key(ops: OpSet) -> tuple:
+    """The canonical enumeration order of operation sets, shared by every
+    backend so they yield mappings in the same order."""
+    return tuple(sorted((op.var, not op.is_open) for op in ops))
+
+
 class FactorizedVA:
     """Document-independent factorization of a (sequential) VA.
 
@@ -180,6 +186,11 @@ class MatchGraph:
     def width(self) -> int:
         """Maximum number of live states in any layer (complexity gauge)."""
         return max((len(layer) for layer in self.layers), default=0)
+
+    def states_alive(self) -> int:
+        """Total live states across all layers (graph-size gauge; matches
+        :meth:`repro.va.indexed.IndexedMatchGraph.states_alive`)."""
+        return sum(len(layer) for layer in self.layers)
 
     def successor_options(
         self, layer: int, profile: frozenset[State]
