@@ -1,12 +1,32 @@
-"""Workload builders shared by the experiment benches."""
+"""Workload builders and result writers shared by the experiment benches."""
 
 from __future__ import annotations
 
+import json
+import pathlib
 import random
 
 from repro.regex import capture, concat, eps, parse, sigma_star, sym, union
 from repro.regex.ast import RegexFormula
 from repro.va import VA, regex_to_va, trim
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def write_json_report(name: str, payload: dict, at_root: bool = False) -> pathlib.Path:
+    """Write a machine-readable JSON result and return its path.
+
+    Results land in ``benchmarks/results/`` by default; ``at_root=True``
+    writes to the repository root instead — used for the trajectory-seeding
+    files (``BENCH_*.json``) that CI uploads as artifacts and later PRs
+    compare against.
+    """
+    directory = REPO_ROOT if at_root else RESULTS_DIR
+    directory.mkdir(exist_ok=True)
+    path = directory / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def compile_formula(formula: "RegexFormula | str") -> VA:

@@ -268,13 +268,28 @@ class RAQuery:
     def evaluate(self, document: Document | str) -> SpanRelation:
         return self.engine.evaluate(self, document)
 
-    def evaluate_many(self, documents) -> list[SpanRelation]:
-        """Evaluate a batch of documents, sharing all static compilation."""
-        return self.engine.evaluate_many(self, documents)
+    def first(self, document: Document | str) -> "Mapping | None":
+        """The first mapping in canonical order, or ``None`` if empty."""
+        return self.engine.first(self, document)
 
-    def enumerate_stream(self, documents) -> Iterator[tuple[int, Mapping]]:
+    def is_nonempty(self, document: Document | str) -> bool:
+        """Decide ``⟦q⟧(d) ≠ ∅`` via the engine's Boolean bitmask pass."""
+        return self.engine.is_nonempty(self, document)
+
+    def evaluate_many(
+        self, documents, limit: int | None = None, workers: int | None = None
+    ) -> list[SpanRelation]:
+        """Evaluate a batch of documents, sharing all static compilation.
+
+        ``workers=N`` shards the batch across processes; ``limit`` caps the
+        mappings materialised per document."""
+        return self.engine.evaluate_many(self, documents, limit=limit, workers=workers)
+
+    def enumerate_stream(
+        self, documents, limit: int | None = None
+    ) -> Iterator[tuple[int, Mapping]]:
         """Stream ``(document_index, mapping)`` pairs over many documents."""
-        return self.engine.enumerate_stream(self, documents)
+        return self.engine.enumerate_stream(self, documents, limit=limit)
 
     def __repr__(self) -> str:
         return f"RAQuery({self.tree})"

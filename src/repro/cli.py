@@ -18,8 +18,11 @@ Subcommands:
 * ``dot``      — compile to a vset-automaton and emit Graphviz DOT.
 
 ``extract`` and ``batch`` run through :class:`repro.engine.Engine`;
-``--backend`` picks the enumeration backend and ``--stats`` prints the
-engine's cache/compile/enumerate statistics to stderr.
+``--backend`` picks the enumeration backend, ``--limit K`` stops after K
+mappings per document (short-circuiting graph construction on the lazy
+indexed backend), ``batch --workers N`` shards the corpus across N worker
+processes, and ``--stats`` prints the engine's cache/compile/enumerate
+statistics to stderr.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import sys
 
 from .core.document import Document
 from .core.errors import SpannerError
+from .core.relation import SpanRelation
 from .engine import BACKENDS, DEFAULT_BACKEND, Engine
 from .io.dot import va_to_dot
 from .io.serialize import dumps_relation
@@ -59,7 +63,9 @@ def _print_stats(engine: Engine) -> None:
 def _cmd_extract(args: argparse.Namespace) -> int:
     document = _read_document(args)
     engine = Engine(backend=args.backend)
-    relation = engine.evaluate(_compile(args), document)
+    relation = SpanRelation(
+        engine.enumerate(_compile(args), document, limit=args.limit)
+    )
     if args.json:
         print(dumps_relation(relation, indent=2))
     else:
@@ -78,7 +84,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         lines = sys.stdin.read().splitlines()
     engine = Engine(backend=args.backend, document_cache_size=args.cache_documents)
     va = _compile(args)
-    relations = engine.evaluate_many(va, lines)
+    relations = engine.evaluate_many(
+        va, lines, limit=args.limit, workers=args.workers
+    )
     if args.json:
         for relation in relations:
             print(dumps_relation(relation))
@@ -131,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--stats", action="store_true", help="print engine statistics to stderr"
         )
+        p.add_argument(
+            "--limit",
+            type=int,
+            default=None,
+            metavar="K",
+            help="stop after K mappings per document (short-circuits the "
+            "lazy backend's graph construction)",
+        )
 
     extract = sub.add_parser("extract", help="evaluate a formula on a document")
     add_common(extract)
@@ -156,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="LRU size for repeated documents (default: %(default)s)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the batch across N worker processes (default: in-process)",
     )
     add_engine(batch)
     batch.set_defaults(func=_cmd_batch)

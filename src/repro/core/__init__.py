@@ -1,6 +1,6 @@
 """Core substrate: documents, spans, mappings, relations, spanner ABC."""
 
-from .document import Document, as_document
+from .document import Alphabet, Document, as_document
 from .errors import (
     ArityError,
     EvaluationError,
@@ -19,6 +19,7 @@ from .spanner import ConstantSpanner, RelationSpanner, Spanner
 from .spans import Span, all_spans, count_spans, span
 
 __all__ = [
+    "Alphabet",
     "ArityError",
     "ConstantSpanner",
     "Document",

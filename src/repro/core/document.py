@@ -5,23 +5,87 @@ paper's 1-based span addressing (``d[i, j>`` denotes ``σ_i … σ_{j-1}``) plus
 a few convenience queries used throughout the library.  Wrapping instead of
 subclassing ``str`` keeps slicing semantics explicit: plain integer slicing
 on a Document is deliberately not supported — use spans.
+
+:class:`Alphabet` is the interned dense letter → integer-id mapping the
+indexed evaluation substrate runs on: the hot forward pass indexes
+precomputed per-letter tables by these ids instead of hashing one-character
+strings.  :meth:`Document.encoded` caches the document's id array per
+alphabet signature, so evaluating many automata sharing an alphabet (or one
+automaton many times) encodes each document exactly once.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from .errors import SpanError
 from .spans import Span, all_spans
 
 
+class Alphabet:
+    """An interned, immutable mapping of letters to dense ids ``0..k-1``.
+
+    Construct via :meth:`Alphabet.of`, which canonicalises the letter set
+    (sorted order) and interns the result: equal letter sets share one
+    instance process-wide, so id assignments agree and per-document
+    encodings are shared across every automaton over the same letters.
+
+    Attributes:
+        signature: the sorted tuple of letters — the interning key and the
+            key documents cache their encodings under.
+        ids: ``ids[letter]`` is the dense id of ``letter``.
+    """
+
+    __slots__ = ("signature", "ids")
+
+    _interned: "dict[tuple[str, ...], Alphabet]" = {}
+
+    def __init__(self, signature: tuple[str, ...]):
+        self.signature = signature
+        self.ids = {letter: index for index, letter in enumerate(signature)}
+
+    @classmethod
+    def of(cls, letters: Iterable[str]) -> "Alphabet":
+        signature = tuple(sorted(set(letters)))
+        found = cls._interned.get(signature)
+        if found is None:
+            found = cls._interned[signature] = cls(signature)
+        return found
+
+    def __len__(self) -> int:
+        return len(self.signature)
+
+    def __contains__(self, letter: str) -> bool:
+        return letter in self.ids
+
+    def id_of(self, letter: str) -> int:
+        """The dense id of ``letter``, or ``-1`` if not in the alphabet."""
+        return self.ids.get(letter, -1)
+
+    def encode(self, text: str) -> tuple[int, ...]:
+        """``text`` as a tuple of letter ids (``-1`` for unknown letters)."""
+        get = self.ids.get
+        return tuple(get(ch, -1) for ch in text)
+
+    def __repr__(self) -> str:
+        preview = "".join(self.signature[:16])
+        if len(self.signature) > 16:
+            preview += "…"
+        return f"Alphabet({preview!r})"
+
+
+#: Per-document encoding caches keep at most this many alphabets.
+_ENCODING_CACHE_LIMIT = 8
+
+
 class Document:
     """An input document: an immutable string with span-based access."""
 
-    __slots__ = ("_text",)
+    __slots__ = ("_text", "_encodings")
 
     def __init__(self, text: str):
         self._text = text
+        self._encodings: dict[tuple[str, ...], tuple[int, ...]] | None = None
 
     @property
     def text(self) -> str:
@@ -73,6 +137,25 @@ class Document:
     def alphabet(self) -> frozenset[str]:
         """The set of letters actually occurring in this document."""
         return frozenset(self._text)
+
+    def encoded(self, alphabet: Alphabet) -> tuple[int, ...]:
+        """This document as dense letter ids under ``alphabet``.
+
+        Letters outside the alphabet encode as ``-1``.  The result is
+        cached per alphabet signature (bounded to ``_ENCODING_CACHE_LIMIT``
+        alphabets, oldest evicted first), so the indexed forward pass over
+        a corpus pays the string walk once per (document, alphabet) pair.
+        """
+        cache = self._encodings
+        if cache is None:
+            cache = self._encodings = {}
+        key = alphabet.signature
+        ids = cache.get(key)
+        if ids is None:
+            ids = cache[key] = alphabet.encode(self._text)
+            if len(cache) > _ENCODING_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+        return ids
 
 
 def as_document(value: "Document | str") -> Document:

@@ -49,10 +49,22 @@ class Spanner(abc.ABC):
         return SpanRelation(self.enumerate(as_document(document)))
 
     def is_nonempty(self, document: Document | str) -> bool:
-        """Decide whether ``⟦q⟧(d) ≠ ∅`` (first result only)."""
+        """Decide whether ``⟦q⟧(d) ≠ ∅`` (first result only).
+
+        Representations with a cheaper Boolean decision procedure (e.g.
+        sequential VAs, whose bitmask forward pass skips enumeration
+        entirely) override this.
+        """
         for _ in self.enumerate(as_document(document)):
             return True
         return False
+
+    def first(self, document: Document | str) -> Mapping | None:
+        """The first mapping of ``⟦q⟧(d)`` in enumeration order, or
+        ``None`` if the result is empty — for the guaranteed-delay
+        representations this is the paper's "first answer after linear
+        preprocessing" operation."""
+        return next(iter(self.enumerate(as_document(document))), None)
 
     # -- batch protocol ------------------------------------------------------
 

@@ -30,8 +30,8 @@ from ..core.errors import NotSequentialError, SpannerError
 from ..core.mapping import Mapping
 from ..va.automaton import VA
 from ..va.evaluation import enumerate_matchgraph
-from ..va.indexed import IndexedMatchGraph, IndexedVA
-from ..va.matchgraph import FactorizedVA, MatchGraph
+from ..va.indexed import IndexedMatchGraph, IndexedVA, indexed_nonempty
+from ..va.matchgraph import FactorizedVA, MatchGraph, boolean_nonempty
 from ..va.properties import is_sequential
 
 
@@ -63,6 +63,17 @@ class PreparedVA(abc.ABC):
 
     def enumerate(self, document: Document | str) -> Iterator[Mapping]:
         return self.run(document).enumerate()
+
+    def is_nonempty(self, document: Document | str) -> bool:
+        """Decide ``⟦A⟧(d) ≠ ∅``.
+
+        Backends override this with a Boolean forward pass that never
+        builds enumeration edges; the fallback asks the enumerator for one
+        mapping.
+        """
+        for _ in self.enumerate(document):
+            return True
+        return False
 
 
 class EnumerationBackend(abc.ABC):
@@ -119,6 +130,9 @@ class PreparedMatchGraphVA(PreparedVA):
     def run(self, document: Document | str) -> _MatchGraphRun:
         return _MatchGraphRun(MatchGraph(self.factorized, document))
 
+    def is_nonempty(self, document: Document | str) -> bool:
+        return boolean_nonempty(self.factorized, document)
+
 
 class MatchGraphBackend(EnumerationBackend):
     """The original evaluator: frozenset profiles over hashable states."""
@@ -145,6 +159,9 @@ class PreparedIndexedVA(PreparedVA):
 
     def run(self, document: Document | str) -> IndexedMatchGraph:
         return IndexedMatchGraph(self.indexed, as_document(document))
+
+    def is_nonempty(self, document: Document | str) -> bool:
+        return indexed_nonempty(self.indexed, document)
 
 
 class IndexedBackend(EnumerationBackend):

@@ -38,7 +38,7 @@ from ..core.errors import SpannerError
 from ..core.mapping import Mapping
 from ..core.relation import SpanRelation
 from ..va.automaton import VA
-from .backends import EnumerationBackend, PreparedVA, get_backend
+from .backends import BACKENDS, EnumerationBackend, PreparedVA, get_backend
 from .plan import CompiledPlan, StaticNode, build_plan
 from .stats import EngineStats
 
@@ -98,8 +98,18 @@ class ExecutionContext:
         backend."""
         return self.plan.va_for(doc, self.stats)
 
-    def enumerate(self, document: Document | str) -> Iterator[Mapping]:
-        """Enumerate the query on one document, recording statistics."""
+    def enumerate(
+        self, document: Document | str, limit: int | None = None
+    ) -> Iterator[Mapping]:
+        """Enumerate the query on one document, recording statistics.
+
+        ``limit`` stops after that many mappings; with the lazy (indexed)
+        backend a small limit short-circuits graph construction too, so the
+        first answers arrive after one Boolean pass rather than the full
+        edge build.
+        """
+        if limit is not None and limit <= 0:
+            return
         doc = as_document(document)
         stats = self.stats
         prepared = self.prepared_for(doc)
@@ -107,19 +117,43 @@ class ExecutionContext:
         start = time.perf_counter()
         run = prepared.run(doc)
         stats.compile_seconds += time.perf_counter() - start
-        stats.states_explored += run.states_alive()
+        emitted = 0
         start = time.perf_counter()
         iterator = run.enumerate()
-        while True:
-            try:
-                mapping = next(iterator)
-            except StopIteration:
+        try:
+            while True:
+                try:
+                    mapping = next(iterator)
+                except StopIteration:
+                    stats.enumerate_seconds += time.perf_counter() - start
+                    break
                 stats.enumerate_seconds += time.perf_counter() - start
-                return
-            stats.enumerate_seconds += time.perf_counter() - start
-            stats.mappings += 1
-            yield mapping
-            start = time.perf_counter()
+                stats.mappings += 1
+                emitted += 1
+                yield mapping
+                if limit is not None and emitted >= limit:
+                    break
+                start = time.perf_counter()
+        finally:
+            # Recorded on the way out (even on early abandonment) so the
+            # lazy backend does not pay the gauge before the first yield.
+            stats.states_explored += run.states_alive()
+
+    def first(self, document: Document | str) -> Mapping | None:
+        """The first mapping in canonical order, or ``None`` if empty."""
+        return next(self.enumerate(document, limit=1), None)
+
+    def is_nonempty(self, document: Document | str) -> bool:
+        """Decide emptiness with the backend's Boolean pass — no
+        enumeration edges are built."""
+        doc = as_document(document)
+        stats = self.stats
+        prepared = self.prepared_for(doc)
+        stats.nonempty_checks += 1
+        start = time.perf_counter()
+        result = prepared.is_nonempty(doc)
+        stats.enumerate_seconds += time.perf_counter() - start
+        return result
 
 
 class Engine:
@@ -232,38 +266,95 @@ class Engine:
         prefix served from the plan cache."""
         return self.prepare(query).compile(as_document(document))
 
-    def enumerate(self, query, document: Document | str) -> Iterator[Mapping]:
-        """Enumerate a query on one document (polynomial delay)."""
-        return self.prepare(query).enumerate(document)
+    def enumerate(
+        self, query, document: Document | str, limit: int | None = None
+    ) -> Iterator[Mapping]:
+        """Enumerate a query on one document (polynomial delay).
+
+        ``limit`` caps the number of mappings; small limits short-circuit
+        graph construction on the lazy (indexed) backend.
+        """
+        return self.prepare(query).enumerate(document, limit=limit)
 
     def evaluate(self, query, document: Document | str) -> SpanRelation:
         """Materialise a query on one document."""
         return SpanRelation(self.enumerate(query, document))
 
+    def first(self, query, document: Document | str) -> Mapping | None:
+        """The first mapping in canonical order, or ``None`` if empty —
+        Theorem 2.5's first delay: one linear preprocessing pass plus a
+        single root-to-sink walk."""
+        return self.prepare(query).first(document)
+
     def is_nonempty(self, query, document: Document | str) -> bool:
-        """Decide ``⟦q⟧(d) ≠ ∅`` (first result only)."""
-        for _ in self.enumerate(query, document):
-            return True
-        return False
+        """Decide ``⟦q⟧(d) ≠ ∅`` via the backend's Boolean bitmask pass —
+        no enumeration edges are built."""
+        return self.prepare(query).is_nonempty(document)
 
     # -- batch / streaming API ----------------------------------------------
 
     def evaluate_many(
-        self, query, documents: Iterable[Document | str]
+        self,
+        query,
+        documents: Iterable[Document | str],
+        limit: int | None = None,
+        workers: int | None = None,
     ) -> list[SpanRelation]:
         """Materialise a query over a batch of documents, compiling the
-        static prefix exactly once."""
+        static prefix exactly once.
+
+        Args:
+            limit: per-document cap on materialised mappings.
+            workers: shard the batch across this many worker processes
+                (round-robin); per-shard statistics are merged back into
+                :attr:`stats`.  Falls back to in-process evaluation when
+                the query cannot be shipped to workers (e.g. black-box
+                spanners that do not pickle) or the batch is tiny.
+        """
+        docs = [as_document(doc) for doc in documents]
+        if workers is not None and workers > 1 and len(docs) > 1:
+            relations = self._evaluate_parallel(query, docs, limit, workers)
+            if relations is not None:
+                return relations
         context = self.prepare(query)
-        return [SpanRelation(context.enumerate(doc)) for doc in documents]
+        return [SpanRelation(context.enumerate(doc, limit=limit)) for doc in docs]
+
+    def _evaluate_parallel(
+        self, query, docs: list[Document], limit: int | None, workers: int
+    ) -> "list[SpanRelation] | None":
+        """The process-pool path; ``None`` means fall back to sequential."""
+        from .parallel import can_parallelise, evaluate_sharded, parallel_payload
+
+        backend_name = self.backend.name
+        if type(self.backend) is not BACKENDS.get(backend_name):
+            return None  # custom backend instance: workers cannot rebuild it
+        try:
+            payload = parallel_payload(query)
+        except TypeError:
+            return None
+        if not can_parallelise(payload, backend_name):
+            return None
+        relations, shard_stats = evaluate_sharded(
+            payload, backend_name, docs, limit, workers,
+            document_cache_size=self._document_cache_size,
+        )
+        for stats in shard_stats:
+            self.stats.merge(stats)
+        self.stats.parallel_shards += len(shard_stats)
+        return relations
 
     def enumerate_stream(
-        self, query, documents: Iterable[Document | str]
+        self,
+        query,
+        documents: Iterable[Document | str],
+        limit: int | None = None,
     ) -> Iterator[tuple[int, Mapping]]:
         """Stream ``(document_index, mapping)`` pairs over a document
-        stream, lazily — suitable for unbounded streams."""
+        stream, lazily — suitable for unbounded streams.  ``limit`` caps
+        the mappings taken per document."""
         context = self.prepare(query)
         for index, doc in enumerate(documents):
-            for mapping in context.enumerate(doc):
+            for mapping in context.enumerate(doc, limit=limit):
                 yield index, mapping
 
     def __repr__(self) -> str:

@@ -1,0 +1,118 @@
+"""Process-pool document sharding for :meth:`Engine.evaluate_many`.
+
+``Engine.evaluate_many(query, docs, workers=N)`` splits the document batch
+round-robin into ``N`` shards, evaluates each shard in its own worker
+process (each worker builds a private :class:`Engine` with the same backend
+and compiles the query once — the per-shard analogue of the parent's plan
+cache), and reassembles results in input order.  Each worker returns its
+:class:`~repro.engine.stats.EngineStats`, which the parent merges so batch
+counters stay meaningful; the merged times are summed CPU seconds across
+processes, not wall time.
+
+Work ships to workers by pickling, so the parallel path requires a
+picklable query.  :func:`parallel_payload` reduces the supported query
+shapes to plain data (an :class:`RAQuery` is sent as its
+``(tree, instantiation, config)`` triple — never its engine) and
+:func:`can_parallelise` probes pickling up front; callers fall back to the
+sequential path when the probe fails (e.g. black-box spanners closing over
+lambdas), so ``workers=N`` is always safe to pass.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.document import Document
+from ..core.relation import SpanRelation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .stats import EngineStats
+
+
+def parallel_payload(query: object) -> object:
+    """A picklable, engine-free description of ``query``.
+
+    Raises ``TypeError`` for unsupported query shapes (callers fall back to
+    sequential evaluation).
+    """
+    from ..algebra.planner import RAQuery
+    from ..va.automaton import VA
+
+    if isinstance(query, VA):
+        return ("va", query)
+    if isinstance(query, RAQuery):
+        return ("ra", query.tree, query.instantiation, query.config)
+    raise TypeError(
+        f"cannot shard a {type(query).__name__} across processes"
+    )
+
+
+def can_parallelise(payload: object, backend_name: str) -> bool:
+    """Whether the payload survives pickling (workers receive a copy)."""
+    try:
+        pickle.dumps((payload, backend_name))
+        return True
+    except Exception:
+        return False
+
+
+def _rebuild_query(payload):
+    if payload[0] == "va":
+        return payload[1]
+    from ..algebra.planner import RAQuery
+
+    _, tree, instantiation, config = payload
+    return RAQuery(tree, instantiation, config)
+
+
+def _run_shard(
+    payload,
+    backend_name: str,
+    texts: list[str],
+    limit: int | None,
+    document_cache_size: int,
+) -> "tuple[list[SpanRelation], EngineStats]":
+    """Worker entry point: evaluate one shard with a private engine."""
+    from .core import Engine
+
+    engine = Engine(backend=backend_name, document_cache_size=document_cache_size)
+    query = _rebuild_query(payload)
+    relations = engine.evaluate_many(query, texts, limit=limit)
+    return relations, engine.stats
+
+
+def evaluate_sharded(
+    payload,
+    backend_name: str,
+    documents: Sequence[Document],
+    limit: int | None,
+    workers: int,
+    document_cache_size: int = 0,
+) -> "tuple[list[SpanRelation], list[EngineStats]]":
+    """Evaluate ``documents`` across ``workers`` processes.
+
+    Returns the relations in input order plus the per-shard statistics.
+    Documents are sharded round-robin (``documents[i::n]``), which balances
+    load when document cost correlates with position in the batch.
+    """
+    n_shards = max(1, min(workers, len(documents)))
+    shards = [
+        [doc.text for doc in documents[offset::n_shards]]
+        for offset in range(n_shards)
+    ]
+    with ProcessPoolExecutor(max_workers=n_shards) as pool:
+        futures = [
+            pool.submit(
+                _run_shard, payload, backend_name, texts, limit,
+                document_cache_size,
+            )
+            for texts in shards
+        ]
+        results = [future.result() for future in futures]
+    relations: list[SpanRelation | None] = [None] * len(documents)
+    for offset, (shard_relations, _) in enumerate(results):
+        for position, relation in enumerate(shard_relations):
+            relations[offset + position * n_shards] = relation
+    return relations, [stats for _, stats in results]  # type: ignore[return-value]

@@ -29,6 +29,12 @@ class EngineStats:
             (fully-static plans hit on every document after the first;
             ad-hoc plans hit only when the engine's document cache is
             enabled and the same text recurs).
+        nonempty_checks: emptiness decisions served by the Boolean bitmask
+            pass (no enumeration edges built).
+        parallel_shards: worker shards dispatched by
+            ``evaluate_many(workers=N)``; shard counters are merged back
+            into the parent engine, so times are summed CPU time across
+            processes, not wall time.
         compile_seconds: wall time spent compiling and preparing automata.
         enumerate_seconds: wall time spent inside enumeration.
         states_explored: total live match-graph states across all runs.
@@ -42,6 +48,8 @@ class EngineStats:
     adhoc_compiles: int = 0
     document_hits: int = 0
     document_misses: int = 0
+    nonempty_checks: int = 0
+    parallel_shards: int = 0
     compile_seconds: float = 0.0
     enumerate_seconds: float = 0.0
     states_explored: int = 0
@@ -49,6 +57,12 @@ class EngineStats:
     def snapshot(self) -> "EngineStats":
         """An independent copy of the current counters."""
         return replace(self)
+
+    def merge(self, other: "EngineStats") -> None:
+        """Add another stats object's counters into this one (used to fold
+        per-shard worker statistics back into the parent engine)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def delta(self, since: "EngineStats") -> "EngineStats":
         """The counter differences ``self - since``."""
@@ -71,6 +85,8 @@ class EngineStats:
             f"prepared documents {self.document_hits} hit / {self.document_misses} miss",
             f"static reuses      {self.static_reuses}",
             f"ad-hoc compiles    {self.adhoc_compiles}",
+            f"nonempty checks    {self.nonempty_checks}",
+            f"parallel shards    {self.parallel_shards}",
             f"compile time       {self.compile_seconds * 1e3:.2f} ms",
             f"enumerate time     {self.enumerate_seconds * 1e3:.2f} ms",
             f"states explored    {self.states_explored}",

@@ -82,6 +82,31 @@ class RegexFormula(abc.ABC):
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.to_text()!r})"
 
+    # -- pickling -----------------------------------------------------------
+    # The subclasses block ordinary attribute assignment (immutability), so
+    # the default slots-state restore would raise; rebuild state through
+    # object.__setattr__ instead.  Formulas must pickle so queries can ship
+    # to the engine's worker processes (Engine.evaluate_many(workers=N)).
+
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot == "_hash":
+                    # str hashes are salted per process (PYTHONHASHSEED);
+                    # shipping the cached value to a worker would disagree
+                    # with hashes computed there.  Recompute on first use.
+                    continue
+                try:
+                    state[slot] = getattr(self, slot)
+                except AttributeError:
+                    pass  # lazily computed caches may be unset
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # -- derived structure ----------------------------------------------------
 
     @property

@@ -30,6 +30,7 @@ from .matchgraph import (
     FactorizedVA,
     MatchGraph,
     OpSet,
+    boolean_nonempty,
     mapping_from_opsets,
     opset_sort_key,
 )
@@ -95,11 +96,19 @@ def evaluate_va(va: VA, document: Document | str) -> SpanRelation:
 
 
 def is_nonempty(va: VA, document: Document | str) -> bool:
-    """Decide ``⟦A⟧(d) ≠ ∅`` (first result only; polynomial time for
-    sequential VAs)."""
-    for _ in enumerate_mappings(va, document):
-        return True
-    return False
+    """Decide ``⟦A⟧(d) ≠ ∅`` in polynomial time for sequential VAs.
+
+    Runs the Boolean bitmask forward pass of the indexed substrate (one
+    linear sweep over aggregate successor masks) — no enumeration edges are
+    ever built.
+    """
+    if not is_sequential(va):
+        raise NotSequentialError(
+            "polynomial-delay emptiness requires a sequential VA"
+        )
+    from .indexed import indexed_nonempty
+
+    return indexed_nonempty(va.indexed(), document)
 
 
 class VASpanner(Spanner):
@@ -120,6 +129,11 @@ class VASpanner(Spanner):
 
     def enumerate(self, document: Document | str) -> Iterator[Mapping]:
         return enumerate_compiled(self._factorized, as_document(document))
+
+    def is_nonempty(self, document: Document | str) -> bool:
+        """Boolean forward pass over the shared factorization — never
+        builds enumeration edges."""
+        return boolean_nonempty(self._factorized, as_document(document))
 
     def __repr__(self) -> str:
         return f"VASpanner({self.va!r})"

@@ -5,19 +5,32 @@ hashable objects and macro transitions as per-state dictionaries — flexible,
 but the match-graph hot loop then spends its time hashing tuples and
 chasing dictionaries.  :class:`IndexedVA` relabels the states of a trimmed
 sequential VA to dense integers ``0..n-1`` (BFS order from the initial
-state), interns every operation set to a small integer, and precomputes,
-for every (state, letter) pair, the grouped macro transitions as tuples of
-``(opset_id, target_bitmask)``.
+state), interns its letters into a dense :class:`~repro.core.document.Alphabet`,
+interns every operation set to a small integer, and precomputes, for every
+(letter id, state) pair, the grouped macro transitions as tuples of
+``(opset_id, target_bitmask)`` plus an *aggregate successor mask* (the union
+of all targets, ignoring operation sets).
 
-State *sets* are then Python integers used as bitsets: the forward pass,
-backward pruning, and DFS profile bookkeeping of Theorem 2.5 all become
-``|``/``&`` on machine words instead of frozenset algebra.  The semantics
-are identical to the :class:`~repro.va.matchgraph.MatchGraph` path — the
-equivalence tests in ``tests/engine`` check both against the naive
-enumerator on random inputs.
+State *sets* are then Python integers used as bitsets, and documents are
+arrays of letter ids (cached on the :class:`~repro.core.document.Document`
+per alphabet), so the forward pass is array indexing and ``|``/``&`` on
+machine words instead of string hashing and frozenset algebra.
 
-Both forms are document independent and safe to share across documents;
-:meth:`VA.indexed` caches one per automaton.
+:class:`IndexedMatchGraph` is *lazy* (streaming): construction runs only a
+cheap Boolean forward pass over the aggregate masks — enough to decide
+emptiness (Theorem 2.5's linear preprocessing).  The backward co-reachability
+pruning is another bitmask-only pass run on first demand, and the per-layer
+edge rows that enumeration needs are materialised state by state as the DFS
+visits them.  ``first()`` and ``enumerate(limit=k)`` therefore short-circuit:
+they pay the Boolean pass plus only the edges along the paths actually
+walked, never the full O(n·states) edge build.  Semantics are identical to
+the eager :class:`~repro.va.matchgraph.MatchGraph` path — the equivalence
+tests in ``tests/engine`` check both against the naive enumerator and check
+lazy against eager (``eager=True`` prebuilds every edge row, the old
+behaviour, kept for comparison benches).
+
+Both indexed forms are document independent and safe to share across
+documents; :meth:`VA.indexed` caches one per automaton.
 """
 
 from __future__ import annotations
@@ -25,7 +38,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator
 
-from ..core.document import Document, as_document
+from ..core.document import Alphabet, Document, as_document
 from ..core.errors import NotSequentialError
 from ..core.mapping import Mapping
 from .automaton import VA, State
@@ -40,12 +53,18 @@ class IndexedVA:
         factorized: the underlying factorization (shares closure caches).
         n_states: number of live states after trimming.
         initial_id: dense id of the initial state (always 0).
+        alphabet: the interned :class:`Alphabet` of the automaton's letters.
         opsets: interned operation sets; index = opset id.
-        letter_table: ``letter_table[letter][state_id]`` is a tuple of
+        tables: ``tables[letter_id][state_id]`` is a tuple of
             ``(opset_id, target_bitmask)`` macro transitions, canonically
             ordered.
+        successor_masks: ``successor_masks[letter_id][state_id]`` is the
+            union of the target bitmasks of ``tables[letter_id][state_id]``
+            — the Boolean (operation-blind) transition relation the lazy
+            match graph's forward/backward passes run on.
         accept: ``accept[state_id]`` is the tuple of accepting opset ids,
             canonically ordered.
+        accept_mask: bitmask of states with at least one accepting opset.
     """
 
     def __init__(self, va: VA, factorized: FactorizedVA | None = None):
@@ -64,6 +83,7 @@ class IndexedVA:
         # Trimming keeps only reachable states, so `order` covers them all.
         self.n_states = len(order)
         self.initial_id = 0
+        self.alphabet = Alphabet.of(tva.letters())
         self.opsets: list[OpSet] = []
         opset_ids: dict[OpSet, int] = {}
 
@@ -75,30 +95,45 @@ class IndexedVA:
             return found
 
         states_by_id = sorted(order, key=order.__getitem__)
-        letter_rows: dict[str, list[tuple[tuple[int, int], ...]]] = {
-            letter: [()] * self.n_states for letter in tva.letters()
-        }
+        n_letters = len(self.alphabet)
+        tables: list[list[tuple[tuple[int, int], ...]]] = [
+            [()] * self.n_states for _ in range(n_letters)
+        ]
+        successor_masks: list[list[int]] = [
+            [0] * self.n_states for _ in range(n_letters)
+        ]
         accept: list[tuple[int, ...]] = [()] * self.n_states
+        accept_mask = 0
+        letter_id = self.alphabet.ids.__getitem__
         for state, sid in order.items():
-            grouped: dict[str, dict[int, int]] = {}
+            grouped: dict[int, dict[int, int]] = {}
             for ops, mid in factorized.closure(state):
                 for label, target in tva.transitions_from(mid):
                     if isinstance(label, str):
-                        per_ops = grouped.setdefault(label, {})
+                        per_ops = grouped.setdefault(letter_id(label), {})
                         oid = intern(ops)
                         per_ops[oid] = per_ops.get(oid, 0) | (1 << order[target])
-            for letter, per_ops in grouped.items():
-                letter_rows[letter][sid] = tuple(
+            for lid, per_ops in grouped.items():
+                entries = tuple(
                     sorted(per_ops.items(), key=lambda kv: opset_sort_key(self.opsets[kv[0]]))
                 )
+                tables[lid][sid] = entries
+                mask = 0
+                for _, target_mask in entries:
+                    mask |= target_mask
+                successor_masks[lid][sid] = mask
             accept[sid] = tuple(
                 sorted(
                     (intern(ops) for ops in factorized.accepting_opsets(state)),
                     key=lambda oid: opset_sort_key(self.opsets[oid]),
                 )
             )
-        self.letter_table = letter_rows
+            if accept[sid]:
+                accept_mask |= 1 << sid
+        self.tables = tables
+        self.successor_masks = successor_masks
         self.accept = accept
+        self.accept_mask = accept_mask
         self.states_by_id = tuple(states_by_id)
         # Canonical enumeration rank per opset id (ids are interned in
         # discovery order, which is not the canonical order).
@@ -115,7 +150,7 @@ class IndexedVA:
     def __repr__(self) -> str:
         return (
             f"IndexedVA(states={self.n_states}, opsets={len(self.opsets)}, "
-            f"letters={len(self.letter_table)})"
+            f"letters={len(self.alphabet)})"
         )
 
 
@@ -126,71 +161,125 @@ def _iter_bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+def indexed_nonempty(indexed: IndexedVA, document: Document | str) -> bool:
+    """Decide ``⟦A⟧(d) ≠ ∅`` with the Boolean bitmask pass alone.
+
+    One forward sweep over the aggregate successor masks — no edge rows, no
+    backward pruning, early exit as soon as the frontier dies.
+    """
+    doc = as_document(document)
+    ids = doc.encoded(indexed.alphabet)
+    succ = indexed.successor_masks
+    mask = 1 << indexed.initial_id
+    for lid in ids:
+        if lid < 0:
+            return False  # letter unknown to the VA: no run survives
+        row = succ[lid]
+        nxt = 0
+        while mask:
+            low = mask & -mask
+            nxt |= row[low.bit_length() - 1]
+            mask ^= low
+        if not nxt:
+            return False
+        mask = nxt
+    return bool(mask & indexed.accept_mask)
+
+
 class IndexedMatchGraph:
     """The layered match graph of an :class:`IndexedVA` on one document,
-    with layers as state bitmasks.
+    with layers as state bitmasks — built *lazily*.
 
-    Mirrors :class:`~repro.va.matchgraph.MatchGraph` (forward pass,
-    acceptance, backward pruning) but on dense integer states.
+    Construction runs only the Boolean forward pass (aggregate successor
+    masks), which already decides :attr:`is_empty`.  The backward pruning
+    pass runs on first access to :attr:`alive`; enumeration edge rows are
+    materialised per (layer, state) as the DFS reaches them.  Pass
+    ``eager=True`` to prebuild everything up front (the pre-streaming
+    behaviour, kept for the comparison benches and equivalence tests).
     """
 
-    __slots__ = ("indexed", "document", "alive", "edges", "final")
+    __slots__ = (
+        "indexed",
+        "document",
+        "letter_ids",
+        "forward",
+        "final",
+        "final_mask",
+        "_alive",
+        "_edges",
+    )
 
-    def __init__(self, indexed: IndexedVA, document: Document | str):
+    def __init__(
+        self, indexed: IndexedVA, document: Document | str, eager: bool = False
+    ):
         self.indexed = indexed
         self.document = as_document(document)
-        doc = self.document
-        n = len(doc)
-        table = indexed.letter_table
-        # Forward pass: reachable state masks per layer.
+        ids = self.document.encoded(indexed.alphabet)
+        self.letter_ids = ids
+        n = len(ids)
+        succ = indexed.successor_masks
+        # Boolean forward pass: reachable state masks per layer.
         forward = [0] * (n + 1)
-        forward[0] = 1 << indexed.initial_id
-        edges: list[dict[int, tuple[tuple[int, int], ...]]] = [{} for _ in range(n)]
-        for i in range(n):
-            rows = table.get(doc.letter(i + 1))
-            if rows is None:
+        mask = forward[0] = 1 << indexed.initial_id
+        for i, lid in enumerate(ids):
+            if lid < 0:
                 break  # letter unknown to the VA: nothing lives past here
-            layer_edges = edges[i]
-            next_mask = 0
-            for sid in _iter_bits(forward[i]):
-                entries = rows[sid]
-                if entries:
-                    layer_edges[sid] = entries
-                    for _, target_mask in entries:
-                        next_mask |= target_mask
-            forward[i + 1] = next_mask
+            row = succ[lid]
+            nxt = 0
+            while mask:
+                low = mask & -mask
+                nxt |= row[low.bit_length() - 1]
+                mask ^= low
+            if not nxt:
+                break
+            forward[i + 1] = mask = nxt
+        self.forward = forward
         # Acceptance at the last layer.
-        final: dict[int, tuple[int, ...]] = {}
-        for sid in _iter_bits(forward[n]):
-            if indexed.accept[sid]:
-                final[sid] = indexed.accept[sid]
-        # Backward pruning to co-reachable states; edges keep live targets.
-        alive = [0] * (n + 1)
-        for sid in final:
-            alive[n] |= 1 << sid
-        for i in range(n - 1, -1, -1):
-            live_targets = alive[i + 1]
-            layer_alive = 0
-            pruned: dict[int, tuple[tuple[int, int], ...]] = {}
-            for sid, entries in edges[i].items():
-                kept = tuple(
-                    (oid, masked)
-                    for oid, target_mask in entries
-                    if (masked := target_mask & live_targets)
-                )
-                if kept:
-                    pruned[sid] = kept
-                    layer_alive |= 1 << sid
-            edges[i] = pruned
-            alive[i] = layer_alive
-        self.alive = alive
-        self.edges = edges
-        self.final = final
+        final_mask = forward[n] & indexed.accept_mask
+        self.final_mask = final_mask
+        accept = indexed.accept
+        self.final: dict[int, tuple[int, ...]] = {
+            sid: accept[sid] for sid in _iter_bits(final_mask)
+        }
+        self._alive: list[int] | None = None
+        self._edges: list[dict[int, tuple[tuple[int, int], ...]] | None] = [
+            None
+        ] * n
+        if eager:
+            self.materialise()
 
     @property
     def is_empty(self) -> bool:
-        """Whether ``⟦A⟧(d) = ∅`` — the source state is dead."""
-        return not (self.alive[0] >> self.indexed.initial_id) & 1
+        """Whether ``⟦A⟧(d) = ∅`` — no accepting state is forward-reachable
+        at the last layer (decided by the Boolean pass alone)."""
+        return not self.final_mask
+
+    @property
+    def alive(self) -> list[int]:
+        """Live (co-reachable) state masks per layer, from the Boolean
+        backward pass (run once, on demand)."""
+        alive = self._alive
+        if alive is None:
+            ids = self.letter_ids
+            forward = self.forward
+            succ = self.indexed.successor_masks
+            n = len(ids)
+            alive = [0] * (n + 1)
+            live = alive[n] = self.final_mask
+            for i in range(n - 1, -1, -1):
+                if not live:
+                    break  # nothing co-reachable earlier either
+                row = succ[ids[i]]
+                layer_alive = 0
+                mask = forward[i]
+                while mask:
+                    low = mask & -mask
+                    if row[low.bit_length() - 1] & live:
+                        layer_alive |= low
+                    mask ^= low
+                alive[i] = live = layer_alive
+            self._alive = alive
+        return alive
 
     def states_alive(self) -> int:
         """Total live states across all layers (graph-size gauge)."""
@@ -200,41 +289,156 @@ class IndexedMatchGraph:
         """Maximum number of live states in any layer."""
         return max((mask.bit_count() for mask in self.alive), default=0)
 
-    def enumerate(self) -> Iterator[Mapping]:
+    def edge_row(self, layer: int, sid: int) -> list[tuple[int, int]]:
+        """The pruned macro transitions of live state ``sid`` at ``layer``
+        (``(opset_id, live_target_mask)`` pairs), built on first demand.
+        The returned list is the cache entry: treat it as immutable."""
+        cache = self._edges[layer]
+        if cache is None:
+            cache = self._edges[layer] = {}
+        row = cache.get(sid)
+        if row is None:
+            live = self.alive[layer + 1]
+            row = cache[sid] = [
+                (oid, target_mask & live)
+                for oid, target_mask in self.indexed.tables[self.letter_ids[layer]][sid]
+                if target_mask & live
+            ]
+        return row
+
+    def edge_layer(self, layer: int) -> dict[int, list[tuple[int, int]]]:
+        """All edge rows of one layer (every live state), materialised."""
+        for sid in _iter_bits(self.alive[layer]):
+            self.edge_row(layer, sid)
+        return self._edges[layer]  # type: ignore[return-value]
+
+    def materialise(self) -> None:
+        """Prebuild the backward pass and every edge row (eager mode)."""
+        for layer in range(len(self.letter_ids)):
+            self.edge_layer(layer)
+
+    def enumerate(self, limit: int | None = None) -> Iterator[Mapping]:
         """DFS enumeration with polynomial delay (Theorem 2.5), bitmask
-        profiles."""
-        if self.is_empty:
+        profiles and parent-pointer path reconstruction.
+
+        ``limit`` stops after that many mappings; the lazy edge rows mean a
+        small limit touches only the layers along the walked paths.
+        """
+        if self.is_empty or (limit is not None and limit <= 0):
             return
         indexed = self.indexed
         opsets, rank = indexed.opsets, indexed.opset_rank
-        n = len(self.document)
-        edges, final = self.edges, self.final
-        stack: list[tuple[int, int, tuple[int, ...]]] = [
-            (0, 1 << indexed.initial_id, ())
+        n = len(self.letter_ids)
+        final = self.final
+        alive = self.alive
+        tables = indexed.tables
+        letter_ids = self.letter_ids
+        edges = self._edges
+        emitted = 0
+        # Stack frames: (layer, profile mask, path node); a path node is
+        # (opset_id, parent node) — reconstruction replaces per-push tuple
+        # copies of the whole prefix.
+        stack: list[tuple[int, int, tuple | None]] = [
+            (0, 1 << indexed.initial_id, None)
         ]
         while stack:
-            layer, profile, chosen = stack.pop()
+            layer, profile, node = stack.pop()
             if layer == n:
                 options_set: set[int] = set()
-                for sid in _iter_bits(profile):
-                    options_set.update(final.get(sid, ()))
+                mask = profile
+                while mask:
+                    low = mask & -mask
+                    options_set.update(final.get(low.bit_length() - 1, ()))
+                    mask ^= low
+                chosen: list[OpSet] = []
+                while node is not None:
+                    oid, node = node
+                    chosen.append(opsets[oid])
+                chosen.reverse()
                 for oid in sorted(options_set, key=rank.__getitem__):
-                    yield mapping_from_opsets(
-                        [opsets[o] for o in chosen] + [opsets[oid]]
-                    )
+                    yield mapping_from_opsets(chosen + [opsets[oid]])
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        return
                 continue
-            level = edges[layer]
+            # Inlined edge_row: the per-layer row build is the hot loop.
+            cache = edges[layer]
+            if cache is None:
+                cache = edges[layer] = {}
+            row_table = tables[letter_ids[layer]]
+            live = alive[layer + 1]
             options: dict[int, int] = {}
-            for sid in _iter_bits(profile):
-                for oid, target_mask in level.get(sid, ()):
-                    options[oid] = options.get(oid, 0) | target_mask
-            # Reverse rank order so the DFS pops options canonically.
-            for oid in sorted(options, key=rank.__getitem__, reverse=True):
-                stack.append((layer + 1, options[oid], chosen + (oid,)))
+            mask = profile
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                sid = low.bit_length() - 1
+                row = cache.get(sid)
+                if row is None:
+                    row = cache[sid] = [
+                        (oid, target_mask & live)
+                        for oid, target_mask in row_table[sid]
+                        if target_mask & live
+                    ]
+                for oid, target_mask in row:
+                    prev = options.get(oid)
+                    options[oid] = target_mask if prev is None else prev | target_mask
+            if len(options) == 1:
+                # Single choice (the common layer in sparse documents):
+                # skip the canonical sort.
+                oid, target_mask = options.popitem()
+                stack.append((layer + 1, target_mask, (oid, node)))
+            else:
+                # Reverse rank order so the DFS pops options canonically.
+                for oid in sorted(options, key=rank.__getitem__, reverse=True):
+                    stack.append((layer + 1, options[oid], (oid, node)))
+
+    def first(self) -> Mapping | None:
+        """The first mapping in canonical order, or ``None`` if empty —
+        one Boolean pass plus the edges along a single root-to-sink path.
+
+        A dedicated greedy walk: the DFS's first leaf is reached by taking
+        the canonically-minimal operation set at every layer, so no stack,
+        no generator frames, and no alternatives are ever pushed.
+        """
+        if self.is_empty:
+            return None
+        indexed = self.indexed
+        opsets, rank = indexed.opsets, indexed.opset_rank
+        edge_row = self.edge_row
+        chosen: list[OpSet] = []
+        profile = 1 << indexed.initial_id
+        for layer in range(len(self.letter_ids)):
+            best_oid = -1
+            best_rank = -1
+            best_mask = 0
+            mask = profile
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                sid = low.bit_length() - 1
+                for oid, target_mask in edge_row(layer, sid):
+                    if best_rank < 0 or rank[oid] < best_rank:
+                        best_rank, best_oid, best_mask = rank[oid], oid, target_mask
+                    elif oid == best_oid:
+                        best_mask |= target_mask
+            chosen.append(opsets[best_oid])
+            profile = best_mask
+        final = self.final
+        best_final = -1
+        mask = profile
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            for oid in final.get(low.bit_length() - 1, ()):
+                if best_final < 0 or rank[oid] < rank[best_final]:
+                    best_final = oid
+        chosen.append(opsets[best_final])
+        return mapping_from_opsets(chosen)
 
 
 def enumerate_indexed(
-    indexed: IndexedVA | VA, document: Document | str
+    indexed: IndexedVA | VA, document: Document | str, limit: int | None = None
 ) -> Iterator[Mapping]:
     """Enumerate ``⟦A⟧(d)`` via the indexed substrate.
 
@@ -248,4 +452,4 @@ def enumerate_indexed(
                 "indexed enumeration requires a sequential VA"
             )
         indexed = IndexedVA(indexed)
-    yield from IndexedMatchGraph(indexed, document).enumerate()
+    yield from IndexedMatchGraph(indexed, document).enumerate(limit=limit)

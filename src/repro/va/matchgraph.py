@@ -60,6 +60,7 @@ class FactorizedVA:
     def __init__(self, va: VA):
         self.va = trim(va)
         self._closures: dict[State, tuple[tuple[OpSet, State], ...]] = {}
+        self._macro: dict[State, dict[str, tuple[tuple[OpSet, State], ...]]] = {}
 
     def closure(self, state: State) -> tuple[tuple[OpSet, State], ...]:
         """All ``(S, q)`` with ``q`` reachable from ``state`` via ε and
@@ -89,14 +90,27 @@ class FactorizedVA:
         self._closures[state] = result
         return result
 
-    def macro_transitions(self, state: State) -> dict[str, list[tuple[OpSet, State]]]:
-        """Macro transitions ``state --(S, σ)--> r`` grouped by letter σ."""
+    def macro_transitions(
+        self, state: State
+    ) -> dict[str, tuple[tuple[OpSet, State], ...]]:
+        """Macro transitions ``state --(S, σ)--> r`` grouped by letter σ.
+
+        Memoized per state — the match-graph build asks once per
+        (layer, state) pair, so without the cache the closure would be
+        regrouped O(layers·states) times per document.  The returned dict
+        is shared: treat it as immutable.
+        """
+        cached = self._macro.get(state)
+        if cached is not None:
+            return cached
         out: dict[str, list[tuple[OpSet, State]]] = {}
         for ops, mid in self.closure(state):
             for label, target in self.va.transitions_from(mid):
                 if isinstance(label, str):
                     out.setdefault(label, []).append((ops, target))
-        return out
+        result = {letter: tuple(entries) for letter, entries in out.items()}
+        self._macro[state] = result
+        return result
 
     def accepting_opsets(self, state: State) -> frozenset[OpSet]:
         """Operation sets ``S`` such that performing S from ``state``
@@ -109,6 +123,28 @@ class FactorizedVA:
 def _closure_key(item: tuple[OpSet, State]) -> tuple:
     ops, state = item
     return (sorted(map(str, ops)), repr(state))
+
+
+def boolean_nonempty(factorized: FactorizedVA, document: Document | str) -> bool:
+    """Decide ``⟦A⟧(d) ≠ ∅`` with a Boolean forward pass only.
+
+    Tracks reachable state *sets* through the memoized macro transitions —
+    no edge dictionaries, no backward pruning, early exit when the frontier
+    dies.  A forward-reachable accepting operation set at the last layer
+    witnesses a full run, so no co-reachability pass is needed.
+    """
+    doc = as_document(document)
+    current = {factorized.va.initial}
+    for i in range(len(doc)):
+        letter = doc.letter(i + 1)
+        nxt: set[State] = set()
+        for state in current:
+            for _, target in factorized.macro_transitions(state).get(letter, ()):
+                nxt.add(target)
+        if not nxt:
+            return False
+        current = nxt
+    return any(factorized.accepting_opsets(state) for state in current)
 
 
 class MatchGraph:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import Document, Span, SpanError, as_document
+from repro.core import Alphabet, Document, Span, SpanError, as_document
+from repro.core.document import _ENCODING_CACHE_LIMIT
 
 
 class TestBasics:
@@ -71,3 +72,54 @@ class TestCoercion:
     def test_spans_enumeration(self):
         doc = Document("ab")
         assert len(list(doc.spans())) == 6
+
+
+class TestAlphabetInterning:
+    def test_equal_letter_sets_share_one_instance(self):
+        assert Alphabet.of("bca") is Alphabet.of(["a", "b", "c"])
+        assert Alphabet.of("ab") is not Alphabet.of("abc")
+
+    def test_ids_are_dense_and_sorted(self):
+        alphabet = Alphabet.of("cab")
+        assert alphabet.signature == ("a", "b", "c")
+        assert [alphabet.id_of(ch) for ch in "abc"] == [0, 1, 2]
+        assert alphabet.id_of("z") == -1
+        assert "a" in alphabet and "z" not in alphabet
+        assert len(alphabet) == 3
+
+    def test_encode_marks_unknown_letters(self):
+        assert Alphabet.of("ab").encode("abz") == (0, 1, -1)
+
+
+class TestDocumentEncodingCache:
+    def test_encoding_is_cached_per_alphabet(self):
+        doc = Document("abab")
+        alphabet = Alphabet.of("ab")
+        first = doc.encoded(alphabet)
+        assert first == (0, 1, 0, 1)
+        assert doc.encoded(alphabet) is first  # served from the cache
+
+    def test_distinct_alphabets_get_distinct_encodings(self):
+        doc = Document("abc")
+        small = Alphabet.of("ab")
+        large = Alphabet.of("abc")
+        assert doc.encoded(small) == (0, 1, -1)
+        assert doc.encoded(large) == (0, 1, 2)
+        # The first alphabet's entry is still intact (no cross-invalidation).
+        assert doc.encoded(small) == (0, 1, -1)
+
+    def test_cache_is_bounded(self):
+        doc = Document("a")
+        alphabets = [
+            Alphabet.of("a" + chr(ord("b") + i)) for i in range(_ENCODING_CACHE_LIMIT + 3)
+        ]
+        encodings = [doc.encoded(alphabet) for alphabet in alphabets]
+        assert len(doc._encodings) <= _ENCODING_CACHE_LIMIT + 1
+        # Evicted entries are recomputed correctly on demand.
+        assert doc.encoded(alphabets[0]) == encodings[0]
+
+    def test_fresh_document_recomputes(self):
+        alphabet = Alphabet.of("ab")
+        a, b = Document("ab"), Document("ab")
+        assert a.encoded(alphabet) == b.encoded(alphabet)
+        assert a.encoded(alphabet) is not b.encoded(alphabet)
