@@ -1,0 +1,212 @@
+"""E15 — the logical-plan optimizer: optimize-on vs optimize-off over deep
+union/join/projection trees.
+
+Two workloads where the rewrite rules have something to do:
+
+* **deep unions with duplicate subtrees** — a union chain over a small
+  formula pool (so duplicates abound) under a projection.  Dedup-union,
+  projection pushdown and static folding should shrink the compiled
+  automaton (states-after < states-before) and with it both compile and
+  enumeration time;
+* **join chains with private variables** — every operand carries optional
+  private capture variables that the top-level projection discards;
+  pushing the projection through the join drops them *before* the FPT
+  product is built, which is where the state blow-up actually happens.
+  (The final automata converge after the normalization post-pass; the win
+  is the *intermediate* product size, visible as compile wall time and in
+  the optimizer's estimated-states delta.)
+
+Each measurement compiles and evaluates the same query with
+``Engine(optimize=True)`` and ``Engine(optimize=False)`` (fresh engines,
+fresh formula objects — no shared caches) and records plan sizes
+(``CompiledPlan.static_states``), compile and enumeration wall time, and
+the rules that fired.
+
+Results are written as human-readable tables (the ``report`` fixture) and
+machine-readably to ``BENCH_optimizer.json`` at the repository root (CI
+uploads it as an artifact).  Set ``BENCH_E15_TINY=1`` for a seconds-scale
+smoke run exercising the full schema with relaxed assertions.
+"""
+
+import os
+import time
+
+from repro import Engine, Instantiation, RAQuery, parse
+from repro.algebra.ra_tree import Join, Leaf, Project, UnionNode
+from repro.utils import format_table
+from repro.workloads import random_document
+
+TINY = bool(os.environ.get("BENCH_E15_TINY"))
+
+#: Formula pool for the union workload: few distinct shapes, so a deep
+#: chain necessarily repeats subtrees.
+UNION_POOL = (
+    "(a|b)*x{(a|b)+}(a|b)*",
+    "(a|b)*x{a+}b(a|b)*",
+    "(a|b)*x{b+}y{a*}(a|b)*",
+)
+
+UNION_DEPTHS = (4,) if TINY else (4, 8, 16)
+JOIN_WIDTHS = (2,) if TINY else (2, 3)
+DOC_LENGTH = 30 if TINY else 60
+N_DOCS = 2 if TINY else 4
+REPEATS = 1 if TINY else 2
+
+_JSON: dict = {
+    "experiment": "e15_optimizer",
+    "tiny": TINY,
+    "union_pool": list(UNION_POOL),
+    "sections": {},
+}
+
+
+def _flush_json():
+    from bench_common import write_json_report
+
+    _JSON["generated_unix"] = int(time.time())
+    write_json_report("BENCH_optimizer.json", _JSON, at_root=True)
+
+
+def _documents(seed: int = 7):
+    import random
+
+    rng = random.Random(seed)
+    return [random_document("ab", DOC_LENGTH, rng) for _ in range(N_DOCS)]
+
+
+def _union_query():
+    """A projection over a deep union chain drawn from the small pool."""
+
+    def build(depth: int):
+        spanners = {
+            f"u{i}": parse(UNION_POOL[i % len(UNION_POOL)]) for i in range(depth)
+        }
+        tree = Leaf("u0")
+        for index in range(1, depth):
+            tree = UnionNode(tree, Leaf(f"u{index}"))
+        return Project(tree, frozenset({"x"})), Instantiation(spanners=spanners)
+
+    return build
+
+
+def _join_query():
+    """A projection over a join chain with per-operand private variables."""
+
+    def build(width: int):
+        spanners = {}
+        tree = None
+        for index in range(width):
+            # All operands share x; p<i>/q<i> are private, optional, and
+            # projected away at the top.
+            text = (
+                f"(a|b)*x{{(a|b)+}}(a|b)*"
+                f"(p{index}{{a+}}|ε)(a|b)*(q{index}{{b+}}|ε)(a|b)*"
+            )
+            spanners[f"j{index}"] = parse(text)
+            leaf = Leaf(f"j{index}")
+            tree = leaf if tree is None else Join(tree, leaf)
+        return Project(tree, frozenset({"x"})), Instantiation(spanners=spanners)
+
+    return build
+
+
+def _measure(tree, inst, docs, optimize: bool) -> dict:
+    best = None
+    for _ in range(REPEATS):
+        engine = Engine(optimize=optimize)
+        query = RAQuery(tree, inst, engine=engine)
+        start = time.perf_counter()
+        plan = engine.prepare(query).plan
+        compile_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        mappings = sum(len(query.evaluate(doc)) for doc in docs)
+        enumerate_seconds = time.perf_counter() - start
+        row = {
+            "static_states": plan.static_states(),
+            "estimated_states": (
+                plan.report.estimate_after
+                if plan.report is not None
+                else plan.logical.estimated_states
+            ),
+            "compile_ms": compile_seconds * 1e3,
+            "enumerate_ms": enumerate_seconds * 1e3,
+            "total_ms": (compile_seconds + enumerate_seconds) * 1e3,
+            "mappings": mappings,
+            "rules_fired": dict(engine.stats.rule_fires),
+        }
+        if best is None or row["total_ms"] < best["total_ms"]:
+            best = row
+    return best
+
+
+def _sweep(name: str, build, sizes, report) -> list[dict]:
+    docs = _documents()
+    rows = []
+    for size in sizes:
+        tree_on, inst_on = build(size)
+        on = _measure(tree_on, inst_on, docs, optimize=True)
+        tree_off, inst_off = build(size)  # fresh formula objects
+        off = _measure(tree_off, inst_off, docs, optimize=False)
+        assert on["mappings"] == off["mappings"], (name, size)
+        rows.append(
+            {
+                "size": size,
+                "states_before": off["static_states"],
+                "states_after": on["static_states"],
+                "estimated_states_before": off["estimated_states"],
+                "estimated_states_after": on["estimated_states"],
+                "compile_ms_off": off["compile_ms"],
+                "compile_ms_on": on["compile_ms"],
+                "enumerate_ms_off": off["enumerate_ms"],
+                "enumerate_ms_on": on["enumerate_ms"],
+                "total_ms_off": off["total_ms"],
+                "total_ms_on": on["total_ms"],
+                "speedup": off["total_ms"] / max(on["total_ms"], 1e-9),
+                "mappings": on["mappings"],
+                "rules_fired": on["rules_fired"],
+            }
+        )
+    _JSON["sections"][name] = rows
+    _flush_json()
+    table = format_table(
+        ["size", "states off→on", "compile off/on ms", "enum off/on ms", "speedup"],
+        [
+            [
+                row["size"],
+                f"{row['states_before']}→{row['states_after']}",
+                f"{row['compile_ms_off']:.1f}/{row['compile_ms_on']:.1f}",
+                f"{row['enumerate_ms_off']:.1f}/{row['enumerate_ms_on']:.1f}",
+                f"{row['speedup']:.2f}x",
+            ]
+            for row in rows
+        ],
+    )
+    report(f"E15-{name}", table)
+    return rows
+
+
+def bench_e15_union_dedup_and_pushdown(report):
+    """Deep duplicate-laden unions: the optimizer must shrink the plan and
+    win on compile+enumerate wall time."""
+    rows = _sweep("deep_union_cse", _union_query(), UNION_DEPTHS, report)
+    for row in rows:
+        assert row["states_after"] < row["states_before"], row
+    if not TINY:
+        deepest = rows[-1]
+        assert deepest["total_ms_on"] < deepest["total_ms_off"], deepest
+
+
+def bench_e15_join_projection_pushdown(report):
+    """Join chains with discarded private variables: pushdown shrinks the
+    FPT product (intermediate size → compile time), never growing the
+    final plan."""
+    rows = _sweep("join_pushdown", _join_query(), JOIN_WIDTHS, report)
+    for row in rows:
+        assert row["states_after"] <= row["states_before"], row
+        assert (
+            row["estimated_states_after"] < row["estimated_states_before"]
+        ), row
+        assert "push-project-join" in row["rules_fired"], row
+    if not TINY:
+        widest = rows[-1]
+        assert widest["compile_ms_on"] < widest["compile_ms_off"], widest

@@ -5,7 +5,7 @@ query.
 Run:  python examples/blackbox_sentiment.py
 """
 
-from repro import compile_spanner
+from repro import Engine, compile_spanner
 from repro.algebra import (
     DictionarySpanner,
     Instantiation,
@@ -19,7 +19,7 @@ from repro.algebra import (
 from repro.core import Document
 
 
-def string_equality_demo() -> None:
+def string_equality_demo(engine: Engine) -> None:
     """String equality is NOT expressible in RA over regular spanners
     [8, 13] — but it is tractable and degree-2, so the ad-hoc planner can
     still join with it (Corollary 5.3)."""
@@ -34,7 +34,7 @@ def string_equality_demo() -> None:
             "second": compile_spanner("[a-d][a-d]*y{[a-d][a-d]}[a-d]*|[a-d]*y{[a-d][a-d]}"),
         }
     )
-    query = RAQuery(tree, inst, PlannerConfig(max_shared=2))
+    query = RAQuery(tree, inst, PlannerConfig(max_shared=2), engine=engine)
     seen = set()
     for mapping in query.enumerate(doc):
         x, y = mapping["x"], mapping["y"]
@@ -45,7 +45,7 @@ def string_equality_demo() -> None:
                 print(f"  {doc.substring(x)!r} repeats at positions {x.begin} and {y.begin}")
 
 
-def review_pipeline() -> None:
+def review_pipeline(engine: Engine) -> None:
     """Example-5.4 style: opaque sentiment + dictionary inside the tree."""
     doc = Document(
         "Rodion great insight but chaotic\n"
@@ -68,7 +68,7 @@ def review_pipeline() -> None:
             "topics": DictionarySpanner("topic", {"thesis", "insight", "work"}),
         }
     )
-    query = RAQuery(tree, inst, PlannerConfig(max_shared=0))
+    query = RAQuery(tree, inst, PlannerConfig(max_shared=0), engine=engine)
     rows = set()
     for mapping in query.enumerate(doc):
         who = doc.substring(mapping["who"])
@@ -81,5 +81,6 @@ def review_pipeline() -> None:
 
 
 if __name__ == "__main__":
-    string_equality_demo()
-    review_pipeline()
+    shared_engine = Engine()
+    string_equality_demo(shared_engine)
+    review_pipeline(shared_engine)

@@ -10,7 +10,7 @@ Run:  python examples/log_pipeline.py
 
 import random
 
-from repro import compile_spanner
+from repro import Engine, compile_spanner
 from repro.algebra import (
     Difference,
     DictionarySpanner,
@@ -75,9 +75,10 @@ def main() -> None:
     # The query: unacknowledged ERROR lines, tagged with the subsystem
     # mentioned inside their message span.  The subsystem join is a
     # black-box leaf (Corollary 5.3).
+    engine = Engine()
     tree = Difference(Leaf("errors"), Leaf("acked"))
     inst = Instantiation(spanners={"errors": error_line, "acked": acked_line})
-    query = RAQuery(tree, inst, PlannerConfig(max_shared=1))
+    query = RAQuery(tree, inst, PlannerConfig(max_shared=1), engine=engine)
 
     print("== unacknowledged ERROR lines ==")
     pending = query.evaluate(log)
@@ -95,9 +96,10 @@ def main() -> None:
         }
         print(" ", log.substring(mapping["ts"]), "→", ", ".join(sorted(tags)) or "?")
 
-    # Single-extractor sanity stat using the library formula.
+    # Single-extractor sanity stat using the library formula, served by
+    # the same engine (a bare VA is a query too).
     all_lines = compile_spanner(anchored(log_line_formula()))
-    print(f"\ntotal structured lines: {len(all_lines.evaluate(log))}")
+    print(f"\ntotal structured lines: {len(engine.evaluate(all_lines.va, log))}")
 
 
 if __name__ == "__main__":

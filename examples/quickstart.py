@@ -1,49 +1,81 @@
-"""Quickstart: compile a regex formula, extract, combine with the algebra.
+"""Quickstart: compile regex formulas, combine them with the algebra, and
+evaluate everything through the execution engine.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import compile_spanner
-from repro.algebra import adhoc_difference, fpt_join
-from repro.va import evaluate_va
+from repro import (
+    Difference,
+    Engine,
+    Instantiation,
+    Join,
+    Leaf,
+    PlannerConfig,
+    RAQuery,
+    as_document,
+    parse,
+)
 
 
 def main() -> None:
-    document = "Ada Lovelace ada@lab.org\nCharles Babbage\nAlan Turing alan@cs.uk\n"
+    document = as_document(
+        "Ada Lovelace ada@lab.org\nCharles Babbage\nAlan Turing alan@cs.uk\n"
+    )
+
+    # One engine serves every query below: compiled plans, static prefixes
+    # and prepared automata are cached and shared across queries.
+    engine = Engine()
 
     # 1. A schemaless extractor: the first name is optional, the email too.
     #    Sequential (every variable bound at most once per match), so
     #    enumeration has polynomial delay (Theorem 2.5).
     line = "([A-Za-z@. \\n]*\\n|ε)"  # anchor at any line start
-    person = compile_spanner(
+    person = parse(
         line
         + "(first{[A-Z][a-z]+} |ε)last{[A-Z][a-z]+}"
         + "( mail{[a-z]+@[a-z.]+}|ε)"
         + "\\n[A-Za-z@. \\n]*"
     )
-    print("== extracted people (schemaless: domains differ) ==")
-    relation = person.evaluate(document)
-    print(relation.to_table(person_doc := __import__("repro").as_document(document)))
-
-    # 2. Algebra: join against an extractor of .uk emails, entirely
-    #    compiled into one automaton (FPT in the shared variables,
-    #    Lemma 3.2).  Note the schemaless semantics at work: a person
-    #    *without* a mail binding is compatible with any uk-mail mapping
-    #    (their domains are disjoint), so Babbage picks up Turing's email —
-    #    exactly the §2.4 compatibility rule.
-    uk_mail = compile_spanner(
-        "[A-Za-z@. \\n]* mail{[a-z]+@[a-z.]*uk}\\n[A-Za-z@. \\n]*"
+    people = RAQuery(
+        Leaf("person"), Instantiation(spanners={"person": person}), engine=engine
     )
-    joined = fpt_join(person.va, uk_mail.va)
-    print("\n== person ⋈ uk-mail (schemaless compatibility!) ==")
-    for mapping in evaluate_va(joined, document):
-        print(" ", {v: person_doc.substring(s) for v, s in mapping.items()})
+    print("== extracted people (schemaless: domains differ) ==")
+    print(people.evaluate(document).to_table(document))
 
-    # 3. Difference: ad-hoc compilation against this document (Lemma 4.2).
-    without_uk = adhoc_difference(person.va, uk_mail.va, document)
+    # 2. Algebra: join against an extractor of .uk emails, compiled into
+    #    one automaton (FPT in the shared variables, Lemma 3.2).  Note the
+    #    schemaless semantics at work: a person *without* a mail binding is
+    #    compatible with any uk-mail mapping (their domains are disjoint),
+    #    so Babbage picks up Turing's email — exactly the §2.4
+    #    compatibility rule.
+    uk_mail = parse("[A-Za-z@. \\n]* mail{[a-z]+@[a-z.]*uk}\\n[A-Za-z@. \\n]*")
+    inst = Instantiation(spanners={"person": person, "uk": uk_mail})
+    joined = RAQuery(
+        Join(Leaf("person"), Leaf("uk")), inst, PlannerConfig(max_shared=2), engine=engine
+    )
+    print("== person ⋈ uk-mail (schemaless compatibility!) ==")
+    for mapping in joined.enumerate(document):
+        print(" ", {v: document.substring(s) for v, s in mapping.items()})
+
+    # 3. Difference: compiled per document (Section 4) — the optimizer
+    #    routes it through the synchronized compilation (Theorem 4.8) when
+    #    the subtrahend allows; `explain` shows what the plan became.
+    without_uk = RAQuery(Difference(Leaf("person"), Leaf("uk")), inst, engine=engine)
     print("\n== people without a .uk email (ad-hoc difference) ==")
-    for mapping in evaluate_va(without_uk, document):
-        print(" ", {v: person_doc.substring(s) for v, s in mapping.items()})
+    for mapping in without_uk.enumerate(document):
+        print(" ", {v: document.substring(s) for v, s in mapping.items()})
+    print("\n== the compiled plan ==")
+    print(without_uk.explain())
+
+    # 4. Batch evaluation: the static prefix compiles once for the whole
+    #    corpus; per-document work is only the ad-hoc difference.
+    corpus = [document, "Grace Hopper grace@navy.mil\n", "Alan Turing alan@cs.uk\n"]
+    relations = without_uk.evaluate_many(corpus)
+    print("\n== batch over the corpus ==")
+    for index, relation in enumerate(relations):
+        print(f"  doc {index}: {len(relation)} mapping(s)")
+    print("\n== engine statistics ==")
+    print(engine.stats.summary())
 
 
 if __name__ == "__main__":

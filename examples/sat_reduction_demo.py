@@ -9,6 +9,7 @@ Run:  python examples/sat_reduction_demo.py
 
 import time
 
+from repro import Engine
 from repro.algebra import semantic_difference, semantic_join
 from repro.reductions import (
     PAPER_PHI,
@@ -16,14 +17,18 @@ from repro.reductions import (
     build_join_instance,
     dpll_satisfiable,
 )
-from repro.va import evaluate_va, regex_to_va, trim
+from repro.va import regex_to_va, trim
+
+#: One engine for the whole demo — the compiled formula automata are
+#: prepared once and cached by structural fingerprint.
+ENGINE = Engine()
 
 
 def solve_by_join(cnf) -> dict | None:
     """Decide satisfiability through the Theorem-3.1 join encoding."""
     instance = build_join_instance(cnf)
-    r1 = evaluate_va(trim(regex_to_va(instance.gamma1)), instance.document)
-    r2 = evaluate_va(trim(regex_to_va(instance.gamma2)), instance.document)
+    r1 = ENGINE.evaluate(trim(regex_to_va(instance.gamma1)), instance.document)
+    r2 = ENGINE.evaluate(trim(regex_to_va(instance.gamma2)), instance.document)
     joined = semantic_join(r1, r2)
     for mapping in joined:
         return instance.decode(mapping)
@@ -33,8 +38,8 @@ def solve_by_join(cnf) -> dict | None:
 def solve_by_difference(cnf) -> dict | None:
     """Decide satisfiability through the Theorem-4.1 difference encoding."""
     instance = build_difference_instance(cnf)
-    r1 = evaluate_va(trim(regex_to_va(instance.gamma1)), instance.document)
-    r2 = evaluate_va(trim(regex_to_va(instance.gamma2)), instance.document)
+    r1 = ENGINE.evaluate(trim(regex_to_va(instance.gamma1)), instance.document)
+    r2 = ENGINE.evaluate(trim(regex_to_va(instance.gamma2)), instance.document)
     for mapping in semantic_difference(r1, r2):
         return instance.decode(mapping)
     return None

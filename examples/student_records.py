@@ -6,7 +6,7 @@ Run:  python examples/student_records.py
 
 import random
 
-from repro import compile_spanner
+from repro import Engine, compile_spanner
 from repro.algebra import (
     Difference,
     Instantiation,
@@ -16,10 +16,8 @@ from repro.algebra import (
     Project,
     RAQuery,
     SentimentSpanner,
-    adhoc_difference,
 )
 from repro.core import Document
-from repro.va import evaluate_va, regex_to_va, trim
 from repro.workloads import (
     STUDENTS_DOCUMENT,
     alpha_info,
@@ -39,18 +37,21 @@ def example_21_pstudinfo() -> None:
     print()
 
 
-def example_24_difference() -> None:
-    """Example 2.4: filter out UK students with the difference operator."""
+def example_24_difference(engine: Engine) -> None:
+    """Example 2.4: filter out UK students with the difference operator —
+    an RA query evaluated through the engine (the optimizer picks the
+    difference compilation)."""
     print("== Example 2.4: ⟦αinfo \\ αUKm⟧(dStudents) ==")
-    a_info = trim(regex_to_va(alpha_info()))
-    a_uk = trim(regex_to_va(alpha_uk_mail()))
-    compiled = adhoc_difference(a_info, a_uk, STUDENTS_DOCUMENT)
-    result = evaluate_va(compiled, STUDENTS_DOCUMENT)
-    print(result.to_table(STUDENTS_DOCUMENT))
+    query = RAQuery(
+        Difference(Leaf("info"), Leaf("uk")),
+        Instantiation(spanners={"info": alpha_info(), "uk": alpha_uk_mail()}),
+        engine=engine,
+    )
+    print(query.evaluate(STUDENTS_DOCUMENT).to_table(STUDENTS_DOCUMENT))
     print()
 
 
-def figure_2_query(doc: Document) -> None:
+def figure_2_query(doc: Document, engine: Engine) -> None:
     """Example 5.1 / Figure 2: students with mail & phone but no
     recommendation — a full RA tree evaluated by the planner."""
     print("== Figure 2: π_xstdnt((αsm ⋈ αsp) \\ αnr) ==")
@@ -63,13 +64,13 @@ def figure_2_query(doc: Document) -> None:
         },
         projections={"keep": frozenset({"xstdnt"})},
     )
-    query = RAQuery(tree, inst, PlannerConfig(max_shared=2))
+    query = RAQuery(tree, inst, PlannerConfig(max_shared=2), engine=engine)
     for mapping in query.enumerate(doc):
         print("  student:", doc.substring(mapping["xstdnt"]))
     print()
 
 
-def example_54_blackbox(doc: Document) -> None:
+def example_54_blackbox(doc: Document, engine: Engine) -> None:
     """Example 5.4: swap αnr for an opaque sentiment module (PosRec)."""
     print("== Example 5.4: black-box PosRec inside the RA tree ==")
     tree = Project(Difference(Join(Leaf("sm"), Leaf("sp")), Leaf("posrec")), "keep")
@@ -83,29 +84,40 @@ def example_54_blackbox(doc: Document) -> None:
         },
         projections={"keep": frozenset({"xstdnt"})},
     )
-    query = RAQuery(tree, inst, PlannerConfig(max_shared=2))
+    query = RAQuery(tree, inst, PlannerConfig(max_shared=2), engine=engine)
     for mapping in query.enumerate(doc):
         print("  student without positive recommendation:", doc.substring(mapping["xstdnt"]))
     print()
 
 
 def main() -> None:
+    engine = Engine()
     example_21_pstudinfo()
-    example_24_difference()
+    example_24_difference(engine)
 
     extended = Document(
         "Pyotr Luzhin 6225545 luzi@edu.uk\n"
         "Zosimov 6222345 mov@edu.ru rec.good work\n"
         "Sofya Marmeladova 6200001 sm@edu.ru rec.weak attendance\n"
     )
-    figure_2_query(extended)
-    example_54_blackbox(extended)
+    figure_2_query(extended, engine)
+    example_54_blackbox(extended, engine)
 
-    # A larger synthetic corpus in the same format.
-    corpus = generate_students(50, random.Random(0), with_recommendation=0.3)
-    print(f"== synthetic corpus ({len(corpus)} chars, 50 students) ==")
-    info = compile_spanner(alpha_info())
-    print(f"  αinfo extracts {len(info.evaluate(corpus))} records")
+    # A larger synthetic corpus in the same format, batch-evaluated so the
+    # static compilation is shared across every document.
+    documents = [
+        generate_students(10, random.Random(seed), with_recommendation=0.3)
+        for seed in range(5)
+    ]
+    info = RAQuery(
+        Leaf("info"), Instantiation(spanners={"info": alpha_info()}), engine=engine
+    )
+    relations = info.evaluate_many(documents)
+    total = sum(len(relation) for relation in relations)
+    print(f"== synthetic corpus ({len(documents)} documents, 10 students each) ==")
+    print(f"  αinfo extracts {total} records")
+    print(f"  engine: {engine.stats.plan_hits} plan hit(s), "
+          f"{engine.stats.cse_hits} CSE hit(s)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,363 @@
+"""The logical query IR sitting between RA trees and physical plans.
+
+An RA tree (:mod:`repro.algebra.ra_tree`) is the user-facing syntax: binary
+operators, named placeholders, projection slots.  The *logical plan* built
+by :func:`from_ra` resolves the instantiation into the tree and re-expresses
+it in a form the optimizer (:mod:`repro.engine.optimizer`) can rewrite:
+
+* leaves become :class:`StaticAtom` (a compiled, normalized VA — regex
+  formulas and raw VAs) or :class:`BlackboxAtom` (an opaque
+  :class:`~repro.core.spanner.Spanner` materialised per document);
+* union and join are **n-ary** (:class:`LUnion` / :class:`LJoin`), so
+  flattening and reassociation are plain child-list edits;
+* projection carries its resolved variable set (:class:`LProject`);
+* difference stays binary (:class:`LDifference`), with
+  :class:`LSyncDifference` marking differences the optimizer has proven
+  eligible for the synchronized-difference compilation (Theorem 4.8)
+  instead of the bounded-common-variable ad-hoc route (Lemma 4.2).
+
+Every node has a structural **fingerprint** — a SHA-256 digest over the
+node kind, its parameters, and its children's fingerprints, with automata
+canonicalised up to state renaming (:meth:`repro.va.automaton.VA.fingerprint`).
+Equal fingerprints mean equal plans, which is what plan-level
+common-subexpression elimination and the engine's fingerprint-keyed plan
+cache rely on.  Fingerprints of black-box atoms incorporate the object
+identity, so they are stable only within one process — exactly the
+lifetime of the caches that use them.
+
+The per-node ``estimated_states`` drives the optimizer's reassociation
+order: it is the exact state count for static atoms and a structural
+estimate above them (sums for unions, capped products for joins — the
+product construction is what actually blows up).
+"""
+
+from __future__ import annotations
+
+import abc
+from hashlib import sha256
+from typing import Iterator
+
+from ..core.mapping import Variable
+from ..core.spanner import Spanner
+from ..va.automaton import VA
+from .ra_tree import (
+    Difference,
+    Instantiation,
+    Join,
+    Leaf,
+    Project,
+    RANode,
+    UnionNode,
+)
+
+#: Cap on state estimates — joins multiply, and we only ever *compare*
+#: estimates, so saturating keeps the arithmetic cheap and total.
+ESTIMATE_CAP = 10**12
+
+#: Assumed size of a materialised black-box leaf (document dependent, so
+#: any constant is a guess; black boxes sort after small static atoms and
+#: before big product results, which is the behaviour that matters).
+BLACKBOX_ESTIMATE = 64
+
+
+def _digest(*parts: str) -> str:
+    return sha256("|".join(parts).encode("utf-8", "backslashreplace")).hexdigest()
+
+
+class LogicalNode(abc.ABC):
+    """A node of the logical plan."""
+
+    #: Short stable tag naming the node type (used in fingerprints and
+    #: pretty-printing).
+    kind: str = "?"
+
+    __slots__ = ("_fingerprint",)
+
+    def __init__(self) -> None:
+        self._fingerprint: str | None = None
+
+    @abc.abstractmethod
+    def children(self) -> tuple["LogicalNode", ...]:
+        """The ordered children."""
+
+    @abc.abstractmethod
+    def _params(self) -> str:
+        """The node's own parameters, canonically serialised."""
+
+    @property
+    @abc.abstractmethod
+    def variables(self) -> frozenset[Variable]:
+        """``Vars`` of the sub-plan: every variable an output mapping may
+        use."""
+
+    @property
+    @abc.abstractmethod
+    def estimated_states(self) -> int:
+        """A structural estimate of the compiled automaton's state count."""
+
+    @property
+    def fingerprint(self) -> str:
+        """The structural digest (see module docstring); cached."""
+        if self._fingerprint is None:
+            self._fingerprint = _digest(
+                self.kind,
+                self._params(),
+                *(child.fingerprint for child in self.children()),
+            )
+        return self._fingerprint
+
+    def walk(self) -> Iterator["LogicalNode"]:
+        """All nodes, pre-order (shared subtrees yielded once per use)."""
+        stack: list[LogicalNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def pretty(self) -> str:
+        """A multi-line rendering of the logical plan."""
+        lines: list[str] = []
+
+        def render(node: LogicalNode, depth: int) -> None:
+            lines.append("  " * depth + node.describe())
+            for child in node.children():
+                render(child, depth + 1)
+
+        render(self, 0)
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One line: kind, parameters, estimate."""
+        params = self._params()
+        inner = f"[{params}] " if params else ""
+        return f"{self.kind} {inner}(≈{self.estimated_states} states)"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+class StaticAtom(LogicalNode):
+    """A document-independent leaf: a compiled (normalized) VA."""
+
+    kind = "atom"
+    __slots__ = ("va", "origin")
+
+    def __init__(self, va: VA, origin: str | None = None):
+        super().__init__()
+        self.va = va
+        #: Optional provenance label (the RA placeholder name, or the rule
+        #: that folded this atom) — display only.
+        self.origin = origin
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return ()
+
+    def _params(self) -> str:
+        return self.va.fingerprint()
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return self.va.variables
+
+    @property
+    def estimated_states(self) -> int:
+        return self.va.n_states
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this atom is the empty spanner (statically known)."""
+        return not self.va.accepting
+
+    def describe(self) -> str:
+        name = f" «{self.origin}»" if self.origin else ""
+        return (
+            f"{self.kind}{name} VA(states={self.va.n_states}, "
+            f"transitions={self.va.n_transitions})"
+        )
+
+
+class BlackboxAtom(LogicalNode):
+    """An opaque :class:`Spanner` leaf, materialised per document
+    (Corollary 5.3)."""
+
+    kind = "blackbox"
+    __slots__ = ("atom", "origin")
+
+    def __init__(self, atom: Spanner, origin: str | None = None):
+        super().__init__()
+        self.atom = atom
+        self.origin = origin
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return ()
+
+    def _params(self) -> str:
+        return str(id(self.atom))  # in-process identity; see module docstring
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return self.atom.variables()
+
+    @property
+    def estimated_states(self) -> int:
+        return BLACKBOX_ESTIMATE
+
+    def describe(self) -> str:
+        name = f" «{self.origin}»" if self.origin else ""
+        return f"{self.kind}{name} {self.atom!r}"
+
+
+class LProject(LogicalNode):
+    """``π_keep`` with a resolved variable set."""
+
+    kind = "π"
+    __slots__ = ("child", "keep")
+
+    def __init__(self, child: LogicalNode, keep: frozenset[Variable]):
+        super().__init__()
+        self.child = child
+        self.keep = frozenset(keep)
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def _params(self) -> str:
+        return ",".join(sorted(repr(v) for v in self.keep))
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return self.child.variables & self.keep
+
+    @property
+    def estimated_states(self) -> int:
+        return self.child.estimated_states
+
+
+class _NaryNode(LogicalNode):
+    """Shared shape of the n-ary operators."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands):
+        super().__init__()
+        self.operands = tuple(operands)
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return self.operands
+
+    def _params(self) -> str:
+        return str(len(self.operands))
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        out: frozenset[Variable] = frozenset()
+        for child in self.operands:
+            out |= child.variables
+        return out
+
+
+class LUnion(_NaryNode):
+    """N-ary ``∪`` (flattened; order is canonicalised by the optimizer)."""
+
+    kind = "∪"
+    __slots__ = ()
+
+    @property
+    def estimated_states(self) -> int:
+        return min(
+            ESTIMATE_CAP, 1 + sum(child.estimated_states for child in self.operands)
+        )
+
+
+class LJoin(_NaryNode):
+    """N-ary natural ``⋈`` (flattened; associative and commutative under
+    the schemaless semantics, §2.4)."""
+
+    kind = "⋈"
+    __slots__ = ()
+
+    @property
+    def estimated_states(self) -> int:
+        product = 1
+        for child in self.operands:
+            product = min(ESTIMATE_CAP, product * max(1, child.estimated_states))
+        return product
+
+    def shared_variables(self) -> frozenset[Variable]:
+        """Variables appearing in at least two operands — the only ones
+        join compatibility can constrain."""
+        seen: set[Variable] = set()
+        shared: set[Variable] = set()
+        for child in self.operands:
+            child_vars = child.variables
+            shared |= child_vars & seen
+            seen |= child_vars
+        return frozenset(shared)
+
+
+class LDifference(LogicalNode):
+    """``\\`` — compiled ad hoc per document (Lemma 4.2)."""
+
+    kind = "∖"
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: LogicalNode, right: LogicalNode):
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def _params(self) -> str:
+        return ""
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return self.left.variables  # difference outputs minuend mappings
+
+    @property
+    def estimated_states(self) -> int:
+        return min(ESTIMATE_CAP, 2 * self.left.estimated_states)
+
+
+class LSyncDifference(LDifference):
+    """A difference the optimizer proved eligible for the synchronized
+    compilation (Theorem 4.8): the static subtrahend is synchronized for
+    the common variables, so the per-document build is polynomial without
+    any bound on how many variables the operands share."""
+
+    kind = "∖ˢ"
+    __slots__ = ()
+
+
+def from_ra(
+    tree: RANode, instantiation: Instantiation, config=None
+) -> LogicalNode:
+    """Resolve an instantiated RA tree into a logical plan.
+
+    Static leaves compile (and normalize) here — the logical plan owns its
+    automata; ``config`` is accepted for signature symmetry with the
+    physical planner and is unused (degree bounds apply at materialisation
+    time).
+    """
+    from .planner import compile_static_atom, resolve_projection
+
+    def build(node: RANode) -> LogicalNode:
+        if isinstance(node, Leaf):
+            atom = instantiation.spanner(node.name)
+            static = compile_static_atom(atom)
+            if static is None:
+                return BlackboxAtom(atom, origin=node.name)
+            return StaticAtom(static, origin=node.name)
+        if isinstance(node, Project):
+            return LProject(build(node.child), resolve_projection(node, instantiation))
+        if isinstance(node, UnionNode):
+            return LUnion((build(node.left), build(node.right)))
+        if isinstance(node, Join):
+            return LJoin((build(node.left), build(node.right)))
+        if isinstance(node, Difference):
+            return LDifference(build(node.left), build(node.right))
+        raise TypeError(f"unknown RA node type {type(node).__name__}")
+
+    return build(tree)

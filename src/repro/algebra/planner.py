@@ -39,9 +39,11 @@ from ..regex.ast import RegexFormula
 from ..va.automaton import VA
 from ..va.compile_regex import regex_to_va
 from ..va.evaluation import enumerate_mappings
-from ..va.operations import project_va, relation_va, trim, union_va
+from ..va.normalization import normalize
+from ..va.operations import project_va, relation_va, union_va
 from .difference import adhoc_difference
 from .join import fpt_join
+from .sync_difference import synchronized_difference
 from .ra_tree import (
     Difference,
     Instantiation,
@@ -82,9 +84,9 @@ def compile_static_atom(atom) -> VA | None:
     """The document-independent VA of an atomic spanner, or ``None`` when
     the atom is a black box that must be materialised per document."""
     if isinstance(atom, RegexFormula):
-        return trim(regex_to_va(atom))
+        return normalize(regex_to_va(atom))
     if isinstance(atom, VA):
-        return trim(atom)
+        return normalize(atom)
     if isinstance(atom, Spanner):
         return None
     raise TypeError(f"cannot instantiate a placeholder with {type(atom).__name__}")
@@ -111,19 +113,22 @@ def resolve_projection(node: Project, inst: Instantiation) -> frozenset[Variable
 
 
 def apply_project(child: VA, keep: frozenset[Variable]) -> VA:
-    """``π_keep`` over a compiled child."""
-    return trim(project_va(child, keep))
+    """``π_keep`` over a compiled child (normalized post-pass)."""
+    return normalize(project_va(child, keep))
 
 
 def apply_union(left: VA, right: VA) -> VA:
-    """``∪`` over compiled children."""
-    return union_va(left, right)
+    """``∪`` over compiled children (normalized post-pass: the fresh
+    ε-initial is inlined and dead structure dropped before anything is
+    built on top)."""
+    return normalize(union_va(left, right))
 
 
 def apply_join(left: VA, right: VA, config: PlannerConfig) -> VA:
-    """``⋈`` over compiled children (static FPT compilation, Lemma 3.2)."""
+    """``⋈`` over compiled children (static FPT compilation, Lemma 3.2;
+    normalized post-pass)."""
     check_shared(left, right, config, "join")
-    return fpt_join(left, right)
+    return normalize(fpt_join(left, right))
 
 
 def apply_difference(
@@ -131,7 +136,17 @@ def apply_difference(
 ) -> VA:
     """``\\`` over compiled children — always ad hoc (Lemma 4.2)."""
     check_shared(left, right, config, "difference")
-    return adhoc_difference(left, right, doc)
+    return normalize(adhoc_difference(left, right, doc))
+
+
+def apply_sync_difference(left: VA, right: VA, doc: Document) -> VA:
+    """``\\`` through the synchronized compilation (Theorem 4.8).
+
+    Used by plans whose optimizer proved the subtrahend synchronized for
+    the common variables; tractable for *unboundedly many* shared
+    variables, so no ``max_shared`` check applies here.
+    """
+    return normalize(synchronized_difference(left, right, doc))
 
 
 def check_shared(left: VA, right: VA, config: PlannerConfig, what: str) -> None:
@@ -261,6 +276,11 @@ class RAQuery:
         """The ad-hoc VA for one document (static prefix served from the
         engine's plan cache)."""
         return self.engine.compile(self, document)
+
+    def explain(self) -> str:
+        """The compiled plan, pretty-printed — physical tree, optimized
+        logical plan, and the optimizer's rule-fire summary."""
+        return self.engine.explain(self)
 
     def enumerate(self, document: Document | str) -> Iterator[Mapping]:
         return self.engine.enumerate(self, document)

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli extract "$(cat formula.rgx)" --file corpus.txt --json
     python -m repro.cli batch 'x{[ab]+}' --file docs.txt --stats
     python -m repro.cli classify 'x{a}(y{b}|ε)'
+    python -m repro.cli explain 'x{(a|b)+}' --union 'x{a+}' --project x
     python -m repro.cli dot 'x{a*}b' > automaton.dot
 
 Subcommands:
@@ -14,15 +15,20 @@ Subcommands:
 * ``extract``  — evaluate a formula on a document (table or JSON output);
 * ``batch``    — evaluate a formula on many documents (one per line)
   through the execution engine, sharing all compiled state;
+* ``explain``  — build an RA query from formulas (``--union``/``--join``/
+  ``--difference`` fold further formulas onto the first; ``--project``
+  wraps the result) and print the compiled plan: the physical tree, the
+  optimized logical plan, and which rewrite rules fired;
 * ``classify`` — report the formula's syntactic classes (§2.2/§3.2/§4.2);
 * ``dot``      — compile to a vset-automaton and emit Graphviz DOT.
 
 ``extract`` and ``batch`` run through :class:`repro.engine.Engine`;
 ``--backend`` picks the enumeration backend, ``--limit K`` stops after K
 mappings per document (short-circuiting graph construction on the lazy
-indexed backend), ``batch --workers N`` shards the corpus across N worker
-processes, and ``--stats`` prints the engine's cache/compile/enumerate
-statistics to stderr.
+indexed backend), ``--no-optimize`` disables the logical-plan optimizer,
+``batch --workers N`` shards the corpus across N worker processes, and
+``--stats`` prints the engine's cache/compile/enumerate statistics to
+stderr.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .algebra.planner import RAQuery
+from .algebra.ra_tree import Difference, Instantiation, Join, Leaf, Project, UnionNode
 from .core.document import Document
 from .core.errors import SpannerError
 from .core.relation import SpanRelation
@@ -62,7 +70,7 @@ def _print_stats(engine: Engine) -> None:
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     document = _read_document(args)
-    engine = Engine(backend=args.backend)
+    engine = Engine(backend=args.backend, optimize=not args.no_optimize)
     relation = SpanRelation(
         engine.enumerate(_compile(args), document, limit=args.limit)
     )
@@ -82,7 +90,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             lines = handle.read().splitlines()
     else:
         lines = sys.stdin.read().splitlines()
-    engine = Engine(backend=args.backend, document_cache_size=args.cache_documents)
+    engine = Engine(
+        backend=args.backend,
+        document_cache_size=args.cache_documents,
+        optimize=not args.no_optimize,
+    )
     va = _compile(args)
     relations = engine.evaluate_many(
         va, lines, limit=args.limit, workers=args.workers
@@ -99,6 +111,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"\n{len(lines)} document(s), {total} mapping(s)")
     if args.stats:
         _print_stats(engine)
+    return 0
+
+
+def _build_ra_query(args: argparse.Namespace) -> RAQuery:
+    """Fold the ``--union``/``--join``/``--difference`` formulas onto the
+    positional one (in that group order), then wrap ``--project``."""
+    spanners = {"f0": parse(args.formula, alphabet=args.alphabet)}
+    tree = Leaf("f0")
+
+    def fold(formulas, combine):
+        nonlocal tree
+        for text in formulas or ():
+            name = f"f{len(spanners)}"
+            spanners[name] = parse(text, alphabet=args.alphabet)
+            tree = combine(tree, Leaf(name))
+
+    fold(args.union, UnionNode)
+    fold(args.join, Join)
+    fold(args.difference, Difference)
+    if args.project is not None:
+        keep = frozenset(v.strip() for v in args.project.split(",") if v.strip())
+        tree = Project(tree, keep)
+    engine = Engine(optimize=not args.no_optimize)
+    return RAQuery(tree, Instantiation(spanners=spanners), engine=engine)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    query = _build_ra_query(args)
+    print(f"query: {query.tree}")
+    print(query.explain())
+    if args.stats:
+        _print_stats(query.engine)
     return 0
 
 
@@ -147,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="stop after K mappings per document (short-circuits the "
             "lazy backend's graph construction)",
         )
+        p.add_argument(
+            "--no-optimize",
+            action="store_true",
+            help="disable the logical-plan optimizer (compile the query "
+            "exactly as written)",
+        )
 
     extract = sub.add_parser("extract", help="evaluate a formula on a document")
     add_common(extract)
@@ -182,6 +232,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    explain = sub.add_parser(
+        "explain", help="print the compiled (and optimized) plan of an RA query"
+    )
+    add_common(explain)
+    explain.add_argument(
+        "--union",
+        action="append",
+        metavar="FORMULA",
+        help="union a further formula onto the query (repeatable)",
+    )
+    explain.add_argument(
+        "--join",
+        action="append",
+        metavar="FORMULA",
+        help="join a further formula onto the query (repeatable)",
+    )
+    explain.add_argument(
+        "--difference",
+        action="append",
+        metavar="FORMULA",
+        help="subtract a further formula from the query (repeatable)",
+    )
+    explain.add_argument(
+        "--project",
+        metavar="VARS",
+        default=None,
+        help="project the result onto a comma-separated variable list",
+    )
+    explain.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="show the unoptimized plan instead",
+    )
+    explain.add_argument(
+        "--stats", action="store_true", help="print engine statistics to stderr"
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     classify_cmd = sub.add_parser("classify", help="report the formula's classes")
     add_common(classify_cmd)

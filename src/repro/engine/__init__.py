@@ -6,12 +6,18 @@ engine sits on top of the algebra and owns everything that amortises work
 across documents:
 
 * :class:`Engine` / :class:`ExecutionContext` — the compiled-plan cache
-  and the batch/streaming entry points;
-* :mod:`repro.engine.plan` — the static-prefix / ad-hoc-suffix split of
-  every RA query (the paper's Sections 3–5 compilation modes);
+  (keyed both structurally and by logical-plan fingerprint) and the
+  batch/streaming entry points;
+* :mod:`repro.engine.optimizer` — the rewrite-rule optimizer reshaping
+  logical plans (:mod:`repro.algebra.logical`) toward the paper's cheap
+  fragments before compilation;
+* :mod:`repro.engine.plan` — lowering to the static-prefix /
+  ad-hoc-suffix split of every RA query (the paper's Sections 3–5
+  compilation modes), with plan-level CSE;
 * :mod:`repro.engine.backends` — interchangeable enumeration backends
   (``matchgraph``, ``indexed``);
-* :class:`EngineStats` — cache, compile-time and graph-size statistics.
+* :class:`EngineStats` — cache, optimizer, compile-time and graph-size
+  statistics.
 """
 
 from .backends import (
@@ -25,23 +31,44 @@ from .backends import (
     get_backend,
 )
 from .core import Engine, ExecutionContext
-from .plan import CompiledPlan, PlanNode, StaticNode, build_plan
+from .optimizer import (
+    DEFAULT_RULES,
+    OptimizerReport,
+    RewriteRule,
+    optimize,
+)
+from .plan import (
+    CompiledPlan,
+    PlanNode,
+    StaticNode,
+    SyncDifferencePlanNode,
+    build_plan,
+    lower_logical,
+    plan_from_logical,
+)
 from .stats import EngineStats
 
 __all__ = [
     "BACKENDS",
     "CompiledPlan",
     "DEFAULT_BACKEND",
+    "DEFAULT_RULES",
     "Engine",
     "EngineStats",
     "EnumerationBackend",
     "ExecutionContext",
     "IndexedBackend",
     "MatchGraphBackend",
+    "OptimizerReport",
     "PlanNode",
     "PreparedRun",
     "PreparedVA",
+    "RewriteRule",
     "StaticNode",
+    "SyncDifferencePlanNode",
     "build_plan",
     "get_backend",
+    "lower_logical",
+    "optimize",
+    "plan_from_logical",
 ]

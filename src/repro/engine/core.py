@@ -39,7 +39,7 @@ from ..core.mapping import Mapping
 from ..core.relation import SpanRelation
 from ..va.automaton import VA
 from .backends import BACKENDS, EnumerationBackend, PreparedVA, get_backend
-from .plan import CompiledPlan, StaticNode, build_plan
+from .plan import CompiledPlan, StaticNode, plan_from_logical, resolve_logical
 from .stats import EngineStats
 
 
@@ -167,6 +167,10 @@ class Engine:
         document_cache_size: per-query LRU of prepared ad-hoc automata,
             keyed by document text — serves repeated documents without
             recompiling the ad-hoc suffix.  ``0`` disables it.
+        optimize: run the rewrite-rule optimizer
+            (:mod:`repro.engine.optimizer`) on every compiled plan
+            (default).  ``False`` is the escape hatch: plans lower the
+            raw logical tree exactly as written.
     """
 
     def __init__(
@@ -174,12 +178,18 @@ class Engine:
         backend: "str | EnumerationBackend | None" = None,
         plan_cache_size: int = 128,
         document_cache_size: int = 0,
+        optimize: bool = True,
     ):
         self.backend = get_backend(backend)
         self.stats = EngineStats()
+        self.optimize = optimize
         self._plan_cache_size = plan_cache_size
         self._document_cache_size = document_cache_size
         self._contexts: OrderedDict[object, ExecutionContext] = OrderedDict()
+        # Fingerprint-keyed StaticNodes shared across every plan this
+        # engine builds (plan-level CSE, cross-query flavour).
+        self._static_cache: OrderedDict[object, StaticNode] = OrderedDict()
+        self._static_cache_size = max(4 * plan_cache_size, 64)
 
     # -- query resolution ---------------------------------------------------
 
@@ -192,8 +202,13 @@ class Engine:
         """The (cached) execution context for a query.
 
         Accepts an :class:`RAQuery`, a bare sequential :class:`VA`, or an
-        RA tree plus its instantiation.  A plan-cache miss compiles the
-        query's static prefix; every later call is a hit.
+        RA tree plus its instantiation.  A plan-cache miss resolves the
+        logical plan, optimizes it (unless the engine was built with
+        ``optimize=False``), and compiles the static prefix; every later
+        call is a hit.  Plans are cached under both a cheap structural key
+        and the optimized logical plan's fingerprint, so structurally
+        equal queries share one plan even when their atoms are distinct
+        objects.
         """
         if isinstance(query, RAQuery):
             tree, instantiation, config = query.tree, query.instantiation, query.config
@@ -207,25 +222,48 @@ class Engine:
             raise TypeError(f"cannot evaluate a {type(query).__name__}")
         config = config or PlannerConfig()
         key = self._plan_key(tree, instantiation, config)
-        context = self._contexts.get(key)
+        context = self._contexts.get(key) if key is not None else None
         if context is not None:
             self._contexts.move_to_end(key)
             self.stats.plan_hits += 1
             return context
-        self.stats.plan_misses += 1
         start = time.perf_counter()
-        plan = build_plan(tree, instantiation, config)
+        logical, report = resolve_logical(
+            tree, instantiation, config, self.optimize, self.stats
+        )
+        fp_key = ("fp", logical.fingerprint, config, self.optimize)
+        context = self._contexts.get(fp_key)
+        if context is not None:
+            self._contexts.move_to_end(fp_key)
+            self.stats.compile_seconds += time.perf_counter() - start
+            self.stats.plan_hits += 1
+            self.stats.fingerprint_hits += 1
+            if key is not None:
+                self._store(key, context)  # alias the cheap key for next time
+            return context
+        self.stats.plan_misses += 1
+        plan = plan_from_logical(
+            logical,
+            tree,
+            instantiation,
+            config,
+            report=report,
+            stats=self.stats,
+            static_cache=self._static_cache,
+            join_bound_checked=self.optimize,
+        )
+        self._trim_static_cache()
         self.stats.compile_seconds += time.perf_counter() - start
         context = ExecutionContext(
             plan, self.backend, self.stats, self._document_cache_size
         )
-        self._store(key, context)
+        self._store(fp_key, context)
+        if key is not None:
+            self._store(key, context)
         return context
 
     def _context_for_va(self, va: VA) -> ExecutionContext:
-        # The StaticNode in the cached plan keeps `va` alive, so its id is
-        # stable for the lifetime of the entry.
-        key = ("va", id(va))
+        key = ("va", va.fingerprint())
         context = self._contexts.get(key)
         if context is not None:
             self._contexts.move_to_end(key)
@@ -241,15 +279,34 @@ class Engine:
 
     def _store(self, key: object, context: ExecutionContext) -> None:
         self._contexts[key] = context
-        while len(self._contexts) > self._plan_cache_size:
+        # Plans are stored under several keys (structural key, fingerprint
+        # key, aliases), so capacity counts distinct *plans*, not keys —
+        # eviction pops the oldest keys until the plan count fits.
+        while (
+            len({id(c) for c in self._contexts.values()}) > self._plan_cache_size
+        ):
             self._contexts.popitem(last=False)
+
+    def _trim_static_cache(self) -> None:
+        while len(self._static_cache) > self._static_cache_size:
+            self._static_cache.popitem(last=False)
 
     @staticmethod
     def _plan_key(
         tree: RANode, instantiation: Instantiation, config: PlannerConfig
-    ) -> object:
+    ) -> "object | None":
+        """The cheap structural cache key, or ``None`` when the query is
+        not cheaply cacheable.
+
+        Atom *objects* are embedded in the key (not their ids): the cache
+        entry then keeps them alive, so a recycled ``id()`` can never
+        alias a later query to a stale plan.  Regex formulas hash
+        structurally; VAs and black boxes by identity.  An exotic
+        unhashable atom opts the query out of this cache — the
+        fingerprint-keyed path still serves it.
+        """
         atoms = tuple(
-            sorted((name, id(atom)) for name, atom in instantiation.spanners.items())
+            sorted(instantiation.spanners.items(), key=lambda item: item[0])
         )
         slots = tuple(
             sorted(
@@ -257,7 +314,12 @@ class Engine:
                 for slot, variables in instantiation.projections.items()
             )
         )
-        return (tree, atoms, slots, config)
+        key = (tree, atoms, slots, config)
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
 
     # -- single-document API ------------------------------------------------
 
@@ -265,6 +327,18 @@ class Engine:
         """The (possibly ad-hoc) VA for one document, with the static
         prefix served from the plan cache."""
         return self.prepare(query).compile(as_document(document))
+
+    def explain(
+        self,
+        query,
+        instantiation: Instantiation | None = None,
+        config: PlannerConfig | None = None,
+    ) -> str:
+        """The compiled plan of a query, pretty-printed
+        (:meth:`CompiledPlan.explain`): physical tree with CSE sharing
+        marks, optimized logical plan, and the optimizer's rule-fire
+        summary."""
+        return self.prepare(query, instantiation, config).plan.explain()
 
     def enumerate(
         self, query, document: Document | str, limit: int | None = None
@@ -337,6 +411,7 @@ class Engine:
         relations, shard_stats = evaluate_sharded(
             payload, backend_name, docs, limit, workers,
             document_cache_size=self._document_cache_size,
+            optimize=self.optimize,
         )
         for stats in shard_stats:
             self.stats.merge(stats)

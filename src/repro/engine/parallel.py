@@ -73,11 +73,16 @@ def _run_shard(
     texts: list[str],
     limit: int | None,
     document_cache_size: int,
+    optimize: bool,
 ) -> "tuple[list[SpanRelation], EngineStats]":
     """Worker entry point: evaluate one shard with a private engine."""
     from .core import Engine
 
-    engine = Engine(backend=backend_name, document_cache_size=document_cache_size)
+    engine = Engine(
+        backend=backend_name,
+        document_cache_size=document_cache_size,
+        optimize=optimize,
+    )
     query = _rebuild_query(payload)
     relations = engine.evaluate_many(query, texts, limit=limit)
     return relations, engine.stats
@@ -90,6 +95,7 @@ def evaluate_sharded(
     limit: int | None,
     workers: int,
     document_cache_size: int = 0,
+    optimize: bool = True,
 ) -> "tuple[list[SpanRelation], list[EngineStats]]":
     """Evaluate ``documents`` across ``workers`` processes.
 
@@ -106,7 +112,7 @@ def evaluate_sharded(
         futures = [
             pool.submit(
                 _run_shard, payload, backend_name, texts, limit,
-                document_cache_size,
+                document_cache_size, optimize,
             )
             for texts in shards
         ]

@@ -1,4 +1,4 @@
-"""Compiled query plans: the static prefix / ad-hoc suffix split.
+"""Compiled query plans: logical IR → optimizer → physical plan.
 
 The paper separates RA-tree compilation into a *static* part that is
 document independent — regex/VA leaves, projections, unions, and FPT joins
@@ -6,10 +6,22 @@ document independent — regex/VA leaves, projections, unions, and FPT joins
 document — differences (Section 4 proves static compilation blows up) and
 black-box leaves (Corollary 5.3 materialises them on the document).
 
-:func:`build_plan` fuses every maximal static subtree bottom-up into a
-single pre-compiled :class:`StaticNode`, leaving only the ad-hoc suffix as
-live plan nodes.  Evaluating the plan on a document then recompiles *only*
-the suffix; a query with no difference and no black box collapses to one
+:func:`build_plan` runs the full pipeline:
+
+1. resolve the instantiated RA tree into the logical IR
+   (:func:`repro.algebra.logical.from_ra`);
+2. optimize it with the rewrite-rule engine
+   (:func:`repro.engine.optimizer.optimize`) — skipped with
+   ``optimize=False``;
+3. **lower** the logical plan, fusing every maximal static subtree
+   bottom-up into a single pre-compiled :class:`StaticNode` and leaving
+   only the ad-hoc suffix as live plan nodes.  Lowering memoizes physical
+   nodes by logical fingerprint, so duplicate subtrees share one compiled
+   node (plan-level CSE); an engine-supplied ``static_cache`` extends the
+   sharing across queries.
+
+Evaluating the plan on a document then recompiles *only* the ad-hoc
+suffix; a query with no difference and no black box collapses to one
 :class:`StaticNode` and is compiled exactly once, ever.
 
 The compilation primitives themselves live in
@@ -20,31 +32,36 @@ runs.
 from __future__ import annotations
 
 import abc
-from typing import Iterator
+from dataclasses import replace
+from typing import Iterator, MutableMapping
 
+from ..algebra.logical import (
+    BlackboxAtom,
+    LDifference,
+    LJoin,
+    LProject,
+    LSyncDifference,
+    LUnion,
+    LogicalNode,
+    StaticAtom,
+    from_ra,
+)
 from ..algebra.planner import (
     PlannerConfig,
     apply_difference,
     apply_join,
     apply_project,
+    apply_sync_difference,
     apply_union,
-    compile_static_atom,
     materialise_blackbox,
-    resolve_projection,
 )
-from ..algebra.ra_tree import (
-    Difference,
-    Instantiation,
-    Join,
-    Leaf,
-    Project,
-    RANode,
-    UnionNode,
-)
+from ..algebra.ra_tree import Instantiation, RANode
 from ..core.document import Document
+from ..core.errors import SpannerError
 from ..core.mapping import Variable
 from ..core.spanner import Spanner
 from ..va.automaton import VA
+from .optimizer import OptimizerReport, optimize
 from .stats import EngineStats
 
 
@@ -68,6 +85,10 @@ class PlanNode(abc.ABC):
     def children(self) -> tuple["PlanNode", ...]:
         return ()
 
+    def describe(self) -> str:
+        """One line for :meth:`CompiledPlan.explain`."""
+        return type(self).__name__
+
 
 class StaticNode(PlanNode):
     """A maximal document-independent subtree, compiled once at plan-build
@@ -82,6 +103,9 @@ class StaticNode(PlanNode):
     def compile_for(self, doc: Document, stats: EngineStats) -> VA:
         stats.static_reuses += 1
         return self.va
+
+    def describe(self) -> str:
+        return f"static {self.va!r}"
 
     def __repr__(self) -> str:
         return f"StaticNode({self.va!r})"
@@ -99,6 +123,9 @@ class BlackboxNode(PlanNode):
     def compile_for(self, doc: Document, stats: EngineStats) -> VA:
         stats.adhoc_compiles += 1
         return materialise_blackbox(self.atom, doc, self.config)
+
+    def describe(self) -> str:
+        return f"blackbox {self.atom!r} [per document]"
 
     def __repr__(self) -> str:
         return f"BlackboxNode({self.atom!r})"
@@ -120,6 +147,10 @@ class ProjectNode(PlanNode):
         stats.adhoc_compiles += 1
         return apply_project(self.child.compile_for(doc, stats), self.keep)
 
+    def describe(self) -> str:
+        keep = ",".join(sorted(map(str, self.keep)))
+        return f"π[{keep}] [ad hoc]"
+
 
 class UnionPlanNode(PlanNode):
     """Union with at least one ad-hoc side."""
@@ -138,6 +169,9 @@ class UnionPlanNode(PlanNode):
         return apply_union(
             self.left.compile_for(doc, stats), self.right.compile_for(doc, stats)
         )
+
+    def describe(self) -> str:
+        return "∪ [ad hoc]"
 
 
 class JoinPlanNode(PlanNode):
@@ -160,6 +194,9 @@ class JoinPlanNode(PlanNode):
             self.right.compile_for(doc, stats),
             self.config,
         )
+
+    def describe(self) -> str:
+        return "⋈ [ad hoc]"
 
 
 class DifferencePlanNode(PlanNode):
@@ -184,33 +221,75 @@ class DifferencePlanNode(PlanNode):
             self.config,
         )
 
+    def describe(self) -> str:
+        return "∖ [ad hoc]"
+
+
+class SyncDifferencePlanNode(DifferencePlanNode):
+    """Difference lowered by the optimizer to the synchronized compilation
+    (Theorem 4.8): the subtrahend was statically proven synchronized for
+    the common variables, so the per-document build is polynomial without
+    Theorem 5.2's ``max_shared`` bound — which is therefore deliberately
+    *not* enforced on this path."""
+
+    __slots__ = ()
+
+    def compile_for(self, doc: Document, stats: EngineStats) -> VA:
+        stats.adhoc_compiles += 1
+        return apply_sync_difference(
+            self.left.compile_for(doc, stats),
+            self.right.compile_for(doc, stats),
+            doc,
+        )
+
+    def describe(self) -> str:
+        return "∖ synchronized (Thm 4.8) [ad hoc]"
+
 
 class CompiledPlan:
     """The compiled form of one instantiated RA tree.
 
     Attributes:
         root: the plan's root node.
+        logical: the (optimized) logical plan the physical one was lowered
+            from, or ``None`` for bare-VA plans.
+        report: the :class:`OptimizerReport`, or ``None`` when the
+            optimizer was disabled.
         config: the planner configuration baked into the plan.
-        n_static: plan nodes compiled once at build time (each may cover a
-            whole fused subtree of the original RA tree).
-        n_adhoc: plan nodes recompiled for every document.
+        n_static: distinct plan nodes compiled once at build time (each may
+            cover a whole fused subtree of the original RA tree).
+        n_adhoc: distinct plan nodes recompiled for every document.
     """
 
-    __slots__ = ("root", "tree", "instantiation", "config", "n_static", "n_adhoc")
+    __slots__ = (
+        "root",
+        "tree",
+        "instantiation",
+        "config",
+        "logical",
+        "report",
+        "n_static",
+        "n_adhoc",
+    )
 
     def __init__(
         self,
         root: PlanNode,
-        tree: RANode,
-        instantiation: Instantiation,
+        tree: "RANode | None",
+        instantiation: "Instantiation | None",
         config: PlannerConfig,
+        logical: "LogicalNode | None" = None,
+        report: "OptimizerReport | None" = None,
     ):
         self.root = root
         self.tree = tree
         self.instantiation = instantiation
         self.config = config
-        nodes = list(root.walk())
-        self.n_static = sum(1 for node in nodes if node.is_static)
+        self.logical = logical
+        self.report = report
+        # CSE can make the plan a DAG; count each shared node once.
+        nodes = {id(node): node for node in root.walk()}
+        self.n_static = sum(1 for node in nodes.values() if node.is_static)
         self.n_adhoc = len(nodes) - self.n_static
 
     @property
@@ -222,6 +301,42 @@ class CompiledPlan:
         """The (possibly ad-hoc) VA evaluating the query on ``doc``."""
         return self.root.compile_for(doc, stats)
 
+    def static_states(self) -> int:
+        """Total states across the distinct pre-compiled static nodes —
+        the size the optimizer tries to shrink."""
+        nodes = {id(node): node for node in self.root.walk()}
+        return sum(
+            node.va.n_states for node in nodes.values() if isinstance(node, StaticNode)
+        )
+
+    def explain(self) -> str:
+        """A multi-line rendering of the plan: the physical tree (shared
+        CSE nodes marked), the optimized logical plan, and the optimizer's
+        rule-fire summary."""
+        uses: dict[int, int] = {}
+        for node in self.root.walk():
+            uses[id(node)] = uses.get(id(node), 0) + 1
+        lines = [repr(self)]
+        lines.append("physical:")
+
+        def render(node: PlanNode, depth: int) -> None:
+            shared = f" [shared ×{uses[id(node)]}]" if uses[id(node)] > 1 else ""
+            lines.append("  " * (depth + 1) + node.describe() + shared)
+            for child in node.children():
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        if self.logical is not None:
+            label = "logical (optimized):" if self.report is not None else "logical:"
+            lines.append(label)
+            for line in self.logical.pretty().splitlines():
+                lines.append("  " + line)
+        if self.report is not None:
+            lines.append(f"optimizer: {self.report.summary()}")
+        else:
+            lines.append("optimizer: disabled")
+        return "\n".join(lines)
+
     def __repr__(self) -> str:
         return (
             f"CompiledPlan(static={self.n_static}, adhoc={self.n_adhoc}, "
@@ -229,46 +344,214 @@ class CompiledPlan:
         )
 
 
-def build_plan(
-    tree: RANode, instantiation: Instantiation, config: PlannerConfig | None = None
-) -> CompiledPlan:
-    """Compile the static prefix of an instantiated RA tree and return the
-    plan evaluating the rest per document."""
-    config = config or PlannerConfig()
+def check_join_bounds(node: LogicalNode, config: PlannerConfig) -> None:
+    """Enforce Theorem 5.2's shared-variable bound on the query's joins
+    *as written*.
+
+    The optimizer flattens and reorders join folds, so the lowering's
+    pairwise check would otherwise be evaluated against a different
+    association than the user wrote — and a valid query could start
+    failing (or an invalid one passing) depending on what the rules did.
+    Checking here, on the pre-rewrite logical tree, keeps the bound's
+    behaviour independent of the optimizer.  Differences keep their check
+    at compile time (matching the per-document materialisation of
+    black-box operands) — except the synchronized path, which needs no
+    bound (Theorem 4.8).
+    """
+    if config.max_shared is None:
+        return
+    for current in node.walk():
+        if not isinstance(current, LJoin):
+            continue
+        operands = current.operands
+        for i in range(len(operands)):
+            for j in range(i + 1, len(operands)):
+                shared = operands[i].variables & operands[j].variables
+                if len(shared) > config.max_shared:
+                    raise SpannerError(
+                        f"join node shares {len(shared)} variables "
+                        f"{sorted(shared)}, exceeding the configured bound "
+                        f"{config.max_shared} (Theorem 5.2)"
+                    )
+
+
+def resolve_logical(
+    tree: RANode,
+    instantiation: Instantiation,
+    config: PlannerConfig,
+    optimize_plan: bool,
+    stats: "EngineStats | None" = None,
+) -> "tuple[LogicalNode, OptimizerReport | None]":
+    """The front half of plan compilation, shared by :func:`build_plan`
+    and the engine: validate, resolve the logical IR, enforce the join
+    bound on the as-written shape, run the rewrite rules, and fold the
+    per-rule counters into ``stats``."""
     instantiation.validate(tree)
-    root = _build(tree, instantiation, config)
-    return CompiledPlan(root, tree, instantiation, config)
+    logical = from_ra(tree, instantiation, config)
+    report: OptimizerReport | None = None
+    if optimize_plan:
+        check_join_bounds(logical, config)
+        logical, report = optimize(logical)
+        if stats is not None:
+            stats.rules_fired += report.total_fired
+            for name, count in report.fired.items():
+                stats.rule_fires[name] = stats.rule_fires.get(name, 0) + count
+    return logical, report
 
 
-def _build(node: RANode, inst: Instantiation, config: PlannerConfig) -> PlanNode:
-    if isinstance(node, Leaf):
-        atom = inst.spanner(node.name)
-        static = compile_static_atom(atom)
-        if static is None:
-            return BlackboxNode(atom, config)
-        return StaticNode(static)
-    if isinstance(node, Project):
-        child = _build(node.child, inst, config)
-        keep = resolve_projection(node, inst)
-        if child.is_static:
-            return StaticNode(apply_project(child.va, keep))
-        return ProjectNode(child, keep)
-    if isinstance(node, UnionNode):
-        left = _build(node.left, inst, config)
-        right = _build(node.right, inst, config)
-        if left.is_static and right.is_static:
-            return StaticNode(apply_union(left.va, right.va))
-        return UnionPlanNode(left, right)
-    if isinstance(node, Join):
-        left = _build(node.left, inst, config)
-        right = _build(node.right, inst, config)
-        if left.is_static and right.is_static:
-            return StaticNode(apply_join(left.va, right.va, config))
-        return JoinPlanNode(left, right, config)
-    if isinstance(node, Difference):
-        return DifferencePlanNode(
-            _build(node.left, inst, config),
-            _build(node.right, inst, config),
-            config,
-        )
-    raise TypeError(f"unknown RA node type {type(node).__name__}")
+def build_plan(
+    tree: RANode,
+    instantiation: Instantiation,
+    config: PlannerConfig | None = None,
+    *,
+    optimize_plan: bool = True,
+    stats: "EngineStats | None" = None,
+    static_cache: "MutableMapping[object, StaticNode] | None" = None,
+) -> CompiledPlan:
+    """Compile an instantiated RA tree: logical IR → optimizer → lowering.
+
+    Args:
+        optimize_plan: run the rewrite-rule optimizer (default); ``False``
+            lowers the raw logical tree — the escape hatch the engine's
+            ``optimize=False`` exposes.
+        stats: optional :class:`EngineStats` receiving rule-fire and CSE
+            counters.
+        static_cache: optional fingerprint-keyed cache of
+            :class:`StaticNode` shared across plans (supplied by the
+            engine).
+    """
+    config = config or PlannerConfig()
+    logical, report = resolve_logical(tree, instantiation, config, optimize_plan, stats)
+    return plan_from_logical(
+        logical,
+        tree,
+        instantiation,
+        config,
+        report=report,
+        stats=stats,
+        static_cache=static_cache,
+        join_bound_checked=optimize_plan,
+    )
+
+
+def plan_from_logical(
+    logical: LogicalNode,
+    tree: "RANode | None",
+    instantiation: "Instantiation | None",
+    config: PlannerConfig,
+    report: "OptimizerReport | None" = None,
+    stats: "EngineStats | None" = None,
+    static_cache: "MutableMapping[object, StaticNode] | None" = None,
+    join_bound_checked: bool = False,
+) -> CompiledPlan:
+    """Lower an already-built (and possibly optimized) logical plan.
+
+    ``join_bound_checked=True`` records that :func:`check_join_bounds`
+    already ran on the pre-rewrite tree, so lowering skips the pairwise
+    join check (whose pairs the optimizer may have reassociated).
+    """
+    root = lower_logical(
+        logical,
+        config,
+        stats=stats,
+        static_cache=static_cache,
+        join_bound_checked=join_bound_checked,
+    )
+    return CompiledPlan(root, tree, instantiation, config, logical, report)
+
+
+def lower_logical(
+    node: LogicalNode,
+    config: PlannerConfig,
+    *,
+    stats: "EngineStats | None" = None,
+    static_cache: "MutableMapping[object, StaticNode] | None" = None,
+    join_bound_checked: bool = False,
+    _memo: "dict[str, PlanNode] | None" = None,
+) -> PlanNode:
+    """Lower a logical plan to physical nodes with static fusion and CSE.
+
+    Duplicate logical subtrees (by fingerprint) lower to the *same*
+    physical node, so their static prefixes compile once and their
+    prepared forms (``VA.indexed()``) are shared.  ``static_cache``
+    extends the same sharing across plans: any fully static subtree is
+    looked up by fingerprint (plus the join bound its compilation is
+    subject to, so a lax-config plan can never satisfy a strict-config
+    query from cache) before being compiled.
+    """
+    memo: dict[str, PlanNode] = {} if _memo is None else _memo
+    # When the bound was already enforced on the as-written tree, the
+    # (possibly reassociated) join folds must not re-check different pairs.
+    join_config = (
+        replace(config, max_shared=None) if join_bound_checked else config
+    )
+
+    def intern_static(fingerprint: str, build) -> StaticNode:
+        key = (fingerprint, join_config.max_shared)
+        if static_cache is not None:
+            cached = static_cache.get(key)
+            if cached is not None:
+                if stats is not None:
+                    stats.cse_hits += 1
+                return cached
+        built = StaticNode(build())
+        if static_cache is not None:
+            static_cache[key] = built
+        return built
+
+    def fold_static(nodes: list[StaticNode], combine) -> StaticNode:
+        va = nodes[0].va
+        for other in nodes[1:]:
+            va = combine(va, other.va)
+        return StaticNode(va)
+
+    def lower(node: LogicalNode) -> PlanNode:
+        hit = memo.get(node.fingerprint)
+        if hit is not None:
+            if stats is not None:
+                stats.cse_hits += 1
+            return hit
+        out = _lower(node)
+        memo[node.fingerprint] = out
+        return out
+
+    def _lower(node: LogicalNode) -> PlanNode:
+        if isinstance(node, StaticAtom):
+            return intern_static(node.fingerprint, lambda: node.va)
+        if isinstance(node, BlackboxAtom):
+            return BlackboxNode(node.atom, config)
+        if isinstance(node, LProject):
+            child = lower(node.child)
+            if child.is_static:
+                return intern_static(
+                    node.fingerprint, lambda: apply_project(child.va, node.keep)
+                )
+            return ProjectNode(child, node.keep)
+        if isinstance(node, (LUnion, LJoin)):
+            lowered = [lower(child) for child in node.operands]
+            statics = [n for n in lowered if n.is_static]
+            adhoc = [n for n in lowered if not n.is_static]
+            if isinstance(node, LUnion):
+                combine = apply_union
+                binary = UnionPlanNode
+            else:
+                combine = lambda a, b: apply_join(a, b, join_config)  # noqa: E731
+                binary = lambda left, right: JoinPlanNode(left, right, join_config)  # noqa: E731
+            if statics and not adhoc:
+                return intern_static(
+                    node.fingerprint, lambda: fold_static(statics, combine).va
+                )
+            pieces: list[PlanNode] = (
+                [fold_static(statics, combine)] if statics else []
+            ) + adhoc
+            result = pieces[0]
+            for piece in pieces[1:]:
+                result = binary(result, piece)
+            return result
+        if isinstance(node, LSyncDifference):
+            return SyncDifferencePlanNode(lower(node.left), lower(node.right), config)
+        if isinstance(node, LDifference):
+            return DifferencePlanNode(lower(node.left), lower(node.right), config)
+        raise TypeError(f"cannot lower {type(node).__name__}")
+
+    return lower(node)

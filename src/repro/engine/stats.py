@@ -9,7 +9,7 @@ copies the counters so callers can diff before/after a workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 
 
 @dataclass
@@ -35,6 +35,14 @@ class EngineStats:
             ``evaluate_many(workers=N)``; shard counters are merged back
             into the parent engine, so times are summed CPU time across
             processes, not wall time.
+        rules_fired: total optimizer rewrites applied across plan builds.
+        rule_fires: per-rule fired counts (rule name → count).
+        cse_hits: physical plan nodes served by common-subexpression
+            elimination — duplicate logical subtrees sharing one compiled
+            node, within a plan and (for static subtrees) across plans.
+        fingerprint_hits: plan-cache hits served by the structural
+            fingerprint of the optimized logical plan (structurally equal
+            queries built from distinct atom objects).
         compile_seconds: wall time spent compiling and preparing automata.
         enumerate_seconds: wall time spent inside enumeration.
         states_explored: total live match-graph states across all runs.
@@ -50,31 +58,54 @@ class EngineStats:
     document_misses: int = 0
     nonempty_checks: int = 0
     parallel_shards: int = 0
+    rules_fired: int = 0
+    rule_fires: dict = field(default_factory=dict)
+    cse_hits: int = 0
+    fingerprint_hits: int = 0
     compile_seconds: float = 0.0
     enumerate_seconds: float = 0.0
     states_explored: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy of the current counters."""
-        return replace(self)
+        copy = replace(self)
+        copy.rule_fires = dict(self.rule_fires)
+        return copy
 
     def merge(self, other: "EngineStats") -> None:
         """Add another stats object's counters into this one (used to fold
         per-shard worker statistics back into the parent engine)."""
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if isinstance(mine, dict):
+                merged = dict(mine)
+                for key, value in theirs.items():
+                    merged[key] = merged.get(key, 0) + value
+                setattr(self, f.name, merged)
+            else:
+                setattr(self, f.name, mine + theirs)
 
     def delta(self, since: "EngineStats") -> "EngineStats":
         """The counter differences ``self - since``."""
-        return EngineStats(
-            **{
-                f.name: getattr(self, f.name) - getattr(since, f.name)
-                for f in fields(self)
-            }
-        )
+        values = {}
+        for f in fields(self):
+            mine, base = getattr(self, f.name), getattr(since, f.name)
+            if isinstance(mine, dict):
+                diff = {
+                    key: mine.get(key, 0) - base.get(key, 0)
+                    for key in mine.keys() | base.keys()
+                }
+                values[f.name] = {key: v for key, v in diff.items() if v}
+            else:
+                values[f.name] = mine - base
+        return EngineStats(**values)
 
     def as_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if isinstance(value, dict) else value
+        return out
 
     def summary(self) -> str:
         """A compact human-readable one-per-line report."""
@@ -87,8 +118,19 @@ class EngineStats:
             f"ad-hoc compiles    {self.adhoc_compiles}",
             f"nonempty checks    {self.nonempty_checks}",
             f"parallel shards    {self.parallel_shards}",
+            f"optimizer rewrites {self.rules_fired}{self._rule_breakdown()}",
+            f"plan CSE hits      {self.cse_hits}",
+            f"fingerprint hits   {self.fingerprint_hits}",
             f"compile time       {self.compile_seconds * 1e3:.2f} ms",
             f"enumerate time     {self.enumerate_seconds * 1e3:.2f} ms",
             f"states explored    {self.states_explored}",
         ]
         return "\n".join(lines)
+
+    def _rule_breakdown(self) -> str:
+        if not self.rule_fires:
+            return ""
+        parts = ", ".join(
+            f"{name} ×{count}" for name, count in sorted(self.rule_fires.items())
+        )
+        return f" ({parts})"

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from hashlib import sha256
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Iterator
 
 from ..core.errors import SpannerError
@@ -91,6 +92,7 @@ class VA:
         "_states",
         "_vars",
         "_indexed",
+        "_fingerprint",
     )
 
     def __init__(
@@ -121,6 +123,7 @@ class VA:
         self._out = {state: tuple(edges) for state, edges in out.items()}
         self._vars = frozenset(variables)
         self._indexed: "IndexedVA | None" = None
+        self._fingerprint: str | None = None
 
     # -- structure accessors ---------------------------------------------------
 
@@ -178,6 +181,56 @@ class VA:
             self._indexed = IndexedVA(self)
         return self._indexed
 
+    def bfs_order(self) -> dict[State, int]:
+        """States numbered in BFS discovery order from the initial state
+        (unreachable states last, in a stable arbitrary order) — the one
+        canonical order shared by :meth:`relabelled`, :meth:`fingerprint`,
+        and the normalization pipeline."""
+        order: dict[State, int] = {self._initial: 0}
+        queue = deque((self._initial,))
+        while queue:
+            state = queue.popleft()
+            for _, target in self.transitions_from(state):
+                if target not in order:
+                    order[target] = len(order)
+                    queue.append(target)
+        for state in sorted(self._states - order.keys(), key=repr):
+            order[state] = len(order)
+        return order
+
+    def fingerprint(self) -> str:
+        """A structural digest of the automaton, stable across processes.
+
+        States are canonicalised to BFS discovery order (the
+        :meth:`relabelled` order), so two automata that are identical up to
+        state names share a fingerprint.  Used by the logical plan layer
+        for common-subexpression elimination and fingerprint-keyed plan
+        caching; computed once and cached.
+        """
+        if self._fingerprint is None:
+            order = self.bfs_order()
+
+            def label_key(label: Label) -> str:
+                if label is None:
+                    return "e"
+                if isinstance(label, VarOp):
+                    return ("o:" if label.is_open else "c:") + repr(label.var)
+                return "l:" + label
+
+            parts = [
+                str(len(order)),
+                ",".join(str(order[s]) for s in sorted(self._accepting, key=order.__getitem__)),
+                ";".join(
+                    sorted(
+                        f"{order[p]}>{label_key(label)}>{order[q]}"
+                        for p, label, q in self._transitions
+                    )
+                ),
+            ]
+            digest = sha256("|".join(parts).encode("utf-8", "backslashreplace"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def letters(self) -> frozenset[str]:
         """All letters occurring on transitions."""
         return frozenset(
@@ -209,17 +262,7 @@ class VA:
         """A copy with states canonicalised to 0..n-1 (BFS order from the
         initial state, unreachable states last in arbitrary-but-stable
         order)."""
-        order: dict[State, int] = {self._initial: 0}
-        queue = deque((self._initial,))
-        while queue:
-            state = queue.popleft()
-            for _, target in self.transitions_from(state):
-                if target not in order:
-                    order[target] = len(order)
-                    queue.append(target)
-        for state in sorted(self._states - order.keys(), key=repr):
-            order[state] = len(order)
-        return self.map_states(order.__getitem__)
+        return self.map_states(self.bfs_order().__getitem__)
 
     def map_labels(self, func: Callable[[Label], Label]) -> "VA":
         """A copy with every transition label replaced by ``func(label)``.

@@ -20,6 +20,7 @@ from ..core.errors import NotSequentialError, SpannerError
 from ..core.mapping import Variable
 from .automaton import VA
 from .configurations import accepting_used_sets
+from .normalization import dedup_transitions
 from .operations import project_va, trim, union_all
 from .properties import is_sequential
 from .semi_functional import make_semi_functional
@@ -44,7 +45,9 @@ def functional_components(
     """
     if not is_sequential(va):
         raise NotSequentialError("disjunctive-functional translation requires a sequential VA")
-    prepared = make_semi_functional(trim(va), va.variables)
+    # Trim the semi-functional form before splitting: states that cannot
+    # reach acceptance would otherwise be copied into every component.
+    prepared = trim(make_semi_functional(trim(va), va.variables))
     used_sets = accepting_used_sets(prepared, va.variables)
     groups: dict[frozenset[Variable], list] = {}
     for state, used in used_sets.items():
@@ -59,8 +62,10 @@ def functional_components(
         component = trim(prepared.with_accepting(accepting))
         # Transitions mentioning unused variables cannot survive trimming
         # (they lead only to accepting states of other used-sets), but the
-        # projection is a harmless belt-and-braces normalisation.
-        component = project_va(component, used)
+        # projection is a harmless belt-and-braces normalisation.  The
+        # projection can leave parallel ε-duplicates of formerly distinct
+        # operation edges; dedup + trim keeps the carved automata minimal.
+        component = trim(dedup_transitions(project_va(component, used)))
         components[used] = component.relabelled()
     return components
 
@@ -77,7 +82,7 @@ def to_disjunctive_functional_va(va: VA, max_components: int | None = None) -> V
     ordered = [components[key] for key in sorted(components, key=sorted)]
     if len(ordered) == 1:
         return ordered[0]
-    return union_all(ordered).relabelled()
+    return trim(dedup_transitions(union_all(ordered))).relabelled()
 
 
 def count_functional_components(va: VA) -> int:

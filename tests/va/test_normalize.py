@@ -1,0 +1,148 @@
+"""The VA normalization pipeline: each pass is semantics-preserving and
+the composed pipeline leaves no ε-transitions, duplicates, or dead
+structure."""
+
+from hypothesis import given, settings
+
+from repro.regex import parse
+from repro.va import (
+    VA,
+    NormalizeReport,
+    dedup_transitions,
+    drop_never_used_ops,
+    eliminate_epsilon,
+    evaluate_naive,
+    evaluate_va,
+    is_sequential,
+    is_trim,
+    normalize,
+    open_op,
+    close_op,
+    regex_to_va,
+    union_va,
+)
+
+from ..properties.conftest import documents, sequential_formulas
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def compile_text(text: str) -> VA:
+    return regex_to_va(parse(text))
+
+
+class TestDedupTransitions:
+    def test_removes_duplicates(self):
+        va = VA(0, {1}, [(0, "a", 1), (0, "a", 1), (0, "b", 1)])
+        deduped = dedup_transitions(va)
+        assert deduped.n_transitions == 2
+        assert evaluate_va(deduped, "a") == evaluate_va(va, "a")
+
+    def test_no_duplicates_returns_same_object(self):
+        va = VA(0, {1}, [(0, "a", 1)])
+        assert dedup_transitions(va) is va
+
+
+class TestEliminateEpsilon:
+    def test_removes_all_epsilon_transitions(self):
+        va = union_va(compile_text("x{a}"), compile_text("y{b}"))
+        assert any(label is None for _, label, _ in va.transitions)
+        out = eliminate_epsilon(va)
+        assert all(label is not None for _, label, _ in out.transitions)
+
+    def test_epsilon_free_input_returned_unchanged(self):
+        va = VA(0, {1}, [(0, "a", 1)])
+        assert eliminate_epsilon(va) is va
+
+    def test_accepting_through_epsilon_closure(self):
+        # 0 --ε--> 1 (accepting): the empty document must stay accepted.
+        va = VA(0, {1}, [(0, None, 1), (0, "a", 1)])
+        out = eliminate_epsilon(va)
+        assert evaluate_va(out, "") == evaluate_va(va, "")
+        assert evaluate_va(out, "a") == evaluate_va(va, "a")
+
+    @given(sequential_formulas(), documents)
+    @_SETTINGS
+    def test_preserves_semantics(self, formula, doc):
+        va = regex_to_va(formula)
+        assert evaluate_va(eliminate_epsilon(va), doc) == evaluate_naive(va, doc)
+
+
+class TestDropNeverUsedOps:
+    def test_ops_on_dead_branch_variables_are_dropped(self):
+        # y is opened only on a branch that never reaches acceptance.
+        x_open, x_close = open_op("x"), close_op("x")
+        y_open = open_op("y")
+        va = VA(
+            0,
+            {3},
+            [
+                (0, x_open, 1),
+                (1, "a", 2),
+                (2, x_close, 3),
+                (0, y_open, 4),  # dead end
+            ],
+        )
+        out = drop_never_used_ops(va)
+        assert "y" not in out.variables
+        assert "x" in out.variables
+
+    def test_all_variables_used_returns_same_object(self):
+        va = compile_text("x{a}")
+        assert drop_never_used_ops(va) is va
+
+
+class TestNormalize:
+    def test_result_is_trim_epsilon_free_and_duplicate_free(self):
+        va = union_va(compile_text("x{(a|b)+}"), compile_text("x{a*}b"))
+        out = normalize(va)
+        assert is_trim(out)
+        assert all(label is not None for _, label, _ in out.transitions)
+        assert len(set(out.transitions)) == out.n_transitions
+
+    def test_idempotent_up_to_fingerprint(self):
+        va = union_va(compile_text("x{(a|b)+}"), compile_text("y{a}c"))
+        once = normalize(va)
+        twice = normalize(once)
+        assert once.fingerprint() == twice.fingerprint()
+
+    def test_report_accounts_sizes(self):
+        va = union_va(compile_text("x{a+}"), compile_text("y{b}"))
+        report = NormalizeReport()
+        out = normalize(va, report)
+        assert report.states_before == va.n_states
+        assert report.states_after == out.n_states
+        assert report.epsilon_removed >= 2  # the fresh initial's ε-edges
+        assert report.states_removed >= 0
+
+    @given(sequential_formulas(), documents)
+    @_SETTINGS
+    def test_preserves_semantics_and_sequentiality(self, formula, doc):
+        va = regex_to_va(formula)
+        out = normalize(va)
+        assert is_sequential(out)
+        assert evaluate_va(out, doc) == evaluate_naive(va, doc)
+
+    @given(sequential_formulas(max_vars=2), sequential_formulas(max_vars=2), documents)
+    @_SETTINGS
+    def test_normalized_union_matches_plain_union(self, f1, f2, doc):
+        a1, a2 = regex_to_va(f1), regex_to_va(f2)
+        plain = union_va(a1, a2)
+        assert evaluate_va(normalize(plain), doc) == evaluate_naive(plain, doc)
+
+
+class TestFingerprint:
+    def test_equal_up_to_state_names(self):
+        va = compile_text("x{(a|b)+}")
+        renamed = va.map_states(lambda s: ("tag", s))
+        assert va.fingerprint() == renamed.fingerprint()
+
+    def test_distinguishes_structure(self):
+        assert (
+            compile_text("x{a}").fingerprint()
+            != compile_text("x{b}").fingerprint()
+        )
+
+    def test_cached(self):
+        va = compile_text("x{a}")
+        assert va.fingerprint() is va.fingerprint()
