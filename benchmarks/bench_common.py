@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 import pathlib
 import random
+import subprocess
 
 from repro.regex import capture, concat, eps, parse, sigma_star, sym, union
 from repro.regex.ast import RegexFormula
@@ -14,17 +15,35 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 
+def git_sha() -> str:
+    """The repository HEAD commit, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
 def write_json_report(name: str, payload: dict, at_root: bool = False) -> pathlib.Path:
     """Write a machine-readable JSON result and return its path.
 
     Results land in ``benchmarks/results/`` by default; ``at_root=True``
     writes to the repository root instead — used for the trajectory-seeding
     files (``BENCH_*.json``) that CI uploads as artifacts and later PRs
-    compare against.
+    compare against.  Every report is stamped with the git SHA it was
+    measured at (under ``git_sha``), so baselines stay attributable.
     """
     directory = REPO_ROOT if at_root else RESULTS_DIR
     directory.mkdir(exist_ok=True)
     path = directory / name
+    payload = dict(payload)
+    payload.setdefault("git_sha", git_sha())
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

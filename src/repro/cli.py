@@ -25,10 +25,13 @@ Subcommands:
 ``extract`` and ``batch`` run through :class:`repro.engine.Engine`;
 ``--backend`` picks the enumeration backend, ``--limit K`` stops after K
 mappings per document (short-circuiting graph construction on the lazy
-indexed backend), ``--no-optimize`` disables the logical-plan optimizer,
-``batch --workers N`` shards the corpus across N worker processes, and
-``--stats`` prints the engine's cache/compile/enumerate statistics to
-stderr.
+indexed backend), ``--no-optimize`` disables the logical-plan optimizer, ``--no-prefilter``
+disables the VA-derived document prefilter (by default provably
+non-matching documents are rejected in O(1) from their letter histogram),
+``batch --workers N`` shards the surviving corpus across N worker
+processes, and ``--stats`` prints the engine's cache/compile/enumerate
+statistics to stderr (including ``prefilter rejects`` and the
+run-compressed kernel's ``kernel run hits``).
 """
 
 from __future__ import annotations
@@ -70,7 +73,11 @@ def _print_stats(engine: Engine) -> None:
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     document = _read_document(args)
-    engine = Engine(backend=args.backend, optimize=not args.no_optimize)
+    engine = Engine(
+        backend=args.backend,
+        optimize=not args.no_optimize,
+        prefilter=not args.no_prefilter,
+    )
     relation = SpanRelation(
         engine.enumerate(_compile(args), document, limit=args.limit)
     )
@@ -94,6 +101,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         backend=args.backend,
         document_cache_size=args.cache_documents,
         optimize=not args.no_optimize,
+        prefilter=not args.no_prefilter,
     )
     va = _compile(args)
     relations = engine.evaluate_many(
@@ -196,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the logical-plan optimizer (compile the query "
             "exactly as written)",
+        )
+        p.add_argument(
+            "--no-prefilter",
+            action="store_true",
+            help="disable the VA-derived document prefilter (run the full "
+            "Boolean pass on every document)",
         )
 
     extract = sub.add_parser("extract", help="evaluate a formula on a document")

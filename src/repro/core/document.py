@@ -16,6 +16,8 @@ automaton many times) encodes each document exactly once.
 
 from __future__ import annotations
 
+from collections import Counter
+from itertools import groupby
 from typing import Iterable, Iterator
 
 from .errors import SpanError
@@ -81,11 +83,13 @@ _ENCODING_CACHE_LIMIT = 8
 class Document:
     """An input document: an immutable string with span-based access."""
 
-    __slots__ = ("_text", "_encodings")
+    __slots__ = ("_text", "_encodings", "_runs", "_letter_counts")
 
     def __init__(self, text: str):
         self._text = text
         self._encodings: dict[tuple[str, ...], tuple[int, ...]] | None = None
+        self._runs: tuple[tuple[str, int, int], ...] | None = None
+        self._letter_counts: dict[str, int] | None = None
 
     @property
     def text(self) -> str:
@@ -137,6 +141,41 @@ class Document:
     def alphabet(self) -> frozenset[str]:
         """The set of letters actually occurring in this document."""
         return frozenset(self._text)
+
+    def runs(self) -> tuple[tuple[str, int, int], ...]:
+        """The maximal letter runs of this document, as ``(letter, start,
+        length)`` triples with 0-based ``start`` offsets.
+
+        Computed once and cached — the run-length encoding is alphabet
+        independent, so one RLE serves every automaton.  The run-compressed
+        transition kernel (:mod:`repro.va.kernel`) advances each run in
+        ``O(log length)`` mask applications instead of ``O(length)``
+        per-letter steps.
+        """
+        cached = self._runs
+        if cached is None:
+            out = []
+            position = 0
+            for letter, group in groupby(self._text):
+                length = sum(1 for _ in group)
+                out.append((letter, position, length))
+                position += length
+            cached = self._runs = tuple(out)
+        return cached
+
+    def letter_counts(self) -> dict[str, int]:
+        """The letter histogram of this document (letter → occurrences).
+
+        Computed once and cached.  The VA-derived prefilter
+        (:mod:`repro.va.prefilter`) compares it against a query's
+        must-occur letter bounds to reject non-matching documents in O(1)
+        before any match graph is built.  The returned dict is the cache
+        entry: treat it as immutable.
+        """
+        cached = self._letter_counts
+        if cached is None:
+            cached = self._letter_counts = dict(Counter(self._text))
+        return cached
 
     def encoded(self, alphabet: Alphabet) -> tuple[int, ...]:
         """This document as dense letter ids under ``alphabet``.

@@ -26,6 +26,7 @@ from .backends import (
     EnumerationBackend,
     IndexedBackend,
     MatchGraphBackend,
+    PlainIndexedBackend,
     PreparedRun,
     PreparedVA,
     get_backend,
@@ -61,6 +62,7 @@ __all__ = [
     "MatchGraphBackend",
     "OptimizerReport",
     "PlanNode",
+    "PlainIndexedBackend",
     "PreparedRun",
     "PreparedVA",
     "RewriteRule",

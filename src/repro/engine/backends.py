@@ -13,7 +13,13 @@ Shipped backends:
   :class:`~repro.va.matchgraph.MatchGraph` DFS walks.
 * ``indexed`` — states relabelled to dense integers with precomputed
   per-letter/per-opset transition tables and bitmask state sets
-  (:mod:`repro.va.indexed`); same semantics, faster hot loop.
+  (:mod:`repro.va.indexed`); same semantics, faster hot loop.  Forward and
+  backward passes are *run-compressed* through the
+  :class:`~repro.va.kernel.TransitionKernel` (maximal letter runs advance
+  in O(log run) memoized mask applications).
+* ``indexed-plain`` — the same substrate with the kernel disabled (the
+  per-letter escape hatch, kept for comparison benches and as a guard
+  against kernel regressions).
 
 All backends are interchangeable: ``tests/engine`` checks each against the
 naive run-semantics enumerator on random automata and documents, in both
@@ -74,6 +80,12 @@ class PreparedVA(abc.ABC):
         for _ in self.enumerate(document):
             return True
         return False
+
+    def kernel_hits(self) -> int:
+        """Cumulative run-compressed kernel advances behind this prepared
+        form (``0`` for backends without a kernel).  The engine samples it
+        around each evaluation to attribute ``kernel_run_hits``."""
+        return 0
 
 
 class EnumerationBackend(abc.ABC):
@@ -147,30 +159,47 @@ class MatchGraphBackend(EnumerationBackend):
 
 
 class PreparedIndexedVA(PreparedVA):
-    """Prepared form of the ``indexed`` backend: an :class:`IndexedVA`
-    (cached on the automaton via :meth:`VA.indexed`)."""
+    """Prepared form of the ``indexed`` backends: an :class:`IndexedVA`
+    (cached on the automaton via :meth:`VA.indexed`), run-compressed
+    through the shared kernel unless ``compressed=False``."""
 
-    __slots__ = ("va", "indexed")
+    __slots__ = ("va", "indexed", "compressed")
 
-    def __init__(self, va: VA):
+    def __init__(self, va: VA, compressed: bool = True):
         _require_sequential(va)
         self.indexed = va.indexed()
         self.va = self.indexed.va
+        self.compressed = compressed
 
     def run(self, document: Document | str) -> IndexedMatchGraph:
-        return IndexedMatchGraph(self.indexed, as_document(document))
+        return IndexedMatchGraph(
+            self.indexed, as_document(document), compressed=self.compressed
+        )
 
     def is_nonempty(self, document: Document | str) -> bool:
-        return indexed_nonempty(self.indexed, document)
+        return indexed_nonempty(self.indexed, document, compressed=self.compressed)
+
+    def kernel_hits(self) -> int:
+        return self.indexed.kernel().run_hits if self.compressed else 0
 
 
 class IndexedBackend(EnumerationBackend):
-    """Dense-indexed evaluator (see :mod:`repro.va.indexed`)."""
+    """Dense-indexed evaluator (see :mod:`repro.va.indexed`), with the
+    run-compressed transition kernel on the hot paths."""
 
     name = "indexed"
+    compressed = True
 
     def prepare(self, va: VA) -> PreparedIndexedVA:
-        return PreparedIndexedVA(va)
+        return PreparedIndexedVA(va, compressed=self.compressed)
+
+
+class PlainIndexedBackend(IndexedBackend):
+    """The ``indexed`` substrate with the run-compressed kernel disabled —
+    the per-letter escape hatch and comparison baseline."""
+
+    name = "indexed-plain"
+    compressed = False
 
 
 # IndexedMatchGraph already exposes the full run interface.
@@ -182,6 +211,7 @@ PreparedRun.register(IndexedMatchGraph)
 BACKENDS: dict[str, type[EnumerationBackend]] = {
     MatchGraphBackend.name: MatchGraphBackend,
     IndexedBackend.name: IndexedBackend,
+    PlainIndexedBackend.name: PlainIndexedBackend,
 }
 
 DEFAULT_BACKEND = IndexedBackend.name

@@ -38,6 +38,8 @@ from ..core.errors import SpannerError
 from ..core.mapping import Mapping
 from ..core.relation import SpanRelation
 from ..va.automaton import VA
+from ..va.prefilter import VAPrefilter
+from ..va.properties import is_sequential
 from .backends import BACKENDS, EnumerationBackend, PreparedVA, get_backend
 from .plan import CompiledPlan, StaticNode, plan_from_logical, resolve_logical
 from .stats import EngineStats
@@ -45,10 +47,19 @@ from .stats import EngineStats
 
 class ExecutionContext:
     """Prepared per-query state: the compiled plan, the prepared static
-    form (for fully static plans), and an optional per-document cache of
-    prepared ad-hoc automata."""
+    form (for fully static plans), the VA-derived document prefilter, and
+    an optional per-document cache of prepared ad-hoc automata."""
 
-    __slots__ = ("plan", "backend", "stats", "_static_prepared", "_doc_cache", "_doc_cache_size")
+    __slots__ = (
+        "plan",
+        "backend",
+        "stats",
+        "_static_prepared",
+        "_doc_cache",
+        "_doc_cache_size",
+        "_prefilter_enabled",
+        "_prefilter",
+    )
 
     def __init__(
         self,
@@ -56,6 +67,7 @@ class ExecutionContext:
         backend: EnumerationBackend,
         stats: EngineStats,
         document_cache_size: int = 0,
+        prefilter: bool = True,
     ):
         self.plan = plan
         self.backend = backend
@@ -63,6 +75,26 @@ class ExecutionContext:
         self._static_prepared: PreparedVA | None = None
         self._doc_cache: OrderedDict[str, PreparedVA] = OrderedDict()
         self._doc_cache_size = document_cache_size
+        self._prefilter_enabled = prefilter
+        self._prefilter: "VAPrefilter | bool | None" = None
+
+    def prefilter(self) -> "VAPrefilter | None":
+        """The document prefilter of this query, or ``None`` when
+        unavailable (disabled on the engine, an ad-hoc plan suffix, or a
+        non-sequential automaton).
+
+        Only fully static plans prefilter: their single compiled VA is the
+        whole query, so the VA's necessary conditions are necessary for
+        the query.  Computed once and cached on the automaton."""
+        cached = self._prefilter
+        if cached is None:
+            if not self._prefilter_enabled or not self.plan.is_fully_static:
+                cached = False
+            else:
+                va = self.plan.root.va
+                cached = va.prefilter() if is_sequential(va) else False
+            self._prefilter = cached
+        return cached or None
 
     def prepared_for(self, doc: Document) -> PreparedVA:
         """The prepared automaton evaluating the query on ``doc``."""
@@ -112,8 +144,16 @@ class ExecutionContext:
             return
         doc = as_document(document)
         stats = self.stats
+        prefilter = self.prefilter()
+        if prefilter is not None and not prefilter.admits(doc):
+            # Proven empty from the document's cached histogram alone: no
+            # graph, no encoding, no per-letter work.
+            stats.documents += 1
+            stats.prefilter_rejects += 1
+            return
         prepared = self.prepared_for(doc)
         stats.documents += 1
+        base_kernel_hits = prepared.kernel_hits()
         start = time.perf_counter()
         run = prepared.run(doc)
         stats.compile_seconds += time.perf_counter() - start
@@ -138,6 +178,7 @@ class ExecutionContext:
             # Recorded on the way out (even on early abandonment) so the
             # lazy backend does not pay the gauge before the first yield.
             stats.states_explored += run.states_alive()
+            stats.kernel_run_hits += prepared.kernel_hits() - base_kernel_hits
 
     def first(self, document: Document | str) -> Mapping | None:
         """The first mapping in canonical order, or ``None`` if empty."""
@@ -145,14 +186,22 @@ class ExecutionContext:
 
     def is_nonempty(self, document: Document | str) -> bool:
         """Decide emptiness with the backend's Boolean pass — no
-        enumeration edges are built."""
+        enumeration edges are built.  The prefilter answers outright for
+        documents it can reject, skipping even the Boolean pass."""
         doc = as_document(document)
         stats = self.stats
+        prefilter = self.prefilter()
+        if prefilter is not None and not prefilter.admits(doc):
+            stats.nonempty_checks += 1
+            stats.prefilter_rejects += 1
+            return False
         prepared = self.prepared_for(doc)
         stats.nonempty_checks += 1
+        base_kernel_hits = prepared.kernel_hits()
         start = time.perf_counter()
         result = prepared.is_nonempty(doc)
         stats.enumerate_seconds += time.perf_counter() - start
+        stats.kernel_run_hits += prepared.kernel_hits() - base_kernel_hits
         return result
 
 
@@ -171,6 +220,11 @@ class Engine:
             (:mod:`repro.engine.optimizer`) on every compiled plan
             (default).  ``False`` is the escape hatch: plans lower the
             raw logical tree exactly as written.
+        prefilter: derive a document prefilter from every fully static
+            plan (:mod:`repro.va.prefilter`) and reject provably
+            non-matching documents in O(1), before any graph is built
+            (default).  ``False`` is the escape hatch: every document
+            runs the full Boolean pass.
     """
 
     def __init__(
@@ -179,10 +233,12 @@ class Engine:
         plan_cache_size: int = 128,
         document_cache_size: int = 0,
         optimize: bool = True,
+        prefilter: bool = True,
     ):
         self.backend = get_backend(backend)
         self.stats = EngineStats()
         self.optimize = optimize
+        self.prefilter = prefilter
         self._plan_cache_size = plan_cache_size
         self._document_cache_size = document_cache_size
         self._contexts: OrderedDict[object, ExecutionContext] = OrderedDict()
@@ -255,7 +311,8 @@ class Engine:
         self._trim_static_cache()
         self.stats.compile_seconds += time.perf_counter() - start
         context = ExecutionContext(
-            plan, self.backend, self.stats, self._document_cache_size
+            plan, self.backend, self.stats, self._document_cache_size,
+            prefilter=self.prefilter,
         )
         self._store(fp_key, context)
         if key is not None:
@@ -272,7 +329,8 @@ class Engine:
         self.stats.plan_misses += 1
         plan = CompiledPlan(StaticNode(va), None, None, PlannerConfig())
         context = ExecutionContext(
-            plan, self.backend, self.stats, self._document_cache_size
+            plan, self.backend, self.stats, self._document_cache_size,
+            prefilter=self.prefilter,
         )
         self._store(key, context)
         return context
@@ -377,21 +435,58 @@ class Engine:
         """Materialise a query over a batch of documents, compiling the
         static prefix exactly once.
 
+        The whole corpus shares one compiled plan and (for fully static
+        queries) one interned alphabet, so each document is wrapped and
+        encoded at most once.  The VA-derived prefilter runs up front over
+        the corpus: provably non-matching documents get their empty
+        relations immediately and are never evaluated — and never shipped
+        to workers — so on sparse corpora the per-document cost collapses
+        to the O(1) histogram check.
+
         Args:
             limit: per-document cap on materialised mappings.
-            workers: shard the batch across this many worker processes
-                (round-robin); per-shard statistics are merged back into
-                :attr:`stats`.  Falls back to in-process evaluation when
-                the query cannot be shipped to workers (e.g. black-box
-                spanners that do not pickle) or the batch is tiny.
+            workers: shard the *surviving* documents across this many
+                worker processes (round-robin); per-shard statistics are
+                merged back into :attr:`stats`.  Falls back to in-process
+                evaluation when the query cannot be shipped to workers
+                (e.g. black-box spanners that do not pickle) or the batch
+                is tiny.
         """
         docs = [as_document(doc) for doc in documents]
-        if workers is not None and workers > 1 and len(docs) > 1:
-            relations = self._evaluate_parallel(query, docs, limit, workers)
-            if relations is not None:
-                return relations
-        context = self.prepare(query)
-        return [SpanRelation(context.enumerate(doc, limit=limit)) for doc in docs]
+        # Compile in the parent only when the corpus-level prefilter may
+        # need the plan; a prefilter-off parallel batch leaves compilation
+        # entirely to the workers.
+        context: "ExecutionContext | None" = None
+        prefilter = None
+        if self.prefilter:
+            context = self.prepare(query)
+            prefilter = context.prefilter()
+        if prefilter is None:
+            kept = range(len(docs))
+            survivors = docs
+        else:
+            kept = [i for i, doc in enumerate(docs) if prefilter.admits(doc)]
+            survivors = [docs[i] for i in kept]
+            rejected = len(docs) - len(survivors)
+            self.stats.documents += rejected
+            self.stats.prefilter_rejects += rejected
+        relations: "list[SpanRelation] | None" = None
+        if workers is not None and workers > 1 and len(survivors) > 1:
+            relations = self._evaluate_parallel(query, survivors, limit, workers)
+        if relations is None:
+            if context is None:
+                context = self.prepare(query)
+            relations = [
+                SpanRelation(context.enumerate(doc, limit=limit))
+                for doc in survivors
+            ]
+        if len(survivors) == len(docs):
+            return relations
+        empty = SpanRelation(())
+        out = [empty] * len(docs)
+        for index, relation in zip(kept, relations):
+            out[index] = relation
+        return out
 
     def _evaluate_parallel(
         self, query, docs: list[Document], limit: int | None, workers: int
@@ -412,6 +507,7 @@ class Engine:
             payload, backend_name, docs, limit, workers,
             document_cache_size=self._document_cache_size,
             optimize=self.optimize,
+            prefilter=self.prefilter,
         )
         for stats in shard_stats:
             self.stats.merge(stats)
@@ -426,10 +522,15 @@ class Engine:
     ) -> Iterator[tuple[int, Mapping]]:
         """Stream ``(document_index, mapping)`` pairs over a document
         stream, lazily — suitable for unbounded streams.  ``limit`` caps
-        the mappings taken per document."""
+        the mappings taken per document.
+
+        The stream shares one compiled plan and interned alphabet; each
+        incoming document is wrapped once and checked against the
+        VA-derived prefilter first, so non-matching documents cost one
+        O(1) histogram probe and contribute nothing to the stream."""
         context = self.prepare(query)
         for index, doc in enumerate(documents):
-            for mapping in context.enumerate(doc, limit=limit):
+            for mapping in context.enumerate(as_document(doc), limit=limit):
                 yield index, mapping
 
     def __repr__(self) -> str:

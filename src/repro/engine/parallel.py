@@ -74,6 +74,7 @@ def _run_shard(
     limit: int | None,
     document_cache_size: int,
     optimize: bool,
+    prefilter: bool,
 ) -> "tuple[list[SpanRelation], EngineStats]":
     """Worker entry point: evaluate one shard with a private engine."""
     from .core import Engine
@@ -82,6 +83,7 @@ def _run_shard(
         backend=backend_name,
         document_cache_size=document_cache_size,
         optimize=optimize,
+        prefilter=prefilter,
     )
     query = _rebuild_query(payload)
     relations = engine.evaluate_many(query, texts, limit=limit)
@@ -96,12 +98,16 @@ def evaluate_sharded(
     workers: int,
     document_cache_size: int = 0,
     optimize: bool = True,
+    prefilter: bool = True,
 ) -> "tuple[list[SpanRelation], list[EngineStats]]":
     """Evaluate ``documents`` across ``workers`` processes.
 
     Returns the relations in input order plus the per-shard statistics.
     Documents are sharded round-robin (``documents[i::n]``), which balances
-    load when document cost correlates with position in the batch.
+    load when document cost correlates with position in the batch.  The
+    caller has already prefiltered the corpus (only surviving documents
+    are shipped); ``prefilter`` just keeps worker engines configured like
+    the parent.
     """
     n_shards = max(1, min(workers, len(documents)))
     shards = [
@@ -112,7 +118,7 @@ def evaluate_sharded(
         futures = [
             pool.submit(
                 _run_shard, payload, backend_name, texts, limit,
-                document_cache_size, optimize,
+                document_cache_size, optimize, prefilter,
             )
             for texts in shards
         ]

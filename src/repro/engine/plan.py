@@ -326,6 +326,16 @@ class CompiledPlan:
                 render(child, depth + 1)
 
         render(self.root, 0)
+        root = self.root
+        if isinstance(root, StaticNode):
+            from ..va.properties import is_sequential
+
+            if is_sequential(root.va):
+                lines.append(f"prefilter: {root.va.prefilter().describe()}")
+            else:
+                lines.append("prefilter: n/a (non-sequential automaton)")
+        else:
+            lines.append("prefilter: n/a (ad-hoc plan suffix)")
         if self.logical is not None:
             label = "logical (optimized):" if self.report is not None else "logical:"
             lines.append(label)

@@ -31,6 +31,12 @@ class EngineStats:
             enabled and the same text recurs).
         nonempty_checks: emptiness decisions served by the Boolean bitmask
             pass (no enumeration edges built).
+        prefilter_rejects: documents rejected by the VA-derived prefilter
+            (:mod:`repro.va.prefilter`) before any graph was built or the
+            document was even encoded.
+        kernel_run_hits: letter runs advanced by the run-compressed
+            transition kernel (fixpoint absorption or power doubling)
+            instead of per-letter stepping.
         parallel_shards: worker shards dispatched by
             ``evaluate_many(workers=N)``; shard counters are merged back
             into the parent engine, so times are summed CPU time across
@@ -57,6 +63,8 @@ class EngineStats:
     document_hits: int = 0
     document_misses: int = 0
     nonempty_checks: int = 0
+    prefilter_rejects: int = 0
+    kernel_run_hits: int = 0
     parallel_shards: int = 0
     rules_fired: int = 0
     rule_fires: dict = field(default_factory=dict)
@@ -117,6 +125,8 @@ class EngineStats:
             f"static reuses      {self.static_reuses}",
             f"ad-hoc compiles    {self.adhoc_compiles}",
             f"nonempty checks    {self.nonempty_checks}",
+            f"prefilter rejects  {self.prefilter_rejects}",
+            f"kernel run hits    {self.kernel_run_hits}",
             f"parallel shards    {self.parallel_shards}",
             f"optimizer rewrites {self.rules_fired}{self._rule_breakdown()}",
             f"plan CSE hits      {self.cse_hits}",

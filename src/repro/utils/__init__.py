@@ -1,14 +1,17 @@
-"""Measurement and presentation utilities."""
+"""Measurement, presentation, and bit-twiddling utilities."""
 
+from .bits import apply_masks, iter_bits
 from .render import fit_power_law, format_table, growth_factors
 from .timing import DelayRecorder, DelayStats, record_enumeration, time_call
 
 __all__ = [
     "DelayRecorder",
     "DelayStats",
+    "apply_masks",
     "fit_power_law",
     "format_table",
     "growth_factors",
+    "iter_bits",
     "record_enumeration",
     "time_call",
 ]

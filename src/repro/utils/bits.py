@@ -1,0 +1,42 @@
+"""Bitset primitives shared by the indexed evaluation substrate.
+
+State *sets* throughout :mod:`repro.va.indexed` and
+:mod:`repro.va.kernel` are plain Python integers used as bitsets.  The two
+helpers here are the only loops those modules run over individual states:
+the ``mask & -mask`` lowest-set-bit walk (which visits exactly the set
+bits, never the zeros between them) and its fused union form used to push
+a whole state set through a per-state mask table in one sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """The indices of the set bits of ``mask``, ascending.
+
+    Uses the ``mask & -mask`` lowest-set-bit walk: each iteration isolates
+    and clears the lowest set bit, so the cost is proportional to the
+    *population count*, not the bit length.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def apply_masks(rows: Sequence[int], mask: int) -> int:
+    """The union of ``rows[b]`` over the set bits ``b`` of ``mask``.
+
+    This is one application of a state-mask transformer: ``rows`` maps each
+    source state to the bitset of states it can reach, and the result is
+    the image of the whole state set ``mask``.  The hot loop of the
+    forward/backward passes and of the run-compressed kernel.
+    """
+    out = 0
+    while mask:
+        low = mask & -mask
+        out |= rows[low.bit_length() - 1]
+        mask ^= low
+    return out

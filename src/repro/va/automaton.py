@@ -30,6 +30,7 @@ from ..core.mapping import Variable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .indexed import IndexedVA
+    from .prefilter import VAPrefilter
 
 State = Hashable
 
@@ -92,6 +93,7 @@ class VA:
         "_states",
         "_vars",
         "_indexed",
+        "_prefilter",
         "_fingerprint",
     )
 
@@ -123,6 +125,7 @@ class VA:
         self._out = {state: tuple(edges) for state, edges in out.items()}
         self._vars = frozenset(variables)
         self._indexed: "IndexedVA | None" = None
+        self._prefilter: "VAPrefilter | None" = None
         self._fingerprint: str | None = None
 
     # -- structure accessors ---------------------------------------------------
@@ -180,6 +183,21 @@ class VA:
 
             self._indexed = IndexedVA(self)
         return self._indexed
+
+    def prefilter(self) -> "VAPrefilter":
+        """The document prefilter derived from this automaton (see
+        :mod:`repro.va.prefilter`), computed once and cached.
+
+        A bundle of necessary conditions — alphabet closure, a length
+        window, and must-occur letter bounds — that rejects non-matching
+        documents in O(1).  Sound only for the sequential automata the
+        engine evaluates (the same requirement as :meth:`indexed`).
+        """
+        if self._prefilter is None:
+            from .prefilter import VAPrefilter
+
+            self._prefilter = VAPrefilter(self.indexed())
+        return self._prefilter
 
     def bfs_order(self) -> dict[State, int]:
         """States numbered in BFS discovery order from the initial state

@@ -17,17 +17,26 @@ per alphabet), so the forward pass is array indexing and ``|``/``&`` on
 machine words instead of string hashing and frozenset algebra.
 
 :class:`IndexedMatchGraph` is *lazy* (streaming): construction runs only a
-cheap Boolean forward pass over the aggregate masks — enough to decide
-emptiness (Theorem 2.5's linear preprocessing).  The backward co-reachability
-pruning is another bitmask-only pass run on first demand, and the per-layer
-edge rows that enumeration needs are materialised state by state as the DFS
-visits them.  ``first()`` and ``enumerate(limit=k)`` therefore short-circuit:
-they pay the Boolean pass plus only the edges along the paths actually
-walked, never the full O(n·states) edge build.  Semantics are identical to
-the eager :class:`~repro.va.matchgraph.MatchGraph` path — the equivalence
-tests in ``tests/engine`` check both against the naive enumerator and check
-lazy against eager (``eager=True`` prebuilds every edge row, the old
-behaviour, kept for comparison benches).
+cheap Boolean forward pass — enough to decide emptiness (Theorem 2.5's
+linear preprocessing).  By default that pass is **run-compressed**: it
+walks the document's cached run-length encoding
+(:meth:`~repro.core.document.Document.runs`) and advances each maximal
+single-letter run through the :class:`~repro.va.kernel.TransitionKernel`
+in O(log run) memoized mask applications instead of O(run) per-letter
+steps, so construction cost scales with the number of *runs*, not letters.
+The per-layer forward masks, the backward co-reachability pruning, and the
+per-(layer, state) enumeration edge rows all materialise on demand — and
+the backward pass reuses the kernel's predecessor transformers with
+fixpoint fill inside runs.  The enumeration DFS and the dedicated
+:meth:`IndexedMatchGraph.first` walk additionally *skip* through stretches
+of a run where the profile is a fixpoint with only the empty operation set
+available, compressing long no-capture stretches to O(1) stack frames.
+``compressed=False`` is the plain-kernel escape hatch (the pre-kernel
+per-letter behaviour, also exposed as the engine's ``indexed-plain``
+backend); ``eager=True`` additionally prebuilds every edge row up front.
+Semantics are identical on every path — the equivalence tests in
+``tests/engine`` check compressed against plain against eager against the
+naive enumerator.
 
 Both indexed forms are document independent and safe to share across
 documents; :meth:`VA.indexed` caches one per automaton.
@@ -36,14 +45,24 @@ documents; :meth:`VA.indexed` caches one per automaton.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..core.document import Alphabet, Document, as_document
 from ..core.errors import NotSequentialError
 from ..core.mapping import Mapping
+from ..core.spans import Span
+from ..utils.bits import apply_masks, iter_bits
 from .automaton import VA, State
-from .matchgraph import FactorizedVA, OpSet, mapping_from_opsets, opset_sort_key
+from .matchgraph import (
+    EMPTY_OPSET,
+    FactorizedVA,
+    OpSet,
+    opset_sort_key,
+)
 from .properties import is_sequential
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import TransitionKernel
 
 
 class IndexedVA:
@@ -55,6 +74,9 @@ class IndexedVA:
         initial_id: dense id of the initial state (always 0).
         alphabet: the interned :class:`Alphabet` of the automaton's letters.
         opsets: interned operation sets; index = opset id.
+        empty_opset_id: the id of the empty operation set, or ``-1`` when
+            every macro transition performs at least one operation — the
+            run-skip fast paths key on it.
         tables: ``tables[letter_id][state_id]`` is a tuple of
             ``(opset_id, target_bitmask)`` macro transitions, canonically
             ordered.
@@ -135,17 +157,30 @@ class IndexedVA:
         self.accept = accept
         self.accept_mask = accept_mask
         self.states_by_id = tuple(states_by_id)
+        self.empty_opset_id = opset_ids.get(EMPTY_OPSET, -1)
         # Canonical enumeration rank per opset id (ids are interned in
         # discovery order, which is not the canonical order).
         ranked = sorted(range(len(self.opsets)), key=lambda oid: opset_sort_key(self.opsets[oid]))
         self.opset_rank = [0] * len(self.opsets)
         for rank, oid in enumerate(ranked):
             self.opset_rank[oid] = rank
+        self._kernel: "TransitionKernel | None" = None
 
     @property
     def va(self) -> VA:
         """The trimmed automaton this form indexes."""
         return self.factorized.va
+
+    def kernel(self) -> "TransitionKernel":
+        """The run-compressed transition kernel over this automaton
+        (:mod:`repro.va.kernel`), built once and cached.  Its memoized
+        ``(letter, 2^k)`` power transformers are shared by every document
+        evaluated through this indexed form."""
+        if self._kernel is None:
+            from .kernel import TransitionKernel
+
+            self._kernel = TransitionKernel(self)
+        return self._kernel
 
     def __repr__(self) -> str:
         return (
@@ -154,94 +189,151 @@ class IndexedVA:
         )
 
 
-def _iter_bits(mask: int) -> Iterator[int]:
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
-
-
-def indexed_nonempty(indexed: IndexedVA, document: Document | str) -> bool:
+def indexed_nonempty(
+    indexed: IndexedVA, document: Document | str, compressed: bool = True
+) -> bool:
     """Decide ``⟦A⟧(d) ≠ ∅`` with the Boolean bitmask pass alone.
 
-    One forward sweep over the aggregate successor masks — no edge rows, no
-    backward pruning, early exit as soon as the frontier dies.
+    One forward sweep — no edge rows, no backward pruning, early exit as
+    soon as the frontier dies.  By default the sweep is run-compressed: it
+    advances over the document's run-length encoding through the
+    :class:`~repro.va.kernel.TransitionKernel`, costing O(runs · log run)
+    instead of O(letters).  ``compressed=False`` keeps the plain per-letter
+    walk (the ``indexed-plain`` escape hatch).
     """
     doc = as_document(document)
+    if compressed:
+        kernel = indexed.kernel()
+        letter_id = indexed.alphabet.ids.get
+        mask = 1 << indexed.initial_id
+        for letter, _start, length in doc.runs():
+            lid = letter_id(letter, -1)
+            if lid < 0:
+                return False  # letter unknown to the VA: no run survives
+            mask = kernel.advance(lid, mask, length)
+            if not mask:
+                return False
+        return bool(mask & indexed.accept_mask)
     ids = doc.encoded(indexed.alphabet)
     succ = indexed.successor_masks
     mask = 1 << indexed.initial_id
     for lid in ids:
         if lid < 0:
             return False  # letter unknown to the VA: no run survives
-        row = succ[lid]
-        nxt = 0
-        while mask:
-            low = mask & -mask
-            nxt |= row[low.bit_length() - 1]
-            mask ^= low
+        nxt = apply_masks(succ[lid], mask)
         if not nxt:
             return False
         mask = nxt
     return bool(mask & indexed.accept_mask)
 
 
+def _mapping_from_entries(entries: "list[tuple[int, OpSet]]") -> Mapping:
+    """Assemble a mapping from sparse ``(position, operation set)`` pairs
+    in ascending position order — the run-skipping walks only record the
+    positions that actually perform operations, so reconstruction costs
+    O(operations) instead of O(document).  Equivalent to
+    :func:`~repro.va.matchgraph.mapping_from_opsets` on the padded list
+    (the input comes from valid runs of a sequential VA, so the
+    caller-error checks there cannot fire here)."""
+    opened: dict = {}
+    spans: dict = {}
+    for position, ops in entries:
+        for op in ops:
+            if op.is_open:
+                opened[op.var] = position
+        for op in ops:
+            if not op.is_open:
+                spans[op.var] = Span(opened.pop(op.var), position)
+    return Mapping(spans)
+
+
 class IndexedMatchGraph:
     """The layered match graph of an :class:`IndexedVA` on one document,
     with layers as state bitmasks — built *lazily*.
 
-    Construction runs only the Boolean forward pass (aggregate successor
-    masks), which already decides :attr:`is_empty`.  The backward pruning
-    pass runs on first access to :attr:`alive`; enumeration edge rows are
-    materialised per (layer, state) as the DFS reaches them.  Pass
-    ``eager=True`` to prebuild everything up front (the pre-streaming
-    behaviour, kept for the comparison benches and equivalence tests).
+    Construction runs only the Boolean forward pass (run-compressed by
+    default, through the shared :class:`~repro.va.kernel.TransitionKernel`),
+    which already decides :attr:`is_empty`.  The per-layer forward masks
+    and the backward pruning pass materialise on first access to
+    :attr:`forward` / :attr:`alive` (with fixpoint fill inside letter
+    runs); enumeration edge rows are materialised per (layer, state) as
+    the DFS reaches them.  Pass ``compressed=False`` for the plain
+    per-letter kernel (the pre-kernel behaviour), ``eager=True`` to
+    prebuild everything up front (kept for the comparison benches and
+    equivalence tests).
     """
 
     __slots__ = (
         "indexed",
         "document",
-        "letter_ids",
-        "forward",
         "final",
         "final_mask",
+        "_n",
+        "_runs",
+        "_kernel",
+        "_letter_ids",
+        "_forward",
         "_alive",
+        "_jump",
         "_edges",
     )
 
     def __init__(
-        self, indexed: IndexedVA, document: Document | str, eager: bool = False
+        self,
+        indexed: IndexedVA,
+        document: Document | str,
+        eager: bool = False,
+        compressed: bool = True,
     ):
         self.indexed = indexed
         self.document = as_document(document)
-        ids = self.document.encoded(indexed.alphabet)
-        self.letter_ids = ids
-        n = len(ids)
-        succ = indexed.successor_masks
-        # Boolean forward pass: reachable state masks per layer.
-        forward = [0] * (n + 1)
-        mask = forward[0] = 1 << indexed.initial_id
-        for i, lid in enumerate(ids):
-            if lid < 0:
-                break  # letter unknown to the VA: nothing lives past here
-            row = succ[lid]
-            nxt = 0
-            while mask:
-                low = mask & -mask
-                nxt |= row[low.bit_length() - 1]
-                mask ^= low
-            if not nxt:
-                break
-            forward[i + 1] = mask = nxt
-        self.forward = forward
+        n = self._n = len(self.document)
+        self._letter_ids: tuple[int, ...] | None = None
+        self._forward: list[int] | None = None
+        self._alive: list[int] | None = None
+        self._jump: list[int] | None = None
+        if compressed:
+            # Boolean forward pass over the run-length encoding: each
+            # maximal letter run advances through the kernel in O(log run).
+            kernel = self._kernel = indexed.kernel()
+            letter_id = indexed.alphabet.ids.get
+            self._runs: tuple[tuple[int, int, int], ...] | None = tuple(
+                (letter_id(letter, -1), start, length)
+                for letter, start, length in self.document.runs()
+            )
+            mask = 1 << indexed.initial_id
+            for lid, _start, length in self._runs:
+                if lid < 0:
+                    mask = 0  # letter unknown to the VA: nothing survives
+                    break
+                mask = kernel.advance(lid, mask, length)
+                if not mask:
+                    break
+        else:
+            # Plain per-letter pass (the escape hatch): fills every
+            # forward layer eagerly, the pre-kernel behaviour.
+            self._runs = None
+            self._kernel = None
+            succ = indexed.successor_masks
+            forward = [0] * (n + 1)
+            mask = forward[0] = 1 << indexed.initial_id
+            for i, lid in enumerate(self.letter_ids):
+                if lid < 0:
+                    mask = 0  # letter unknown to the VA: nothing lives past
+                    break
+                nxt = apply_masks(succ[lid], mask)
+                if not nxt:
+                    mask = 0
+                    break
+                forward[i + 1] = mask = nxt
+            self._forward = forward
         # Acceptance at the last layer.
-        final_mask = forward[n] & indexed.accept_mask
+        final_mask = mask & indexed.accept_mask
         self.final_mask = final_mask
         accept = indexed.accept
         self.final: dict[int, tuple[int, ...]] = {
-            sid: accept[sid] for sid in _iter_bits(final_mask)
+            sid: accept[sid] for sid in iter_bits(final_mask)
         }
-        self._alive: list[int] | None = None
         self._edges: list[dict[int, tuple[tuple[int, int], ...]] | None] = [
             None
         ] * n
@@ -255,31 +347,153 @@ class IndexedMatchGraph:
         return not self.final_mask
 
     @property
+    def letter_ids(self) -> tuple[int, ...]:
+        """The document as dense letter ids (cached on the document; built
+        on demand — the run-compressed Boolean pass never needs it)."""
+        ids = self._letter_ids
+        if ids is None:
+            ids = self._letter_ids = self.document.encoded(self.indexed.alphabet)
+        return ids
+
+    @property
+    def forward(self) -> list[int]:
+        """Forward-reachable state masks per layer, expanded on demand.
+
+        The run-compressed construction keeps only the run-boundary
+        frontier; this expands run interiors layer by layer, short-cutting
+        to a slice fill once a run's frontier hits a fixpoint."""
+        forward = self._forward
+        if forward is None:
+            n = self._n
+            indexed = self.indexed
+            forward = [0] * (n + 1)
+            mask = forward[0] = 1 << indexed.initial_id
+            succ = indexed.successor_masks
+            for lid, start, length in self._runs:
+                if lid < 0 or not mask:
+                    mask = 0
+                    break
+                row = succ[lid]
+                end = start + length
+                i = start
+                while i < end:
+                    nxt = apply_masks(row, mask)
+                    if not nxt:
+                        mask = 0
+                        break
+                    i += 1
+                    forward[i] = nxt
+                    if nxt == mask:
+                        # Fixpoint: the rest of the run repeats this mask.
+                        forward[i + 1 : end + 1] = [nxt] * (end - i)
+                        i = end
+                    mask = nxt
+                if not mask:
+                    break
+            self._forward = forward
+        return forward
+
+    @property
     def alive(self) -> list[int]:
-        """Live (co-reachable) state masks per layer, from the Boolean
-        backward pass (run once, on demand)."""
+        """Live (co-reachable ∩ reachable) state masks per layer, from the
+        Boolean backward pass (run once, on demand).
+
+        On the run-compressed path the pass walks the run-length encoding
+        with the kernel's predecessor transformers, filling whole run
+        interiors once the co-reachability chain hits a fixpoint.  An empty
+        graph never runs the pass at all: a full accepting path crosses
+        every layer, so one empty layer means all layers are empty."""
         alive = self._alive
         if alive is None:
-            ids = self.letter_ids
-            forward = self.forward
-            succ = self.indexed.successor_masks
-            n = len(ids)
-            alive = [0] * (n + 1)
-            live = alive[n] = self.final_mask
-            for i in range(n - 1, -1, -1):
-                if not live:
-                    break  # nothing co-reachable earlier either
-                row = succ[ids[i]]
-                layer_alive = 0
-                mask = forward[i]
-                while mask:
-                    low = mask & -mask
-                    if row[low.bit_length() - 1] & live:
-                        layer_alive |= low
-                    mask ^= low
-                alive[i] = live = layer_alive
+            n = self._n
+            if not self.final_mask:
+                alive = [0] * (n + 1)
+            elif self._runs is not None:
+                alive = self._alive_compressed()
+            else:
+                alive = self._alive_plain()
             self._alive = alive
         return alive
+
+    def _alive_compressed(self) -> list[int]:
+        n = self._n
+        forward = self.forward
+        kernel = self._kernel
+        alive = [0] * (n + 1)
+        # `live` chains M[i] = pred(M[i+1]) ∩ forward[i], which equals the
+        # reachable ∩ co-reachable pruning exactly (a live state's path
+        # successor is itself live); intersecting every layer keeps the
+        # masks small.  Inside a run, once both M and the forward mask are
+        # stable the recurrence reproduces itself, so the rest of the
+        # stable stretch fills without further mask applications.
+        live = alive[n] = self.final_mask
+        for lid, start, length in reversed(self._runs):
+            if not live:
+                break  # nothing co-reachable earlier either
+            pred = kernel.pred_row(lid)
+            end = start + length
+            i = end - 1
+            while i >= start:
+                nxt = apply_masks(pred, live) & forward[i]
+                alive[i] = nxt
+                if nxt == live and forward[i] == forward[i + 1]:
+                    # Stable: M[j] = pred(M[j+1]) ∩ forward[j] keeps
+                    # producing the same mask while the forward chain
+                    # stays equal — fill the stretch.
+                    j = i - 1
+                    fwd_i = forward[i]
+                    while j >= start and forward[j] == fwd_i:
+                        alive[j] = nxt
+                        j -= 1
+                    i = j
+                else:
+                    i -= 1
+                live = nxt
+        return alive
+
+    def _alive_plain(self) -> list[int]:
+        ids = self.letter_ids
+        forward = self.forward
+        succ = self.indexed.successor_masks
+        n = self._n
+        alive = [0] * (n + 1)
+        live = alive[n] = self.final_mask
+        for i in range(n - 1, -1, -1):
+            if not live:
+                break  # nothing co-reachable earlier either
+            row = succ[ids[i]]
+            layer_alive = 0
+            mask = forward[i]
+            while mask:
+                low = mask & -mask
+                if row[low.bit_length() - 1] & live:
+                    layer_alive |= low
+                mask ^= low
+            alive[i] = live = layer_alive
+        return alive
+
+    @property
+    def jump(self) -> list[int]:
+        """Run-skip destinations per layer, built once on demand.
+
+        ``jump[i]`` is the last layer ``j ≥ i+1`` such that every layer in
+        ``i..j-1`` reads the same letter and sees the same live mask at its
+        successor layer — exactly the stretch whose per-position choices
+        repeat layer ``i``'s.  The walks consult it in O(1) per skip, so
+        skipping costs one backward sweep total instead of a rescan per
+        DFS descent."""
+        jump = self._jump
+        if jump is None:
+            n = self._n
+            jump = list(range(1, n + 1))
+            if n > 1:
+                ids = self.letter_ids
+                alive = self.alive
+                for i in range(n - 2, -1, -1):
+                    if ids[i + 1] == ids[i] and alive[i + 2] == alive[i + 1]:
+                        jump[i] = jump[i + 1]
+            self._jump = jump
+        return jump
 
     def states_alive(self) -> int:
         """Total live states across all layers (graph-size gauge)."""
@@ -308,13 +522,13 @@ class IndexedMatchGraph:
 
     def edge_layer(self, layer: int) -> dict[int, list[tuple[int, int]]]:
         """All edge rows of one layer (every live state), materialised."""
-        for sid in _iter_bits(self.alive[layer]):
+        for sid in iter_bits(self.alive[layer]):
             self.edge_row(layer, sid)
         return self._edges[layer]  # type: ignore[return-value]
 
     def materialise(self) -> None:
         """Prebuild the backward pass and every edge row (eager mode)."""
-        for layer in range(len(self.letter_ids)):
+        for layer in range(self._n):
             self.edge_layer(layer)
 
     def enumerate(self, limit: int | None = None) -> Iterator[Mapping]:
@@ -322,22 +536,29 @@ class IndexedMatchGraph:
         profiles and parent-pointer path reconstruction.
 
         ``limit`` stops after that many mappings; the lazy edge rows mean a
-        small limit touches only the layers along the walked paths.
+        small limit touches only the layers along the walked paths.  Inside
+        a letter run, a stretch where the only option is the empty
+        operation set on a fixpoint profile is *skipped* in one stack
+        frame — the per-position choices there are forced, so the DFS
+        records the repeat count instead of walking every layer.
         """
         if self.is_empty or (limit is not None and limit <= 0):
             return
         indexed = self.indexed
         opsets, rank = indexed.opsets, indexed.opset_rank
-        n = len(self.letter_ids)
+        empty_oid = indexed.empty_opset_id
+        n = self._n
         final = self.final
         alive = self.alive
+        jump = self.jump
         tables = indexed.tables
         letter_ids = self.letter_ids
         edges = self._edges
         emitted = 0
         # Stack frames: (layer, profile mask, path node); a path node is
-        # (opset_id, parent node) — reconstruction replaces per-push tuple
-        # copies of the whole prefix.
+        # (opset_id, repeat count, parent node) — reconstruction replaces
+        # per-push tuple copies of the whole prefix, and the repeat count
+        # encodes skipped run stretches.
         stack: list[tuple[int, int, tuple | None]] = [
             (0, 1 << indexed.initial_id, None)
         ]
@@ -350,13 +571,22 @@ class IndexedMatchGraph:
                     low = mask & -mask
                     options_set.update(final.get(low.bit_length() - 1, ()))
                     mask ^= low
-                chosen: list[OpSet] = []
+                # Sparse reconstruction: only skipped (empty) opsets carry
+                # a repeat count, so operating positions are exact.
+                entries: list[tuple[int, OpSet]] = []
+                position = n
                 while node is not None:
-                    oid, node = node
-                    chosen.append(opsets[oid])
-                chosen.reverse()
+                    oid, count, node = node
+                    ops = opsets[oid]
+                    if ops:
+                        entries.append((position, ops))
+                    position -= count
+                entries.reverse()
                 for oid in sorted(options_set, key=rank.__getitem__):
-                    yield mapping_from_opsets(chosen + [opsets[oid]])
+                    final_ops = opsets[oid]
+                    yield _mapping_from_entries(
+                        entries + [(n + 1, final_ops)] if final_ops else entries
+                    )
                     emitted += 1
                     if limit is not None and emitted >= limit:
                         return
@@ -387,11 +617,19 @@ class IndexedMatchGraph:
                 # Single choice (the common layer in sparse documents):
                 # skip the canonical sort.
                 oid, target_mask = options.popitem()
-                stack.append((layer + 1, target_mask, (oid, node)))
+                if oid == empty_oid and target_mask == profile:
+                    # Run-skip: the profile is a fixpoint and the only
+                    # choice performs no operations, so every layer of the
+                    # precomputed stretch repeats this exact (forced) step
+                    # — jump past it in one frame.
+                    j = jump[layer]
+                    stack.append((j, profile, (oid, j - layer, node)))
+                else:
+                    stack.append((layer + 1, target_mask, (oid, 1, node)))
             else:
                 # Reverse rank order so the DFS pops options canonically.
                 for oid in sorted(options, key=rank.__getitem__, reverse=True):
-                    stack.append((layer + 1, options[oid], (oid, node)))
+                    stack.append((layer + 1, options[oid], (oid, 1, node)))
 
     def first(self) -> Mapping | None:
         """The first mapping in canonical order, or ``None`` if empty —
@@ -399,16 +637,22 @@ class IndexedMatchGraph:
 
         A dedicated greedy walk: the DFS's first leaf is reached by taking
         the canonically-minimal operation set at every layer, so no stack,
-        no generator frames, and no alternatives are ever pushed.
+        no generator frames, and no alternatives are ever pushed.  The
+        same run-skip as :meth:`enumerate` fast-forwards through forced
+        empty-opset stretches inside letter runs.
         """
         if self.is_empty:
             return None
         indexed = self.indexed
         opsets, rank = indexed.opsets, indexed.opset_rank
+        empty_oid = indexed.empty_opset_id
         edge_row = self.edge_row
-        chosen: list[OpSet] = []
+        jump = self.jump
+        n = self._n
+        entries: list[tuple[int, OpSet]] = []
         profile = 1 << indexed.initial_id
-        for layer in range(len(self.letter_ids)):
+        layer = 0
+        while layer < n:
             best_oid = -1
             best_rank = -1
             best_mask = 0
@@ -422,8 +666,16 @@ class IndexedMatchGraph:
                         best_rank, best_oid, best_mask = rank[oid], oid, target_mask
                     elif oid == best_oid:
                         best_mask |= target_mask
-            chosen.append(opsets[best_oid])
-            profile = best_mask
+            if best_oid == empty_oid and best_mask == profile:
+                # Run-skip: forced-equivalent empty steps on a fixpoint
+                # profile — the greedy choice repeats through the stretch.
+                layer = jump[layer]
+            else:
+                ops = opsets[best_oid]
+                if ops:
+                    entries.append((layer + 1, ops))
+                profile = best_mask
+                layer += 1
         final = self.final
         best_final = -1
         mask = profile
@@ -433,8 +685,10 @@ class IndexedMatchGraph:
             for oid in final.get(low.bit_length() - 1, ()):
                 if best_final < 0 or rank[oid] < rank[best_final]:
                     best_final = oid
-        chosen.append(opsets[best_final])
-        return mapping_from_opsets(chosen)
+        final_ops = opsets[best_final]
+        if final_ops:
+            entries.append((n + 1, final_ops))
+        return _mapping_from_entries(entries)
 
 
 def enumerate_indexed(

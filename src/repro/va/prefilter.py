@@ -1,0 +1,226 @@
+"""VA-derived corpus prefilters: reject non-matching documents in O(1).
+
+Evaluating a spanner on a document that cannot match still costs a full
+Boolean forward pass.  For corpus workloads where most documents do not
+match, that linear scan per document dominates.  This module derives, once
+per compiled automaton, a set of *necessary conditions* on documents —
+facts true of **every** document with a nonempty result — and checks them
+against per-document statistics the :class:`~repro.core.document.Document`
+caches (its letter histogram and length), so the engine can reject a
+non-matching document in O(distinct letters) ≈ O(1) without building any
+graph, encoding the document, or even touching its text beyond the cached
+histogram.
+
+Derived conditions (all on the Boolean letter structure of the trimmed
+automaton, i.e. the macro-transition graph of the indexed form):
+
+* **alphabet closure** — a VA consumes the whole document, so any letter
+  outside its alphabet makes the result empty;
+* **length window** — the minimum number of letters on any accepting path
+  (BFS), and, when the letter graph is acyclic, the maximum (longest-path
+  DP); documents outside the window cannot match;
+* **must-occur letter bounds** — for each letter, the minimum number of
+  times it is read on *any* accepting path (0–1 BFS, counting only edges
+  of that letter); a document with fewer occurrences cannot match.  The
+  bounds form the must-occur letter multiset lower bound: a letter with a
+  positive bound is *required* on every accepting path.
+
+Soundness (the prefilter never rejects a document with a nonempty result)
+is checked by hypothesis properties in ``tests/va/test_prefilter.py``
+against the naive enumerator.  Completeness is not promised — admitted
+documents may still turn out empty; they simply proceed to the kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..core.document import Document, as_document
+from ..utils.bits import apply_masks, iter_bits
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .indexed import IndexedVA
+
+#: Effectively-infinite distance for the 0-1 BFS.
+_INF = float("inf")
+
+
+class VAPrefilter:
+    """Necessary document conditions of one automaton (document free).
+
+    Attributes:
+        alphabet: the automaton's interned letter alphabet.
+        empty: the automaton's language is empty — every document rejects.
+        min_length: minimum letters on any accepting path.
+        max_length: maximum letters on any accepting path, or ``None``
+            when the letter graph has a cycle (unbounded).
+        required: canonically ordered ``(letter, min_count)`` pairs for
+            letters with a positive must-occur bound.
+    """
+
+    __slots__ = ("alphabet", "empty", "min_length", "max_length", "required")
+
+    def __init__(self, indexed: "IndexedVA"):
+        self.alphabet = indexed.alphabet
+        succ = indexed.successor_masks
+        n_states = indexed.n_states
+        initial = indexed.initial_id
+        accept_mask = indexed.accept_mask
+        self.min_length = _min_path_length(succ, n_states, initial, accept_mask)
+        self.empty = self.min_length is None
+        if self.empty:
+            self.min_length = 0
+            self.max_length = 0
+            self.required = ()
+            return
+        self.max_length = _max_path_length(succ, n_states, initial, accept_mask)
+        required = []
+        for lid, letter in enumerate(self.alphabet.signature):
+            bound = _min_letter_count(succ, n_states, initial, accept_mask, lid)
+            if bound > 0:
+                required.append((letter, bound))
+        self.required = tuple(required)
+
+    def admits(self, document: Document | str) -> bool:
+        """Whether ``document`` passes every necessary condition.
+
+        ``False`` proves the result is empty; ``True`` decides nothing.
+        O(distinct letters of the document) after the document's cached
+        histogram exists.
+        """
+        if self.empty:
+            return False
+        doc = as_document(document)
+        length = len(doc)
+        if length < self.min_length:
+            return False
+        if self.max_length is not None and length > self.max_length:
+            return False
+        counts = doc.letter_counts()
+        ids = self.alphabet.ids
+        if len(counts) > len(ids):
+            return False  # pigeonhole: some letter is outside the alphabet
+        for letter in counts:
+            if letter not in ids:
+                return False
+        for letter, bound in self.required:
+            if counts.get(letter, 0) < bound:
+                return False
+        return True
+
+    def describe(self) -> str:
+        """One line for ``CompiledPlan.explain()``."""
+        if self.empty:
+            return "empty language (rejects every document)"
+        letters = "".join(self.alphabet.signature)
+        window = f"length ≥ {self.min_length}"
+        if self.max_length is not None:
+            window = f"length in [{self.min_length}, {self.max_length}]"
+        parts = [f"letters ⊆ {{{letters}}}", window]
+        if self.required:
+            bounds = ", ".join(
+                f"{letter}×{bound}" if bound > 1 else letter
+                for letter, bound in self.required
+            )
+            parts.append(f"requires {bounds}")
+        return "; ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"VAPrefilter({self.describe()})"
+
+
+def _min_path_length(
+    succ: "list[list[int]]", n_states: int, initial: int, accept_mask: int
+) -> "int | None":
+    """Minimum letter edges from ``initial`` to an accepting state, or
+    ``None`` when no accepting state is reachable (empty language)."""
+    frontier = seen = 1 << initial
+    depth = 0
+    while True:
+        if frontier & accept_mask:
+            return depth
+        nxt = 0
+        for row in succ:
+            nxt |= apply_masks(row, frontier)
+        nxt &= ~seen
+        if not nxt:
+            return None
+        seen |= nxt
+        frontier = nxt
+        depth += 1
+
+
+def _max_path_length(
+    succ: "list[list[int]]", n_states: int, initial: int, accept_mask: int
+) -> "int | None":
+    """Longest letter path from ``initial`` to an accepting state, or
+    ``None`` when the letter graph is cyclic (unbounded documents)."""
+    out_masks = [0] * n_states
+    for row in succ:
+        for state in range(n_states):
+            out_masks[state] |= row[state]
+    # Kahn's algorithm over the reachable subgraph: cycle ⇒ unbounded.
+    indegree = [0] * n_states
+    for state in range(n_states):
+        for target in iter_bits(out_masks[state]):
+            indegree[target] += 1
+    queue = deque(s for s in range(n_states) if not indegree[s])
+    topo = []
+    while queue:
+        state = queue.popleft()
+        topo.append(state)
+        for target in iter_bits(out_masks[state]):
+            indegree[target] -= 1
+            if not indegree[target]:
+                queue.append(target)
+    if len(topo) < n_states:
+        return None  # a cycle somewhere in the (trimmed) graph
+    longest = [-1] * n_states
+    longest[initial] = 0
+    best = None
+    for state in topo:
+        here = longest[state]
+        if here < 0:
+            continue
+        if (accept_mask >> state) & 1 and (best is None or here > best):
+            best = here
+        for target in iter_bits(out_masks[state]):
+            if here + 1 > longest[target]:
+                longest[target] = here + 1
+    return best
+
+
+def _min_letter_count(
+    succ: "list[list[int]]",
+    n_states: int,
+    initial: int,
+    accept_mask: int,
+    letter_id: int,
+) -> int:
+    """Minimum number of ``letter_id`` edges on any accepting path (0-1
+    BFS: edges of the letter weigh 1, every other letter weighs 0)."""
+    edges: list[list[tuple[int, int]]] = [[] for _ in range(n_states)]
+    for lid, row in enumerate(succ):
+        weight = 1 if lid == letter_id else 0
+        for state in range(n_states):
+            targets = row[state]
+            if targets:
+                edges[state].append((weight, targets))
+    dist: list[float] = [_INF] * n_states
+    dist[initial] = 0
+    queue: deque[int] = deque((initial,))
+    while queue:
+        state = queue.popleft()
+        here = dist[state]
+        for weight, targets in edges[state]:
+            through = here + weight
+            for target in iter_bits(targets):
+                if through < dist[target]:
+                    dist[target] = through
+                    if weight:
+                        queue.append(target)
+                    else:
+                        queue.appendleft(target)
+    best = min((dist[state] for state in iter_bits(accept_mask)), default=_INF)
+    return 0 if best is _INF else int(best)

@@ -1,0 +1,250 @@
+"""The run-compressed kernel and the VA-derived prefilter at the engine
+level: backend equivalence on run-heavy documents, the prefilter wiring in
+single-document / batch / parallel paths, the new statistics counters, and
+the CLI escape hatches."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpanRelation
+from repro.engine import BACKENDS, Engine, EngineStats
+from repro.va import (
+    IndexedMatchGraph,
+    enumerate_naive,
+    evaluate_naive,
+    regex_to_va,
+    trim,
+)
+
+from ..properties.conftest import sequential_formulas
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+#: Documents biased toward long single-letter runs — the regime the
+#: run-compressed kernel and the DFS run-skip target.  Includes the
+#: degenerate shapes: empty, and single-letter documents of every length.
+run_documents = st.one_of(
+    st.just(""),
+    st.builds(
+        lambda letter, length: letter * length,
+        st.sampled_from("ab"),
+        st.integers(min_value=1, max_value=12),
+    ),
+    st.lists(
+        st.tuples(st.sampled_from("abc"), st.integers(min_value=1, max_value=7)),
+        min_size=1,
+        max_size=4,
+    ).map(lambda runs: "".join(letter * length for letter, length in runs)),
+)
+
+
+def _va(text: str):
+    from repro.regex import parse
+
+    return trim(regex_to_va(parse(text)))
+
+
+class TestKernelEquivalence:
+    @given(sequential_formulas(), run_documents)
+    @_SETTINGS
+    def test_compressed_equals_plain_equals_naive_on_every_backend(
+        self, formula, doc
+    ):
+        va = trim(regex_to_va(formula))
+        expected = SpanRelation(enumerate_naive(va, doc))
+        orders = []
+        for name in ALL_BACKENDS:
+            engine = Engine(backend=name)
+            order = list(engine.enumerate(va, doc))
+            # Same relation as the naive baseline, and the same canonical
+            # enumeration order across every backend.
+            assert SpanRelation(order) == expected, name
+            assert engine.is_nonempty(va, doc) == bool(len(expected)), name
+            orders.append(order)
+        for name, order in zip(ALL_BACKENDS[1:], orders[1:]):
+            assert order == orders[0], name
+
+    @given(sequential_formulas(), run_documents)
+    @_SETTINGS
+    def test_compressed_graph_matches_plain_and_eager_graphs(self, formula, doc):
+        indexed = trim(regex_to_va(formula)).indexed()
+        compressed = IndexedMatchGraph(indexed, doc)
+        plain = IndexedMatchGraph(indexed, doc, compressed=False)
+        eager = IndexedMatchGraph(indexed, doc, eager=True)
+        assert compressed.is_empty == plain.is_empty == eager.is_empty
+        assert (
+            list(compressed.enumerate())
+            == list(plain.enumerate())
+            == list(eager.enumerate())
+        )
+        assert compressed.alive == plain.alive
+        assert compressed.forward == plain.forward
+        assert compressed.states_alive() == plain.states_alive()
+        assert compressed.first() == plain.first()
+
+    @given(sequential_formulas(), run_documents)
+    @_SETTINGS
+    def test_limit_prefixes_survive_run_skipping(self, formula, doc):
+        indexed = trim(regex_to_va(formula)).indexed()
+        full = list(IndexedMatchGraph(indexed, doc).enumerate())
+        for k in (0, 1, 3):
+            graph = IndexedMatchGraph(indexed, doc)
+            assert list(graph.enumerate(limit=k)) == full[:k]
+
+    def test_kernel_run_hits_are_counted(self):
+        va = _va("(a|b)*x{c+}(a|b)*")
+        engine = Engine()
+        assert engine.is_nonempty(va, "a" * 50 + "c" + "b" * 50)
+        assert engine.stats.kernel_run_hits > 0
+        plain = Engine(backend="indexed-plain")
+        assert plain.is_nonempty(va, "a" * 50 + "c" + "b" * 50)
+        assert plain.stats.kernel_run_hits == 0
+
+
+class TestPrefilterWiring:
+    @given(sequential_formulas(), run_documents)
+    @_SETTINGS
+    def test_engine_with_prefilter_equals_engine_without(self, formula, doc):
+        va = trim(regex_to_va(formula))
+        expected = evaluate_naive(va, doc)
+        assert Engine().evaluate(va, doc) == expected
+        assert Engine(prefilter=False).evaluate(va, doc) == expected
+
+    def test_rejects_are_counted_and_cost_no_document_misses(self):
+        va = _va("(a|b)*x{c+}(a|b)*")
+        engine = Engine()
+        corpus = ["ab", "ba", "aacaa", "bb", ""]
+        relations = engine.evaluate_many(va, corpus)
+        assert [len(r) for r in relations] == [0, 0, 1, 0, 0]
+        assert engine.stats.prefilter_rejects == 4
+        assert engine.stats.documents == len(corpus)
+        # Only the surviving document ever prepared a graph.
+        assert engine.stats.mappings == 1
+
+    def test_prefilter_false_is_a_real_escape_hatch(self):
+        va = _va("(a|b)*x{c+}(a|b)*")
+        engine = Engine(prefilter=False)
+        relations = engine.evaluate_many(va, ["ab", "aacaa"])
+        assert [len(r) for r in relations] == [0, 1]
+        assert engine.stats.prefilter_rejects == 0
+
+    def test_is_nonempty_short_circuits_through_the_prefilter(self):
+        va = _va("(a|b)*x{c+}(a|b)*")
+        engine = Engine()
+        assert not engine.is_nonempty(va, "ababab")
+        assert engine.stats.prefilter_rejects == 1
+        assert engine.stats.nonempty_checks == 1
+
+    def test_batch_with_workers_only_ships_survivors(self):
+        va = _va("(a|b)*x{c+}(a|b)*")
+        corpus = ["ab", "aacaa", "bb", "caa", "ba", "b"]
+        serial = Engine().evaluate_many(va, corpus)
+        engine = Engine()
+        parallel = engine.evaluate_many(va, corpus, workers=2)
+        assert parallel == serial
+        assert engine.stats.prefilter_rejects == 4
+        assert engine.stats.parallel_shards == 2
+        assert engine.stats.documents == len(corpus)
+
+    def test_enumerate_stream_skips_rejected_documents(self):
+        va = _va("(a|b)*x{c+}(a|b)*")
+        engine = Engine()
+        pairs = list(engine.enumerate_stream(va, ["ab", "aca", "bb", "c"]))
+        assert sorted({index for index, _ in pairs}) == [1, 3]
+        assert engine.stats.prefilter_rejects == 2
+
+    def test_adhoc_plans_do_not_prefilter(self):
+        from repro.algebra import Instantiation, RAQuery
+        from repro.algebra.ra_tree import Difference, Leaf
+        from repro.regex import parse
+
+        tree = Difference(Leaf("f"), Leaf("g"))
+        inst = Instantiation(
+            spanners={
+                "f": parse("(a|b)*x{(a|b)+}(a|b)*"),
+                "g": parse("(a|b)*x{a}(a|b)*"),
+            }
+        )
+        engine = Engine()
+        query = RAQuery(tree, inst, engine=engine)
+        context = engine.prepare(query)
+        assert context.prefilter() is None
+        assert engine.stats.prefilter_rejects == 0
+
+    def test_explain_surfaces_the_prefilter_decision_surface(self):
+        engine = Engine()
+        text = engine.explain(_va("(a|b)*x{c+}(a|b)*"))
+        assert "prefilter:" in text
+        assert "requires c" in text
+
+
+class TestStatsCounters:
+    def test_merge_and_delta_cover_the_new_counters(self):
+        a = EngineStats(prefilter_rejects=2, kernel_run_hits=5)
+        b = EngineStats(prefilter_rejects=1, kernel_run_hits=7, rule_fires={"r": 1})
+        a.merge(b)
+        assert a.prefilter_rejects == 3
+        assert a.kernel_run_hits == 12
+        assert a.rule_fires == {"r": 1}
+        delta = a.delta(EngineStats(prefilter_rejects=1, kernel_run_hits=2))
+        assert delta.prefilter_rejects == 2
+        assert delta.kernel_run_hits == 10
+        assert delta.rule_fires == {"r": 1}
+
+    def test_summary_renders_the_new_counters(self):
+        text = EngineStats(prefilter_rejects=3, kernel_run_hits=4).summary()
+        assert "prefilter rejects  3" in text
+        assert "kernel run hits    4" in text
+
+
+class TestCliEscapeHatches:
+    def test_batch_no_prefilter_and_stats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        docs = tmp_path / "docs.txt"
+        docs.write_text("ab\naacaa\nbb\n")
+        assert main(
+            ["batch", "(a|b)*x{c+}(a|b)*", "--file", str(docs), "--stats"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "prefilter rejects  2" in err
+        assert main(
+            [
+                "batch",
+                "(a|b)*x{c+}(a|b)*",
+                "--file",
+                str(docs),
+                "--stats",
+                "--no-prefilter",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "prefilter rejects  0" in err
+
+    def test_extract_on_the_plain_backend(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "extract",
+                "(a|b)*x{c+}(a|b)*",
+                "--text",
+                "aacaa",
+                "--backend",
+                "indexed-plain",
+            ]
+        ) == 0
+        assert "1 mapping(s)" in capsys.readouterr().out
+
+
+def test_batch_prefilter_preserves_relations():
+    va = _va("(a|b)*x{(ab)+}(a|b)*")
+    corpus = ["", "abab", "ba", "aabb", "b" * 30, "ab" * 15]
+    expected = [evaluate_naive(va, doc) for doc in corpus]
+    for prefilter in (True, False):
+        engine = Engine(prefilter=prefilter)
+        assert engine.evaluate_many(va, corpus) == [
+            SpanRelation(rel) for rel in expected
+        ]

@@ -123,11 +123,26 @@ class TestParallelEvaluation:
     def test_workers_match_sequential_results_and_order(self):
         va = trim(regex_to_va_text("(a|b)*x{(a|b)+}(a|b)*"))
         serial = Engine().evaluate_many(va, self.DOCS)
+        # The empty document is provably non-matching: the prefilter keeps
+        # it away from the workers entirely (see test below for the
+        # prefilter-off behaviour).
+        survivors = [doc for doc in self.DOCS if doc]
         for workers in (2, 3, len(self.DOCS) + 5):
             engine = Engine()
             assert engine.evaluate_many(va, self.DOCS, workers=workers) == serial
-            assert engine.stats.parallel_shards == min(workers, len(self.DOCS))
+            assert engine.stats.parallel_shards == min(workers, len(survivors))
+            assert engine.stats.prefilter_rejects == len(self.DOCS) - len(survivors)
             # Shard statistics are merged back into the parent engine.
+            assert engine.stats.documents == len(self.DOCS)
+
+    def test_workers_without_prefilter_ship_every_document(self):
+        va = trim(regex_to_va_text("(a|b)*x{(a|b)+}(a|b)*"))
+        serial = Engine().evaluate_many(va, self.DOCS)
+        for workers in (2, len(self.DOCS) + 5):
+            engine = Engine(prefilter=False)
+            assert engine.evaluate_many(va, self.DOCS, workers=workers) == serial
+            assert engine.stats.parallel_shards == min(workers, len(self.DOCS))
+            assert engine.stats.prefilter_rejects == 0
             assert engine.stats.documents == len(self.DOCS)
 
     def test_workers_respect_limit(self):

@@ -1,0 +1,105 @@
+"""The VA-derived document prefilter: soundness (never rejects a matching
+document) and the individual necessary conditions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Document
+from repro.regex import parse
+from repro.va import VAPrefilter, evaluate_naive, regex_to_va, trim
+
+from ..properties.conftest import sequential_formulas
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+#: Short documents, including letters outside the ab formulas' alphabet.
+documents = st.text(alphabet="abc", min_size=0, max_size=5)
+
+#: Run-heavy documents exercising the histogram bounds harder.
+run_documents = st.lists(
+    st.tuples(st.sampled_from("abc"), st.integers(min_value=1, max_value=6)),
+    min_size=0,
+    max_size=4,
+).map(lambda runs: "".join(letter * length for letter, length in runs))
+
+
+def _prefilter(text: str) -> VAPrefilter:
+    return trim(regex_to_va(parse(text))).prefilter()
+
+
+class TestSoundness:
+    @given(sequential_formulas(), documents)
+    @_SETTINGS
+    def test_never_rejects_a_document_with_a_nonempty_result(self, formula, doc):
+        va = trim(regex_to_va(formula))
+        if evaluate_naive(va, doc):
+            assert va.prefilter().admits(doc)
+
+    @given(sequential_formulas(), run_documents)
+    @_SETTINGS
+    def test_never_rejects_on_run_heavy_documents(self, formula, doc):
+        va = trim(regex_to_va(formula))
+        if evaluate_naive(va, doc):
+            assert va.prefilter().admits(doc)
+
+    @given(sequential_formulas())
+    @_SETTINGS
+    def test_degenerate_documents(self, formula):
+        va = trim(regex_to_va(formula))
+        prefilter = va.prefilter()
+        for doc in ("", "a", "aaaaaa"):
+            if evaluate_naive(va, doc):
+                assert prefilter.admits(doc)
+
+
+class TestNecessaryConditions:
+    def test_alphabet_closure(self):
+        prefilter = _prefilter("x{(a|b)+}")
+        assert prefilter.admits("ab")
+        assert not prefilter.admits("abz")  # z outside the alphabet
+
+    def test_required_letter_and_multiplicity(self):
+        prefilter = _prefilter("(a|b)*x{c}(a|b)*c(a|b)*")
+        assert ("c", 2) in prefilter.required
+        assert not prefilter.admits("abcab")  # only one c
+        assert prefilter.admits("abcacb")
+
+    def test_optional_letters_are_not_required(self):
+        prefilter = _prefilter("a(b|ε)x{a}")
+        assert dict(prefilter.required) == {"a": 2}
+        assert prefilter.admits("aa")
+
+    def test_length_window(self):
+        prefilter = _prefilter("(ab)x{a(b|ε)}")
+        assert prefilter.min_length == 3
+        assert prefilter.max_length == 4
+        assert not prefilter.admits("ab")
+        assert not prefilter.admits("ababa")
+        assert prefilter.admits("aba")
+
+    def test_unbounded_length_has_no_maximum(self):
+        prefilter = _prefilter("x{a+}")
+        assert prefilter.max_length is None
+        assert prefilter.admits("a" * 500)
+
+    def test_empty_language_rejects_everything(self):
+        from repro.va import empty_va
+
+        prefilter = trim(empty_va()).prefilter()
+        assert prefilter.empty
+        assert not prefilter.admits("")
+        assert not prefilter.admits("a")
+
+    def test_empty_document_admitted_when_language_has_it(self):
+        prefilter = _prefilter("x{a*}")
+        assert prefilter.min_length == 0
+        assert prefilter.admits("")
+
+    def test_describe_mentions_the_conditions(self):
+        text = _prefilter("(a|b)*x{c}(a|b)*c(a|b)*").describe()
+        assert "c×2" in text
+        assert "length" in text
+
+    def test_admits_accepts_documents_and_strings(self):
+        prefilter = _prefilter("x{a+}")
+        assert prefilter.admits(Document("aaa")) == prefilter.admits("aaa")
