@@ -16,6 +16,13 @@ The evaluation kernel's per-document cost should be sublinear in practice:
   throughput on a sparse corpus (≤10% matching documents).
 * **shared-corpus batches** — ``Engine.evaluate_many`` prefilters up
   front and only evaluates (or ships to workers) the survivors.
+* **backend matrix** — ``indexed`` vs ``indexed-plain`` vs the numpy
+  ``vectorized`` backend on a >64-state (multi-plane) query: Boolean
+  emptiness and first-match on a low-run 100k-letter document (where the
+  vectorized frontier-node walk should win ≥5x) and on a run-heavy
+  document (where the indexed kernel's Python-int doubling stays ahead —
+  both cells are reported so the README's backend-selection matrix stays
+  honest).
 
 Results are written as human-readable tables (the ``report`` fixture) and
 machine-readably to ``BENCH_kernel.json`` at the repository root (CI
@@ -357,6 +364,124 @@ def _batch_sweep():
             }
         )
     return rows
+
+
+# -- backend matrix: indexed vs indexed-plain vs vectorized -------------------
+
+#: A >64-state query (≥ 2 uint64 planes once indexed): an anchored 24-letter
+#: pattern inside a capture, in an a/b sea.
+MATRIX_FORMULA = "(a|b)*x{" + "ab" * 12 + "a+}(a|b)*"
+MATRIX_DOC_LETTERS = 2_000 if TINY else 100_000
+MATRIX_RUN_LENGTH = 25_000  # the run-heavy workload's run size (non-tiny)
+MATRIX_BACKENDS = ("indexed", "indexed-plain", "vectorized")
+
+
+def _matrix_documents() -> "list[tuple[str, Document]]":
+    """The two matrix workloads: a low-run (random a/b) document with one
+    planted match, and a run-heavy (few long runs) document."""
+    rng = random.Random(16)
+    n = MATRIX_DOC_LETTERS
+    low_run = [rng.choice("ab") for _ in range(n)]
+    planted = "ab" * 12 + "aa"
+    middle = n // 2
+    low_run[middle : middle + len(planted)] = planted
+    run_length = max(4, min(MATRIX_RUN_LENGTH, n // 4))
+    parts = []
+    while sum(len(p) for p in parts) < n:
+        parts.append("a" * run_length)
+        parts.append("b" * run_length)
+    run_heavy = "".join(parts)[:n] + planted
+    return [
+        ("low_run", Document("".join(low_run))),
+        ("run_heavy", Document(run_heavy)),
+    ]
+
+
+def _backend_matrix_sweep():
+    from repro.engine import available_backends, get_backend
+    from repro.regex import parse
+
+    from bench_common import compile_formula
+
+    va = compile_formula(parse(MATRIX_FORMULA))
+    assert va.indexed().n_states > 64  # multi-plane by construction
+    runnable = [b for b in MATRIX_BACKENDS if b in available_backends()]
+    rows = []
+    for workload, doc in _matrix_documents():
+        for backend in runnable:
+            prepared = get_backend(backend).prepare(va)
+            prepared.is_nonempty(doc)  # warm caches (nodes, powers, encoding)
+            nonempty_ms, nonempty = _best_of(
+                REPEATS, lambda: prepared.is_nonempty(doc)
+            )
+            first_ms, first = _best_of(REPEATS, lambda: prepared.run(doc).first())
+            assert nonempty and first is not None, (workload, backend)
+            rows.append(
+                {
+                    "workload": workload,
+                    "backend": backend,
+                    "doc_letters": len(doc),
+                    "nonempty_ms": round(nonempty_ms, 4),
+                    "first_ms": round(first_ms, 4),
+                }
+            )
+    return rows
+
+
+def _matrix_speedups(rows):
+    """Vectorized-over-indexed ratios per workload (absent without numpy)."""
+    by_key = {(r["workload"], r["backend"]): r for r in rows}
+    speedups = {}
+    for workload in ("low_run", "run_heavy"):
+        indexed = by_key.get((workload, "indexed"))
+        vectorized = by_key.get((workload, "vectorized"))
+        if indexed and vectorized:
+            speedups[workload] = {
+                "nonempty": round(
+                    indexed["nonempty_ms"] / vectorized["nonempty_ms"], 2
+                ),
+                "first": round(indexed["first_ms"] / vectorized["first_ms"], 2),
+            }
+    return speedups
+
+
+def bench_e16_backend_matrix(benchmark, report):
+    rows = benchmark.pedantic(_backend_matrix_sweep, rounds=1, iterations=1)
+    speedups = _matrix_speedups(rows)
+    table = format_table(
+        ["workload", "backend", "letters", "nonempty_ms", "first_ms"],
+        [
+            [
+                r["workload"],
+                r["backend"],
+                r["doc_letters"],
+                r["nonempty_ms"],
+                r["first_ms"],
+            ]
+            for r in rows
+        ],
+        title="E16d backend matrix on a >64-state query "
+        f"({MATRIX_DOC_LETTERS} letters): Boolean emptiness and first-match "
+        "per enumeration backend",
+    )
+    report("E16d_backend_matrix", table)
+    _JSON["sections"]["backend_matrix"] = {
+        "formula": MATRIX_FORMULA,
+        "doc_letters": MATRIX_DOC_LETTERS,
+        "repeats": REPEATS,
+        "backends": list(MATRIX_BACKENDS),
+        "rows": rows,
+        "vectorized_speedup_vs_indexed": speedups,
+    }
+    _flush_json()
+    if not TINY and "low_run" in speedups:
+        # Acceptance bar: ≥5x over indexed on a low-run 100k-letter
+        # document with a ≥64-state query, for both emptiness and
+        # first-match.  (Run-heavy documents are indexed's home turf —
+        # reported, not asserted.)
+        low_run = speedups["low_run"]
+        assert low_run["nonempty"] >= 5.0, speedups
+        assert low_run["first"] >= 5.0, speedups
 
 
 def bench_e16_shared_corpus_batch(benchmark, report):

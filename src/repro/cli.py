@@ -23,15 +23,18 @@ Subcommands:
 * ``dot``      — compile to a vset-automaton and emit Graphviz DOT.
 
 ``extract`` and ``batch`` run through :class:`repro.engine.Engine`;
-``--backend`` picks the enumeration backend, ``--limit K`` stops after K
+``--backend`` picks the enumeration backend (``indexed`` by default; the
+numpy-backed ``vectorized`` backend needs the ``[fast]`` extra and exits
+with an install hint when numpy is missing), ``--limit K`` stops after K
 mappings per document (short-circuiting graph construction on the lazy
 indexed backend), ``--no-optimize`` disables the logical-plan optimizer, ``--no-prefilter``
 disables the VA-derived document prefilter (by default provably
 non-matching documents are rejected in O(1) from their letter histogram),
 ``batch --workers N`` shards the surviving corpus across N worker
 processes, and ``--stats`` prints the engine's cache/compile/enumerate
-statistics to stderr (including ``prefilter rejects`` and the
-run-compressed kernel's ``kernel run hits``).
+statistics to stderr (including ``prefilter rejects``, the run-compressed
+kernel's ``kernel run hits``, and the vectorized backend's ``frontier
+misses``).
 """
 
 from __future__ import annotations

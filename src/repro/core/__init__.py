@@ -3,6 +3,7 @@
 from .document import Alphabet, Document, as_document
 from .errors import (
     ArityError,
+    BackendUnavailableError,
     EvaluationError,
     MappingError,
     NotFunctionalError,
@@ -21,6 +22,7 @@ from .spans import Span, all_spans, count_spans, span
 __all__ = [
     "Alphabet",
     "ArityError",
+    "BackendUnavailableError",
     "ConstantSpanner",
     "Document",
     "EMPTY_MAPPING",

@@ -58,6 +58,12 @@ class EvaluationError(SpannerError, RuntimeError):
     """An internal invariant of an evaluation algorithm was violated."""
 
 
+class BackendUnavailableError(SpannerError, RuntimeError):
+    """A requested enumeration backend cannot run in this environment,
+    e.g. ``--backend vectorized`` without numpy installed.  The message
+    names the missing dependency and the portable alternatives."""
+
+
 class VariableError(SpannerError, ValueError):
     """An invalid variable usage, e.g. re-opening an already open variable
     in a context that forbids it."""

@@ -15,7 +15,8 @@ across documents:
   ad-hoc-suffix split of every RA query (the paper's Sections 3–5
   compilation modes), with plan-level CSE;
 * :mod:`repro.engine.backends` — interchangeable enumeration backends
-  (``matchgraph``, ``indexed``);
+  (``matchgraph``, ``indexed``, ``indexed-plain``, and the numpy-backed
+  ``vectorized``);
 * :class:`EngineStats` — cache, optimizer, compile-time and graph-size
   statistics.
 """
@@ -29,6 +30,8 @@ from .backends import (
     PlainIndexedBackend,
     PreparedRun,
     PreparedVA,
+    VectorizedBackend,
+    available_backends,
     get_backend,
 )
 from .core import Engine, ExecutionContext
@@ -68,6 +71,8 @@ __all__ = [
     "RewriteRule",
     "StaticNode",
     "SyncDifferencePlanNode",
+    "VectorizedBackend",
+    "available_backends",
     "build_plan",
     "get_backend",
     "lower_logical",

@@ -20,10 +20,18 @@ Shipped backends:
 * ``indexed-plain`` — the same substrate with the kernel disabled (the
   per-letter escape hatch, kept for comparison benches and as a guard
   against kernel regressions).
+* ``vectorized`` — the numpy uint64 state-plane substrate
+  (:mod:`repro.va.vectorized`): interned frontier nodes over a
+  precomputed successor-plane table, plane-matrix power doubling on
+  runs, and whole-document plane arrays for the backward pass.  Needs
+  numpy (the ``[fast]`` extra); requesting it without numpy raises a
+  clean :class:`~repro.core.errors.BackendUnavailableError`.
 
 All backends are interchangeable: ``tests/engine`` checks each against the
 naive run-semantics enumerator on random automata and documents, in both
-content and enumeration order.
+content and enumeration order.  :func:`available_backends` lists the ones
+that can actually run in this environment (everything except
+``vectorized`` is always available).
 """
 
 from __future__ import annotations
@@ -39,6 +47,12 @@ from ..va.evaluation import enumerate_matchgraph
 from ..va.indexed import IndexedMatchGraph, IndexedVA, indexed_nonempty
 from ..va.matchgraph import FactorizedVA, MatchGraph, boolean_nonempty
 from ..va.properties import is_sequential
+from ..va.vectorized import (
+    VectorizedMatchGraph,
+    numpy_available,
+    require_numpy,
+    vectorized_nonempty,
+)
 
 
 class PreparedRun(abc.ABC):
@@ -56,6 +70,14 @@ class PreparedRun(abc.ABC):
     @abc.abstractmethod
     def enumerate(self) -> Iterator[Mapping]:
         """Enumerate the mappings with polynomial delay (Theorem 2.5)."""
+
+    def first(self) -> "Mapping | None":
+        """The first mapping in canonical order, or ``None`` if empty.
+
+        Backends with a dedicated greedy walk override this; the fallback
+        takes the enumeration's head.
+        """
+        return next(self.enumerate(), None)
 
 
 class PreparedVA(abc.ABC):
@@ -87,11 +109,24 @@ class PreparedVA(abc.ABC):
         around each evaluation to attribute ``kernel_run_hits``."""
         return 0
 
+    def frontier_misses(self) -> int:
+        """Cumulative frontier-transition cache misses behind this
+        prepared form (``0`` for backends without a frontier cache).  The
+        engine samples it around each evaluation to attribute
+        ``frontier_cache_misses``."""
+        return 0
+
 
 class EnumerationBackend(abc.ABC):
     """A strategy for preparing and enumerating sequential VAs."""
 
     name: str
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend can run in the current environment
+        (``vectorized`` needs numpy; everything else always can)."""
+        return True
 
     @abc.abstractmethod
     def prepare(self, va: VA) -> PreparedVA:
@@ -202,7 +237,59 @@ class PlainIndexedBackend(IndexedBackend):
     compressed = False
 
 
-# IndexedMatchGraph already exposes the full run interface.
+# -- vectorized: numpy uint64 state planes + interned frontier nodes --------
+
+
+class PreparedVectorizedVA(PreparedVA):
+    """Prepared form of the ``vectorized`` backend: a
+    :class:`~repro.va.vectorized.VectorizedVA` (cached on the automaton
+    via :meth:`VA.vectorized`) sharing one frontier-node kernel across
+    every document."""
+
+    __slots__ = ("va", "vectorized")
+
+    def __init__(self, va: VA):
+        _require_sequential(va)
+        self.vectorized = va.vectorized()
+        self.va = self.vectorized.va
+
+    def run(self, document: Document | str) -> VectorizedMatchGraph:
+        return VectorizedMatchGraph(self.vectorized, as_document(document))
+
+    def is_nonempty(self, document: Document | str) -> bool:
+        return vectorized_nonempty(self.vectorized, document)
+
+    def kernel_hits(self) -> int:
+        return self.vectorized.kernel().run_hits
+
+    def frontier_misses(self) -> int:
+        return self.vectorized.kernel().step_misses
+
+
+class VectorizedBackend(EnumerationBackend):
+    """The numpy state-plane evaluator (see :mod:`repro.va.vectorized`).
+
+    Constructing the backend without numpy raises
+    :class:`~repro.core.errors.BackendUnavailableError` — requesting
+    ``--backend vectorized`` fails fast with the install hint instead of
+    dying mid-evaluation.
+    """
+
+    name = "vectorized"
+
+    def __init__(self):
+        require_numpy()
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return numpy_available()
+
+    def prepare(self, va: VA) -> PreparedVectorizedVA:
+        return PreparedVectorizedVA(va)
+
+
+# IndexedMatchGraph (and its vectorized subclass) already expose the full
+# run interface.
 PreparedRun.register(IndexedMatchGraph)
 
 
@@ -212,21 +299,38 @@ BACKENDS: dict[str, type[EnumerationBackend]] = {
     MatchGraphBackend.name: MatchGraphBackend,
     IndexedBackend.name: IndexedBackend,
     PlainIndexedBackend.name: PlainIndexedBackend,
+    VectorizedBackend.name: VectorizedBackend,
 }
 
 DEFAULT_BACKEND = IndexedBackend.name
 
 
+def available_backends() -> "list[str]":
+    """The registered backend names that can run in this environment
+    (sorted) — everything except ``vectorized`` unconditionally, plus
+    ``vectorized`` when numpy is importable."""
+    return sorted(
+        name for name, cls in BACKENDS.items() if cls.is_available()
+    )
+
+
 def get_backend(backend: "str | EnumerationBackend | None") -> EnumerationBackend:
-    """Resolve a backend name (or pass an instance through)."""
+    """Resolve a backend name (or pass an instance through).
+
+    Unknown names raise :class:`SpannerError`; a known backend whose
+    dependencies are missing raises
+    :class:`~repro.core.errors.BackendUnavailableError` (with the install
+    hint) from its constructor.
+    """
     if backend is None:
         backend = DEFAULT_BACKEND
     if isinstance(backend, EnumerationBackend):
         return backend
     try:
-        return BACKENDS[backend]()
+        cls = BACKENDS[backend]
     except KeyError:
         raise SpannerError(
             f"unknown enumeration backend {backend!r}; "
             f"available: {sorted(BACKENDS)}"
         ) from None
+    return cls()

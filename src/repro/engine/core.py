@@ -154,6 +154,7 @@ class ExecutionContext:
         prepared = self.prepared_for(doc)
         stats.documents += 1
         base_kernel_hits = prepared.kernel_hits()
+        base_frontier_misses = prepared.frontier_misses()
         start = time.perf_counter()
         run = prepared.run(doc)
         stats.compile_seconds += time.perf_counter() - start
@@ -179,10 +180,43 @@ class ExecutionContext:
             # lazy backend does not pay the gauge before the first yield.
             stats.states_explored += run.states_alive()
             stats.kernel_run_hits += prepared.kernel_hits() - base_kernel_hits
+            stats.frontier_cache_misses += (
+                prepared.frontier_misses() - base_frontier_misses
+            )
 
     def first(self, document: Document | str) -> Mapping | None:
-        """The first mapping in canonical order, or ``None`` if empty."""
-        return next(self.enumerate(document, limit=1), None)
+        """The first mapping in canonical order, or ``None`` if empty.
+
+        Delegates to the run's dedicated :meth:`PreparedRun.first` walk —
+        on the indexed and vectorized backends one Boolean pass plus a
+        single greedy root-to-sink descent, never a full edge build.  A
+        deliberate fast path: it skips the ``states_explored`` gauge (the
+        lazy runs never materialise their backward layers here).
+        """
+        doc = as_document(document)
+        stats = self.stats
+        prefilter = self.prefilter()
+        if prefilter is not None and not prefilter.admits(doc):
+            stats.documents += 1
+            stats.prefilter_rejects += 1
+            return None
+        prepared = self.prepared_for(doc)
+        stats.documents += 1
+        base_kernel_hits = prepared.kernel_hits()
+        base_frontier_misses = prepared.frontier_misses()
+        start = time.perf_counter()
+        run = prepared.run(doc)
+        stats.compile_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        mapping = run.first()
+        stats.enumerate_seconds += time.perf_counter() - start
+        if mapping is not None:
+            stats.mappings += 1
+        stats.kernel_run_hits += prepared.kernel_hits() - base_kernel_hits
+        stats.frontier_cache_misses += (
+            prepared.frontier_misses() - base_frontier_misses
+        )
+        return mapping
 
     def is_nonempty(self, document: Document | str) -> bool:
         """Decide emptiness with the backend's Boolean pass — no
@@ -198,10 +232,14 @@ class ExecutionContext:
         prepared = self.prepared_for(doc)
         stats.nonempty_checks += 1
         base_kernel_hits = prepared.kernel_hits()
+        base_frontier_misses = prepared.frontier_misses()
         start = time.perf_counter()
         result = prepared.is_nonempty(doc)
         stats.enumerate_seconds += time.perf_counter() - start
         stats.kernel_run_hits += prepared.kernel_hits() - base_kernel_hits
+        stats.frontier_cache_misses += (
+            prepared.frontier_misses() - base_frontier_misses
+        )
         return result
 
 

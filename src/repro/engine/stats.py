@@ -37,6 +37,10 @@ class EngineStats:
         kernel_run_hits: letter runs advanced by the run-compressed
             transition kernel (fixpoint absorption or power doubling)
             instead of per-letter stepping.
+        frontier_cache_misses: frontier transitions the vectorized
+            backend actually computed through its numpy plane tables —
+            every other position was served by the interned frontier-node
+            cache (``0`` on backends without a frontier cache).
         parallel_shards: worker shards dispatched by
             ``evaluate_many(workers=N)``; shard counters are merged back
             into the parent engine, so times are summed CPU time across
@@ -65,6 +69,7 @@ class EngineStats:
     nonempty_checks: int = 0
     prefilter_rejects: int = 0
     kernel_run_hits: int = 0
+    frontier_cache_misses: int = 0
     parallel_shards: int = 0
     rules_fired: int = 0
     rule_fires: dict = field(default_factory=dict)
@@ -127,6 +132,7 @@ class EngineStats:
             f"nonempty checks    {self.nonempty_checks}",
             f"prefilter rejects  {self.prefilter_rejects}",
             f"kernel run hits    {self.kernel_run_hits}",
+            f"frontier misses    {self.frontier_cache_misses}",
             f"parallel shards    {self.parallel_shards}",
             f"optimizer rewrites {self.rules_fired}{self._rule_breakdown()}",
             f"plan CSE hits      {self.cse_hits}",

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core import NotSequentialError, SpanRelation
-from repro.engine import BACKENDS, get_backend
+from repro.engine import available_backends, get_backend
 from repro.va import (
     VA,
     enumerate_indexed,
@@ -20,7 +20,7 @@ from ..properties.conftest import documents, sequential_formulas
 
 _SETTINGS = settings(max_examples=40, deadline=None)
 
-ALL_BACKENDS = sorted(BACKENDS)
+ALL_BACKENDS = available_backends()
 
 
 class TestBackendsMatchNaive:

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import SpanRelation
-from repro.engine import BACKENDS, Engine, EngineStats
+from repro.engine import Engine, EngineStats, available_backends
 from repro.va import (
     IndexedMatchGraph,
     enumerate_naive,
@@ -20,7 +20,7 @@ from ..properties.conftest import sequential_formulas
 
 _SETTINGS = settings(max_examples=50, deadline=None)
 
-ALL_BACKENDS = sorted(BACKENDS)
+ALL_BACKENDS = available_backends()
 
 #: Documents biased toward long single-letter runs — the regime the
 #: run-compressed kernel and the DFS run-skip target.  Includes the

@@ -4,7 +4,7 @@ prefix semantics, Boolean emptiness wiring, and parallel batch evaluation."""
 from hypothesis import given, settings
 
 from repro.core import RelationSpanner, SpanRelation
-from repro.engine import BACKENDS, Engine, get_backend
+from repro.engine import Engine, available_backends, get_backend
 from repro.va import (
     IndexedMatchGraph,
     boolean_nonempty,
@@ -20,7 +20,7 @@ from ..properties.conftest import documents, sequential_formulas
 
 _SETTINGS = settings(max_examples=40, deadline=None)
 
-ALL_BACKENDS = sorted(BACKENDS)
+ALL_BACKENDS = available_backends()
 
 
 class TestLazyVsEagerGraphs:

@@ -1,0 +1,122 @@
+"""Perf-budget regression gate (ROADMAP item: CI perf budgets, first
+slice).
+
+The committed ``BENCH_kernel.json`` at the repository root is the perf
+baseline: it records the E16 kernel/prefilter/backend-matrix speedups at
+the SHA they were measured.  This module gates two things:
+
+* **the committed baseline itself** — the acceptance bars of the E16
+  bench must hold in the checked-in numbers (a PR that regresses perf and
+  "fixes" CI by committing worse numbers fails here, visibly);
+* **the live code** — the backend-matrix workload is re-run in-process
+  (one 100k-letter document, reduced repeats — the tiny slice of the full
+  bench) and the measured vectorized-over-indexed speedups must stay
+  within ``PERF_BUDGET_TOLERANCE`` (default 30%) of the committed ones.
+
+Speedup *ratios* are compared, never wall-clock times, so the gate is
+machine independent: a slow CI runner slows both backends alike.  Set
+``PERF_BUDGET_SKIP=1`` to bypass the module (emergency escape hatch for
+pathological environments); set ``PERF_BUDGET_TOLERANCE=0.5`` to widen
+the budget without editing code.
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+import pytest
+
+from repro.va.vectorized import numpy_available
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+#: Allowed relative speedup loss before the gate fails (>30% slowdown of
+#: the measured speedup ratio vs the committed baseline is a regression).
+TOLERANCE = float(os.environ.get("PERF_BUDGET_TOLERANCE", "0.30"))
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("PERF_BUDGET_SKIP") == "1",
+    reason="perf budgets skipped via PERF_BUDGET_SKIP=1",
+)
+
+
+def _baseline() -> dict:
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_kernel.json baseline")
+    data = json.loads(BASELINE_PATH.read_text())
+    if data.get("tiny"):
+        pytest.skip("committed baseline was written in tiny mode")
+    return data
+
+
+def _bench_module():
+    """The E16 bench module, imported from ``benchmarks/`` (its workload
+    builders are the single source of truth for the gate's documents)."""
+    bench_dir = str(REPO_ROOT / "benchmarks")
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_e16_kernel_prefilter as bench
+
+    if bench.TINY:
+        pytest.skip("BENCH_E16_TINY is set: workloads not baseline-sized")
+    return bench
+
+
+class TestCommittedBaseline:
+    """The checked-in numbers must themselves clear the acceptance bars."""
+
+    def test_schema_and_provenance(self):
+        data = _baseline()
+        assert data["experiment"] == "e16_kernel_prefilter"
+        assert data["git_sha"] and data["git_sha"] != "unknown"
+        sections = data["sections"]
+        for name in (
+            "kernel_run_sweep",
+            "prefilter_selectivity",
+            "batch_corpus",
+            "backend_matrix",
+        ):
+            assert sections[name]["rows"], name
+
+    def test_kernel_acceptance_bar_holds(self):
+        rows = _baseline()["sections"]["kernel_run_sweep"]["rows"]
+        longest = rows[-1]
+        assert longest["full_speedup"] >= 2.0, longest
+        assert longest["emptiness_speedup"] >= 2.0, longest
+
+    def test_backend_matrix_acceptance_bar_holds(self):
+        section = _baseline()["sections"]["backend_matrix"]
+        assert section["doc_letters"] >= 100_000, section
+        low_run = section["vectorized_speedup_vs_indexed"]["low_run"]
+        # The tentpole bar: ≥5x over indexed on is_nonempty and first()
+        # for a low-run 100k-letter document with a >64-state query.
+        assert low_run["nonempty"] >= 5.0, low_run
+        assert low_run["first"] >= 5.0, low_run
+
+
+@pytest.mark.skipif(not numpy_available(), reason="vectorized needs numpy")
+class TestLiveSpeedupBudget:
+    """Re-measure the backend matrix and compare ratios to the baseline."""
+
+    def test_vectorized_speedup_within_budget(self):
+        baseline = _baseline()["sections"]["backend_matrix"]
+        bench = _bench_module()
+        if bench.MATRIX_DOC_LETTERS != baseline["doc_letters"]:
+            pytest.skip("bench workload size diverged from the baseline")
+        committed = baseline["vectorized_speedup_vs_indexed"]["low_run"]
+        measured = bench._matrix_speedups(bench._backend_matrix_sweep())
+        assert "low_run" in measured, measured
+        for metric in ("nonempty", "first"):
+            floor = committed[metric] * (1.0 - TOLERANCE)
+            assert measured["low_run"][metric] >= floor, (
+                f"{metric}: measured {measured['low_run'][metric]}x, "
+                f"committed {committed[metric]}x, budget floor {floor:.2f}x "
+                f"(tolerance {TOLERANCE:.0%}) — the vectorized backend "
+                "regressed (or the baseline needs regenerating: "
+                "PYTHONPATH=src python -m pytest "
+                "benchmarks/bench_e16_kernel_prefilter.py -o "
+                "python_files='bench_*.py' -o python_functions='bench_*' "
+                "--benchmark-disable)"
+            )
