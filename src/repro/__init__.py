@@ -56,6 +56,7 @@ from .algebra import (
     fpt_join,
     synchronized_difference,
 )
+from .corpus import CorpusError, CorpusSelection, CorpusStore
 from .engine import Engine, EngineStats
 
 __version__ = "1.0.0"
@@ -87,6 +88,9 @@ def compile_spanner(source: "str | RegexFormula | VA", alphabet=None) -> VASpann
 
 
 __all__ = [
+    "CorpusError",
+    "CorpusSelection",
+    "CorpusStore",
     "Difference",
     "Document",
     "Engine",

@@ -15,6 +15,12 @@ Subcommands:
 * ``extract``  — evaluate a formula on a document (table or JSON output);
 * ``batch``    — evaluate a formula on many documents (one per line)
   through the execution engine, sharing all compiled state;
+* ``corpus``   — the persistent corpus store: ``corpus ingest`` loads
+  documents (one per line) into a content-hash-deduped sqlite store with
+  cached artifacts and posting lists, ``corpus query`` evaluates a formula
+  against the store through the index (``--explain`` prints the posting
+  ops), ``corpus stats`` reports sizes, and ``corpus rebuild [--verify]``
+  recomputes every artifact from the raw texts;
 * ``explain``  — build an RA query from formulas (``--union``/``--join``/
   ``--difference`` fold further formulas onto the first; ``--project``
   wraps the result) and print the compiled plan: the physical tree, the
@@ -40,6 +46,7 @@ misses``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .algebra.planner import RAQuery
@@ -122,6 +129,120 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"\n{len(lines)} document(s), {total} mapping(s)")
     if args.stats:
         _print_stats(engine)
+    return 0
+
+
+def _read_corpus_lines(args: argparse.Namespace) -> list[str]:
+    if args.file is not None:
+        with open(args.file, encoding="utf-8") as handle:
+            return handle.read().splitlines()
+    return sys.stdin.read().splitlines()
+
+
+def _open_store(args: argparse.Namespace):
+    from .corpus import CorpusStore
+
+    return CorpusStore(args.store)
+
+
+def _cmd_corpus_ingest(args: argparse.Namespace) -> int:
+    lines = _read_corpus_lines(args)
+    with _open_store(args) as store:
+        before = len(store)
+        store.add_many(lines)
+        added = len(store) - before
+        print(
+            f"{len(lines)} line(s) → {added} new document(s), "
+            f"{store.dedup_hits} deduplicated"
+        )
+        print(f"store: {store.path} ({len(store)} document(s))")
+    return 0
+
+
+def _cmd_corpus_stats(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        stats = store.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"store             {stats['path']}")
+    print(f"documents         {stats['documents']}")
+    print(f"total letters     {stats['total_letters']}")
+    if stats["documents"]:
+        print(
+            f"length range      [{stats['min_length']}, {stats['max_length']}]"
+        )
+    print(f"distinct letters  {stats['distinct_letters']}")
+    for entry in stats["largest_postings"]:
+        print(
+            f"posting           {entry['letter']!r} in "
+            f"{entry['documents']} document(s)"
+        )
+    print(f"store bytes       {stats['store_bytes']}")
+    return 0
+
+
+def _cmd_corpus_query(args: argparse.Namespace) -> int:
+    engine = Engine(
+        backend=args.backend,
+        optimize=not args.no_optimize,
+        prefilter=not args.no_prefilter,
+    )
+    va = _compile(args)
+    with _open_store(args) as store:
+        if args.explain:
+            prefilter = engine.prepare(va).prefilter()
+            if prefilter is None:
+                print("index plan: none (prefilter disabled or unavailable)")
+            else:
+                print(store.candidates(prefilter).describe())
+            print()
+        doc_ids = store.doc_ids()
+        relations = engine.evaluate_many(
+            va, store, limit=args.limit, workers=args.workers
+        )
+        total = 0
+        matching = 0
+        for doc_id, relation in zip(doc_ids, relations):
+            if not len(relation):
+                continue
+            matching += 1
+            total += len(relation)
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "doc_id": doc_id,
+                            "relation": json.loads(dumps_relation(relation)),
+                        },
+                        sort_keys=True,
+                    )
+                )
+            else:
+                text = store.text(doc_id)
+                preview = text if len(text) <= 32 else text[:29] + "..."
+                print(f"doc {doc_id:4d}  {len(relation):6d} mapping(s)  {preview}")
+        if not args.json:
+            print(
+                f"\n{len(doc_ids)} document(s), {matching} matching, "
+                f"{total} mapping(s)"
+            )
+    if args.stats:
+        _print_stats(engine)
+    return 0
+
+
+def _cmd_corpus_rebuild(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        report = store.rebuild(verify=args.verify)
+    for issue in report["issues"]:
+        print(f"issue: {issue}", file=sys.stderr)
+    verified = " (verified)" if report["verified"] else ""
+    print(
+        f"rebuilt {report['documents']} document(s), "
+        f"{report['letters']} posting list(s), "
+        f"{len(report['issues'])} issue(s) repaired{verified}"
+    )
     return 0
 
 
@@ -249,6 +370,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    corpus = sub.add_parser(
+        "corpus", help="persistent corpus store: ingest once, query the index"
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            required=True,
+            metavar="PATH",
+            help="store location (a sqlite file, or a directory that will "
+            "hold corpus.sqlite)",
+        )
+
+    ingest = corpus_sub.add_parser(
+        "ingest",
+        help="load documents (one per line) into the store, deduplicating "
+        "by content hash",
+    )
+    add_store(ingest)
+    ingest.add_argument(
+        "--file", help="documents file, one per line (default: stdin)"
+    )
+    ingest.set_defaults(func=_cmd_corpus_ingest)
+
+    corpus_stats = corpus_sub.add_parser(
+        "stats", help="report store sizes, letters, and posting lists"
+    )
+    add_store(corpus_stats)
+    corpus_stats.add_argument("--json", action="store_true", help="JSON output")
+    corpus_stats.set_defaults(func=_cmd_corpus_stats)
+
+    corpus_query = corpus_sub.add_parser(
+        "query",
+        help="evaluate a formula against the store through the posting-list "
+        "index",
+    )
+    add_common(corpus_query)
+    add_store(corpus_query)
+    corpus_query.add_argument(
+        "--json", action="store_true", help="JSON-lines output (matching docs)"
+    )
+    corpus_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the index plan (posting ops and candidate counts) first",
+    )
+    corpus_query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard surviving documents across N worker processes",
+    )
+    add_engine(corpus_query)
+    corpus_query.set_defaults(func=_cmd_corpus_query)
+
+    corpus_rebuild = corpus_sub.add_parser(
+        "rebuild",
+        help="recompute artifacts and posting lists from the raw texts",
+    )
+    add_store(corpus_rebuild)
+    corpus_rebuild.add_argument(
+        "--verify",
+        action="store_true",
+        help="first cross-check stored rows against the recomputation and "
+        "report divergences",
+    )
+    corpus_rebuild.set_defaults(func=_cmd_corpus_rebuild)
 
     explain = sub.add_parser(
         "explain", help="print the compiled (and optimized) plan of an RA query"

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from collections import Counter
 from itertools import groupby
-from typing import Iterable, Iterator
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping
 
 from .errors import SpanError
 from .spans import Span, all_spans
@@ -89,7 +90,30 @@ class Document:
         self._text = text
         self._encodings: dict[tuple[str, ...], tuple[int, ...]] | None = None
         self._runs: tuple[tuple[str, int, int], ...] | None = None
-        self._letter_counts: dict[str, int] | None = None
+        self._letter_counts: "Mapping[str, int] | None" = None
+
+    @classmethod
+    def from_cached(
+        cls,
+        text: str,
+        runs: "tuple[tuple[str, int, int], ...] | None" = None,
+        letter_counts: "Mapping[str, int] | None" = None,
+    ) -> "Document":
+        """A document with its derived artifacts pre-seeded.
+
+        The hydration entry point of :class:`~repro.corpus.CorpusStore`:
+        a store that already persisted the run-length encoding and the
+        letter histogram hands them straight to the document, so
+        :meth:`runs` and :meth:`letter_counts` never walk the text again.
+        Callers are trusted to pass artifacts consistent with ``text`` —
+        the store's ``verify()`` path cross-checks them.
+        """
+        doc = cls(text)
+        if runs is not None:
+            doc._runs = tuple(runs)
+        if letter_counts is not None:
+            doc._letter_counts = MappingProxyType(dict(letter_counts))
+        return doc
 
     @property
     def text(self) -> str:
@@ -108,6 +132,11 @@ class Document:
 
     def __hash__(self) -> int:
         return hash(("Document", self._text))
+
+    def __reduce__(self):
+        # Caches are derived data (and the histogram view is an unpicklable
+        # MappingProxyType): pickle the text alone, recompute on demand.
+        return (self.__class__, (self._text,))
 
     def __repr__(self) -> str:
         preview = self._text if len(self._text) <= 40 else self._text[:37] + "..."
@@ -163,18 +192,23 @@ class Document:
             cached = self._runs = tuple(out)
         return cached
 
-    def letter_counts(self) -> dict[str, int]:
+    def letter_counts(self) -> "Mapping[str, int]":
         """The letter histogram of this document (letter → occurrences).
 
         Computed once and cached.  The VA-derived prefilter
         (:mod:`repro.va.prefilter`) compares it against a query's
         must-occur letter bounds to reject non-matching documents in O(1)
-        before any match graph is built.  The returned dict is the cache
-        entry: treat it as immutable.
+        before any match graph is built.  The returned mapping is a
+        read-only :class:`types.MappingProxyType` view of the cache — a
+        caller mutating it would silently corrupt every later prefilter
+        decision, so mutation raises instead.  (:meth:`runs` needs no such
+        guard: it returns a tuple.)
         """
         cached = self._letter_counts
         if cached is None:
-            cached = self._letter_counts = dict(Counter(self._text))
+            cached = self._letter_counts = MappingProxyType(
+                dict(Counter(self._text))
+            )
         return cached
 
     def encoded(self, alphabet: Alphabet) -> tuple[int, ...]:

@@ -1,0 +1,32 @@
+"""The persistent corpus layer: ingest once, query the index.
+
+Layering: ``core`` → ``regex``/``va`` → **corpus** → ``engine``.  The
+corpus layer turns ad-hoc document lists into a standing, indexed corpus:
+
+* :class:`CorpusStore` (:mod:`repro.corpus.store`) — a single sqlite file
+  persisting document texts (content-hash deduped), their derived
+  artifacts (letter histogram, run-length encoding), and per-letter
+  posting lists, reloadable across processes;
+* :mod:`repro.corpus.index` — the query planner compiling a
+  :class:`~repro.va.prefilter.VAPrefilter` into posting-list
+  intersections, length range scans, and foreign-letter subtractions that
+  yield candidate document ids in sublinear time;
+* the engine's batch APIs (:meth:`repro.engine.Engine.evaluate_many`,
+  :meth:`~repro.engine.Engine.is_nonempty_many`,
+  :meth:`~repro.engine.Engine.enumerate_stream`) accept a store or a
+  :class:`CorpusSelection` and evaluate only the index survivors,
+  hydrating cached artifacts instead of recomputing them.
+"""
+
+from .index import IndexOp, IndexPlan, plan_candidates
+from .store import CorpusError, CorpusSelection, CorpusStore, content_hash
+
+__all__ = [
+    "CorpusError",
+    "CorpusSelection",
+    "CorpusStore",
+    "IndexOp",
+    "IndexPlan",
+    "content_hash",
+    "plan_candidates",
+]

@@ -1,0 +1,672 @@
+"""The persistent corpus store: ingest once, query many times.
+
+Every batch API used to walk an ad-hoc document list and recompute the
+per-document artifacts (letter histogram, run-length encoding, dense
+encodings) from scratch on each call — the prefilter wins of the kernel
+layer were paid per *call* instead of amortised per *corpus*.  A
+:class:`CorpusStore` inverts that: documents are **ingested once** into a
+single sqlite file that persists
+
+* the document text plus its SHA-256 **content hash** (duplicate ingests
+  dedup to the existing id),
+* the derived artifacts — letter histogram (JSON) and run-length encoding
+  (a letter-per-run string plus a packed uint32 length array) — so
+  hydrated documents never re-run :meth:`Document.runs` /
+  :meth:`Document.letter_counts`,
+* per-letter **posting lists** — sorted uint32 document-id arrays with
+  parallel occurrence counts, stored as little-endian blobs and viewed as
+  numpy arrays when numpy is installed (:mod:`repro.corpus.index`).
+
+Queries then run *against the index*: the engine compiles its
+:class:`~repro.va.prefilter.VAPrefilter` into posting-list intersections
+and length range scans (:func:`repro.corpus.index.plan_candidates`),
+applies the O(1)-per-document residual profile check straight off the
+stored histograms, and hydrates only the surviving documents.  Survivor
+:class:`~repro.core.document.Document` objects are LRU-cached on the open
+store handle, so a warm re-query reuses their seeded artifact caches (and
+per-alphabet encodings) outright.
+
+Maintenance: :meth:`add` / :meth:`add_many` / :meth:`remove` /
+:meth:`update` keep the posting lists incrementally consistent inside one
+sqlite transaction per call; :meth:`rebuild` recomputes every artifact and
+posting list from the raw texts (``verify=True`` first reports any
+divergence between the stored artifacts and the recomputation — the
+content-hash check doubles as corruption detection).
+
+The store is pure stdlib (``sqlite3`` + ``array``); numpy only
+accelerates the set operations.  One writer at a time per store file is
+assumed (sqlite's own locking protects against worse).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from bisect import bisect_left
+from collections import OrderedDict
+from hashlib import sha256
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..core.document import Document
+from ..core.errors import SpannerError
+from .index import (
+    IndexPlan,
+    id_array,
+    pack_ids,
+    plan_candidates,
+    unpack_ids,
+)
+
+#: Bump on any incompatible change to the sqlite layout.
+SCHEMA_VERSION = 1
+
+#: Chunk size for ``WHERE doc_id IN (...)`` fetches (sqlite's default
+#: variable limit is 999).
+_IN_CHUNK = 500
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS documents (
+    doc_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    hash         TEXT NOT NULL UNIQUE,
+    length       INTEGER NOT NULL,
+    text         TEXT NOT NULL,
+    runs_letters TEXT NOT NULL,
+    runs_lengths BLOB NOT NULL,
+    histogram    TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS documents_length ON documents(length);
+CREATE TABLE IF NOT EXISTS postings (
+    letter TEXT PRIMARY KEY,
+    n      INTEGER NOT NULL,
+    ids    BLOB NOT NULL,
+    counts BLOB NOT NULL
+);
+"""
+
+
+class CorpusError(SpannerError):
+    """A corpus-store operation failed (unknown id, duplicate content, …)."""
+
+
+class _Posting:
+    """One letter's in-memory posting list (parallel sorted arrays)."""
+
+    __slots__ = ("ids", "counts", "dirty")
+
+    def __init__(self, ids, counts, dirty: bool = False):
+        self.ids = ids
+        self.counts = counts
+        self.dirty = dirty
+
+    def add(self, doc_id: int, count: int) -> None:
+        position = bisect_left(self.ids, doc_id)
+        if position < len(self.ids) and self.ids[position] == doc_id:
+            self.counts[position] = count
+        else:
+            self.ids.insert(position, doc_id)
+            self.counts.insert(position, count)
+        self.dirty = True
+
+    def discard(self, doc_id: int) -> None:
+        position = bisect_left(self.ids, doc_id)
+        if position < len(self.ids) and self.ids[position] == doc_id:
+            del self.ids[position]
+            del self.counts[position]
+            self.dirty = True
+
+
+def content_hash(text: str) -> str:
+    """The dedup key of a document: SHA-256 of its UTF-8 bytes."""
+    return sha256(text.encode("utf-8")).hexdigest()
+
+
+def _artifacts(text: str) -> tuple[tuple, dict, str, bytes, str]:
+    """``(runs, histogram, runs_letters, runs_lengths_blob, histogram_json)``
+    recomputed from scratch — the single source of truth for ingest,
+    update, rebuild, and verify."""
+    doc = Document(text)
+    runs = doc.runs()
+    histogram = dict(doc.letter_counts())
+    letters = "".join(letter for letter, _start, _length in runs)
+    lengths = pack_ids(id_array(length for _letter, _start, length in runs))
+    blob = json.dumps(histogram, sort_keys=True, ensure_ascii=False)
+    return runs, histogram, letters, lengths, blob
+
+
+def _runs_from_stored(letters: str, lengths_blob: bytes) -> tuple:
+    lengths = unpack_ids(lengths_blob)
+    out = []
+    position = 0
+    for letter, length in zip(letters, lengths):
+        out.append((letter, position, length))
+        position += length
+    return tuple(out)
+
+
+class CorpusSelection:
+    """A fixed-order subset of a store's documents.
+
+    Produced by :meth:`CorpusStore.select`; accepted everywhere a
+    :class:`CorpusStore` is (``evaluate_many``, ``is_nonempty_many``,
+    ``enumerate_stream``).  Results align with ``doc_ids`` order.
+    """
+
+    __slots__ = ("store", "doc_ids")
+
+    def __init__(self, store: "CorpusStore", doc_ids: Iterable[int]):
+        self.store = store
+        self.doc_ids = tuple(doc_ids)
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def __repr__(self) -> str:
+        return f"CorpusSelection({len(self.doc_ids)} of {self.store!r})"
+
+
+class CorpusStore:
+    """A persistent, indexed document corpus (see module docstring).
+
+    Args:
+        path: the sqlite file backing the store (created on first open,
+            parent directories included).  A directory path stores
+            ``corpus.sqlite`` inside it.
+        document_cache_size: LRU bound on hydrated
+            :class:`~repro.core.document.Document` objects kept on this
+            handle (``0`` disables caching).
+
+    Use as a context manager or call :meth:`close`; every mutating call
+    commits before returning, so a store is always reopenable at the
+    last completed operation.
+    """
+
+    def __init__(self, path: "str | Path", document_cache_size: int = 1024):
+        path = Path(path)
+        if path.is_dir() or not path.suffix:
+            path = path / "corpus.sqlite"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self._conn = sqlite3.connect(str(path))
+        self._conn.executescript(_SCHEMA)
+        self._init_meta()
+        self._postings: dict[str, _Posting] = {}
+        self._letters: set[str] = {
+            row[0]
+            for row in self._conn.execute("SELECT letter FROM postings")
+        }
+        self._doc_cache: OrderedDict[int, Document] = OrderedDict()
+        self._doc_cache_size = document_cache_size
+        #: Ingest calls answered by an existing identical document.
+        self.dedup_hits = 0
+        #: Documents hydrated from this handle (cache hits included — a
+        #: hydration is a fetch that *skips* artifact recomputation).
+        self.hydrations = 0
+
+    def _init_meta(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise CorpusError(
+                f"store {self.path} has schema version {row[0]}, "
+                f"this build reads {SCHEMA_VERSION}"
+            )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+        self._postings.clear()
+        self._doc_cache.clear()
+
+    def __enter__(self) -> "CorpusStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"CorpusStore({str(self.path)!r}, {len(self)} docs)"
+
+    # -- ingest / maintenance ----------------------------------------------
+
+    def add(self, text: "str | Document") -> int:
+        """Ingest one document, returning its id.
+
+        Content-hash dedup: ingesting text identical to a stored document
+        returns the existing id (counted in :attr:`dedup_hits`) — the
+        store never holds two copies of the same text.
+        """
+        return self.add_many([text])[0]
+
+    def add_many(self, texts: Iterable["str | Document"]) -> list[int]:
+        """Ingest a batch in one transaction; returns the ids in order."""
+        ids: list[int] = []
+        touched: set[str] = set()
+        with self._conn:
+            for text in texts:
+                if isinstance(text, Document):
+                    text = text.text
+                ids.append(self._add_one(text, touched))
+            self._flush_postings(touched)
+        return ids
+
+    def _add_one(self, text: str, touched: set[str]) -> int:
+        digest = content_hash(text)
+        row = self._conn.execute(
+            "SELECT doc_id FROM documents WHERE hash = ?", (digest,)
+        ).fetchone()
+        if row is not None:
+            self.dedup_hits += 1
+            return row[0]
+        _runs, histogram, letters, lengths, blob = _artifacts(text)
+        cursor = self._conn.execute(
+            "INSERT INTO documents "
+            "(hash, length, text, runs_letters, runs_lengths, histogram) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (digest, len(text), text, letters, lengths, blob),
+        )
+        doc_id = cursor.lastrowid
+        for letter, count in histogram.items():
+            self._posting_for_write(letter).add(doc_id, count)
+            touched.add(letter)
+        return doc_id
+
+    def remove(self, doc_id: int) -> None:
+        """Delete a document and scrub it from every posting list."""
+        row = self._conn.execute(
+            "SELECT histogram FROM documents WHERE doc_id = ?", (doc_id,)
+        ).fetchone()
+        if row is None:
+            raise CorpusError(f"no document with id {doc_id}")
+        histogram = json.loads(row[0])
+        touched = set()
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM documents WHERE doc_id = ?", (doc_id,)
+            )
+            for letter in histogram:
+                self._posting_for_write(letter).discard(doc_id)
+                touched.add(letter)
+            self._flush_postings(touched)
+        self._doc_cache.pop(doc_id, None)
+
+    def update(self, doc_id: int, text: "str | Document") -> None:
+        """Replace a document's content in place (same id).
+
+        Raises :class:`CorpusError` if the new content duplicates another
+        stored document; updating to the current content is a no-op.
+        """
+        if isinstance(text, Document):
+            text = text.text
+        row = self._conn.execute(
+            "SELECT hash, histogram FROM documents WHERE doc_id = ?", (doc_id,)
+        ).fetchone()
+        if row is None:
+            raise CorpusError(f"no document with id {doc_id}")
+        old_hash, old_histogram_json = row
+        digest = content_hash(text)
+        if digest == old_hash:
+            return
+        clash = self._conn.execute(
+            "SELECT doc_id FROM documents WHERE hash = ?", (digest,)
+        ).fetchone()
+        if clash is not None:
+            raise CorpusError(
+                f"updating document {doc_id} would duplicate document "
+                f"{clash[0]} (identical content)"
+            )
+        old_histogram = json.loads(old_histogram_json)
+        _runs, histogram, letters, lengths, blob = _artifacts(text)
+        touched = set()
+        with self._conn:
+            self._conn.execute(
+                "UPDATE documents SET hash = ?, length = ?, text = ?, "
+                "runs_letters = ?, runs_lengths = ?, histogram = ? "
+                "WHERE doc_id = ?",
+                (digest, len(text), text, letters, lengths, blob, doc_id),
+            )
+            for letter in old_histogram.keys() - histogram.keys():
+                self._posting_for_write(letter).discard(doc_id)
+                touched.add(letter)
+            for letter, count in histogram.items():
+                if old_histogram.get(letter) != count:
+                    self._posting_for_write(letter).add(doc_id, count)
+                    touched.add(letter)
+            self._flush_postings(touched)
+        self._doc_cache.pop(doc_id, None)
+
+    def rebuild(self, verify: bool = False) -> dict:
+        """Recompute every artifact and posting list from the raw texts.
+
+        The maintenance path of last resort (and the migration path after
+        artifact-format changes): artifacts are rederived from ``text``,
+        posting lists are rebuilt from scratch, and the whole swap commits
+        atomically.  With ``verify=True`` the stored rows are first
+        checked against the recomputation (:meth:`verify`) and any
+        divergence is reported in the returned summary — the rebuild then
+        repairs it.
+        """
+        issues = self.verify() if verify else []
+        postings: dict[str, _Posting] = {}
+        documents = 0
+        with self._conn:
+            rows = self._conn.execute(
+                "SELECT doc_id, text FROM documents ORDER BY doc_id"
+            ).fetchall()
+            for doc_id, text in rows:
+                documents += 1
+                digest = content_hash(text)
+                _runs, histogram, letters, lengths, blob = _artifacts(text)
+                self._conn.execute(
+                    "UPDATE documents SET hash = ?, length = ?, "
+                    "runs_letters = ?, runs_lengths = ?, histogram = ? "
+                    "WHERE doc_id = ?",
+                    (digest, len(text), letters, lengths, blob, doc_id),
+                )
+                for letter, count in histogram.items():
+                    posting = postings.get(letter)
+                    if posting is None:
+                        posting = postings[letter] = _Posting(
+                            id_array(), id_array(), dirty=True
+                        )
+                    # doc_ids arrive in ascending order: plain appends.
+                    posting.ids.append(doc_id)
+                    posting.counts.append(count)
+            self._conn.execute("DELETE FROM postings")
+            self._postings = postings
+            self._letters = set(postings)
+            self._flush_postings(set(postings))
+        self._doc_cache.clear()
+        return {
+            "documents": documents,
+            "letters": len(self._letters),
+            "verified": verify,
+            "issues": issues,
+        }
+
+    def verify(self) -> list[str]:
+        """Cross-check stored rows against recomputation (read only).
+
+        Returns a list of human-readable issue descriptions: content-hash
+        mismatches, stale artifacts, and posting lists that diverge from
+        the document histograms.  An empty list means the store is
+        internally consistent.
+        """
+        issues: list[str] = []
+        expected: dict[str, dict[int, int]] = {}
+        rows = self._conn.execute(
+            "SELECT doc_id, hash, length, text, runs_letters, runs_lengths, "
+            "histogram FROM documents ORDER BY doc_id"
+        ).fetchall()
+        for doc_id, digest, length, text, letters, lengths, blob in rows:
+            _runs, histogram, fresh_letters, fresh_lengths, fresh_blob = (
+                _artifacts(text)
+            )
+            if digest != content_hash(text):
+                issues.append(f"doc {doc_id}: stored hash does not match text")
+            if length != len(text):
+                issues.append(f"doc {doc_id}: stored length {length} != {len(text)}")
+            if letters != fresh_letters or bytes(lengths) != fresh_lengths:
+                issues.append(f"doc {doc_id}: stale run-length encoding")
+            if blob != fresh_blob:
+                issues.append(f"doc {doc_id}: stale histogram")
+            for letter, count in histogram.items():
+                expected.setdefault(letter, {})[doc_id] = count
+        stored: dict[str, dict[int, int]] = {}
+        for letter, ids_blob, counts_blob in self._conn.execute(
+            "SELECT letter, ids, counts FROM postings"
+        ):
+            ids = unpack_ids(ids_blob)
+            counts = unpack_ids(counts_blob)
+            stored[letter] = dict(zip(ids, counts))
+            if list(ids) != sorted(ids):
+                issues.append(f"posting {letter!r}: ids not sorted")
+        for letter in expected.keys() | stored.keys():
+            if expected.get(letter, {}) != stored.get(letter, {}):
+                issues.append(
+                    f"posting {letter!r}: diverges from document histograms"
+                )
+        return issues
+
+    # -- posting-list plumbing ----------------------------------------------
+
+    def _posting_for_write(self, letter: str) -> _Posting:
+        posting = self._load_posting(letter)
+        if posting is None:
+            posting = self._postings[letter] = _Posting(
+                id_array(), id_array(), dirty=True
+            )
+            self._letters.add(letter)
+        return posting
+
+    def _load_posting(self, letter: str) -> "_Posting | None":
+        posting = self._postings.get(letter)
+        if posting is None and letter in self._letters:
+            row = self._conn.execute(
+                "SELECT ids, counts FROM postings WHERE letter = ?", (letter,)
+            ).fetchone()
+            if row is not None:
+                posting = self._postings[letter] = _Posting(
+                    unpack_ids(row[0]), unpack_ids(row[1])
+                )
+        return posting
+
+    def _flush_postings(self, letters: Iterable[str]) -> None:
+        """Persist dirty postings (caller holds the transaction)."""
+        for letter in letters:
+            posting = self._postings.get(letter)
+            if posting is None or not posting.dirty:
+                continue
+            if not posting.ids:
+                self._conn.execute(
+                    "DELETE FROM postings WHERE letter = ?", (letter,)
+                )
+                del self._postings[letter]
+                self._letters.discard(letter)
+                continue
+            self._conn.execute(
+                "INSERT INTO postings (letter, n, ids, counts) VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(letter) DO UPDATE SET n = excluded.n, "
+                "ids = excluded.ids, counts = excluded.counts",
+                (
+                    letter,
+                    len(posting.ids),
+                    pack_ids(posting.ids),
+                    pack_ids(posting.counts),
+                ),
+            )
+            posting.dirty = False
+
+    # -- index views used by the planner ------------------------------------
+
+    def letters(self) -> frozenset[str]:
+        """Every letter occurring in at least one stored document."""
+        return frozenset(self._letters)
+
+    def posting(self, letter: str) -> "tuple | None":
+        """``(ids, counts)`` sorted parallel arrays, or ``None`` when no
+        stored document contains ``letter``."""
+        posting = self._load_posting(letter)
+        if posting is None:
+            return None
+        return posting.ids, posting.counts
+
+    def all_ids(self):
+        """Every document id, sorted ascending."""
+        return id_array(
+            row[0]
+            for row in self._conn.execute(
+                "SELECT doc_id FROM documents ORDER BY doc_id"
+            )
+        )
+
+    def ids_in_length_window(self, minimum: int, maximum: "int | None"):
+        """Document ids with length in ``[minimum, maximum]`` (sorted) —
+        a range scan of the indexed ``length`` column."""
+        if maximum is None:
+            rows = self._conn.execute(
+                "SELECT doc_id FROM documents WHERE length >= ? "
+                "ORDER BY doc_id",
+                (minimum,),
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT doc_id FROM documents WHERE length BETWEEN ? AND ? "
+                "ORDER BY doc_id",
+                (minimum, maximum),
+            )
+        return id_array(row[0] for row in rows)
+
+    # -- query side ----------------------------------------------------------
+
+    def candidates(self, prefilter, within: "Iterable[int] | None" = None) -> IndexPlan:
+        """The index plan for ``prefilter``: posting-list intersections,
+        range scans, and the sorted candidate ids they produce — a
+        superset of every document with a nonempty result."""
+        return plan_candidates(self, prefilter, within)
+
+    def survivors(
+        self, prefilter, within: "Iterable[int] | None" = None
+    ) -> tuple[IndexPlan, list[int]]:
+        """Index candidates narrowed by the residual profile check.
+
+        Runs :meth:`candidates`, then
+        :meth:`~repro.va.prefilter.VAPrefilter.admits_profile` over the
+        stored ``(length, histogram)`` rows — no document text is touched
+        — returning exactly the ids the list-walk prefilter would keep.
+        """
+        plan = self.candidates(prefilter, within)
+        kept = [
+            doc_id
+            for doc_id, length, histogram in self._profiles(plan.doc_ids)
+            if prefilter.admits_profile(length, histogram)
+        ]
+        return plan, kept
+
+    def _profiles(self, doc_ids) -> Iterator[tuple[int, int, dict]]:
+        """``(doc_id, length, histogram)`` for each id, in input order."""
+        for chunk_start in range(0, len(doc_ids), _IN_CHUNK):
+            chunk = list(doc_ids[chunk_start : chunk_start + _IN_CHUNK])
+            marks = ",".join("?" * len(chunk))
+            rows = {
+                row[0]: row
+                for row in self._conn.execute(
+                    f"SELECT doc_id, length, histogram FROM documents "
+                    f"WHERE doc_id IN ({marks})",
+                    chunk,
+                )
+            }
+            for doc_id in chunk:
+                row = rows.get(doc_id)
+                if row is not None:
+                    yield row[0], row[1], json.loads(row[2])
+
+    # -- document access ------------------------------------------------------
+
+    def document(self, doc_id: int) -> Document:
+        """The hydrated document: text plus pre-seeded ``runs()`` /
+        ``letter_counts()`` caches, LRU-cached per open handle so warm
+        re-queries reuse one object (and its per-alphabet encodings)."""
+        cached = self._doc_cache.get(doc_id)
+        if cached is not None:
+            self._doc_cache.move_to_end(doc_id)
+            self.hydrations += 1
+            return cached
+        row = self._conn.execute(
+            "SELECT text, runs_letters, runs_lengths, histogram "
+            "FROM documents WHERE doc_id = ?",
+            (doc_id,),
+        ).fetchone()
+        if row is None:
+            raise CorpusError(f"no document with id {doc_id}")
+        text, letters, lengths, histogram = row
+        doc = Document.from_cached(
+            text,
+            runs=_runs_from_stored(letters, lengths),
+            letter_counts=json.loads(histogram),
+        )
+        self.hydrations += 1
+        if self._doc_cache_size > 0:
+            self._doc_cache[doc_id] = doc
+            while len(self._doc_cache) > self._doc_cache_size:
+                self._doc_cache.popitem(last=False)
+        return doc
+
+    def text(self, doc_id: int) -> str:
+        row = self._conn.execute(
+            "SELECT text FROM documents WHERE doc_id = ?", (doc_id,)
+        ).fetchone()
+        if row is None:
+            raise CorpusError(f"no document with id {doc_id}")
+        return row[0]
+
+    def contains_text(self, text: "str | Document") -> "int | None":
+        """The id of the stored document with this exact content, if any."""
+        if isinstance(text, Document):
+            text = text.text
+        row = self._conn.execute(
+            "SELECT doc_id FROM documents WHERE hash = ?",
+            (content_hash(text),),
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def doc_ids(self) -> list[int]:
+        """All document ids, ascending — the store's canonical order."""
+        return list(self.all_ids())
+
+    def select(self, doc_ids: Iterable[int]) -> CorpusSelection:
+        """A fixed subset/ordering of this store for the batch APIs."""
+        return CorpusSelection(self, doc_ids)
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM documents").fetchone()[0]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.doc_ids())
+
+    def __contains__(self, doc_id: object) -> bool:
+        if not isinstance(doc_id, int):
+            return False
+        row = self._conn.execute(
+            "SELECT 1 FROM documents WHERE doc_id = ?", (doc_id,)
+        ).fetchone()
+        return row is not None
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A summary for ``corpus stats``: sizes, letters, dedup counters."""
+        documents, total_letters, min_len, max_len = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(length), 0), MIN(length), "
+            "MAX(length) FROM documents"
+        ).fetchone()
+        top = self._conn.execute(
+            "SELECT letter, n FROM postings ORDER BY n DESC, letter LIMIT 5"
+        ).fetchall()
+        return {
+            "path": str(self.path),
+            "schema_version": SCHEMA_VERSION,
+            "documents": documents,
+            "total_letters": total_letters,
+            "min_length": min_len,
+            "max_length": max_len,
+            "distinct_letters": len(self._letters),
+            "largest_postings": [
+                {"letter": letter, "documents": n} for letter, n in top
+            ],
+            "dedup_hits": self.dedup_hits,
+            "hydrations": self.hydrations,
+            "store_bytes": self.path.stat().st_size if self.path.exists() else 0,
+        }

@@ -9,9 +9,11 @@ An :class:`Engine` owns:
 * a pluggable **enumeration backend** (``matchgraph`` or ``indexed``, see
   :mod:`repro.engine.backends`) preparing each compiled VA for fast
   repeated evaluation;
-* **batch/streaming APIs** — :meth:`Engine.evaluate_many` and
-  :meth:`Engine.enumerate_stream` amortise all document-independent work
-  over a document stream;
+* **batch/streaming APIs** — :meth:`Engine.evaluate_many`,
+  :meth:`Engine.is_nonempty_many` and :meth:`Engine.enumerate_stream`
+  amortise all document-independent work over a document stream, and
+  accept a persistent :class:`~repro.corpus.CorpusStore` to answer from
+  its posting-list index instead of walking the corpus;
 * per-run **statistics** (:class:`~repro.engine.stats.EngineStats`).
 
 The per-query prepared state lives in an :class:`ExecutionContext`; the
@@ -37,12 +39,23 @@ from ..core.document import Document, as_document
 from ..core.errors import SpannerError
 from ..core.mapping import Mapping
 from ..core.relation import SpanRelation
+from ..corpus.store import CorpusSelection, CorpusStore
 from ..va.automaton import VA
 from ..va.prefilter import VAPrefilter
 from ..va.properties import is_sequential
 from .backends import BACKENDS, EnumerationBackend, PreparedVA, get_backend
 from .plan import CompiledPlan, StaticNode, plan_from_logical, resolve_logical
 from .stats import EngineStats
+
+
+def _as_corpus_selection(documents) -> "CorpusSelection | None":
+    """Coerce a store (all documents, id order) or a selection; ``None``
+    for ordinary document iterables."""
+    if isinstance(documents, CorpusStore):
+        return CorpusSelection(documents, documents.doc_ids())
+    if isinstance(documents, CorpusSelection):
+        return documents
+    return None
 
 
 class ExecutionContext:
@@ -466,7 +479,7 @@ class Engine:
     def evaluate_many(
         self,
         query,
-        documents: Iterable[Document | str],
+        documents: "Iterable[Document | str] | CorpusStore | CorpusSelection",
         limit: int | None = None,
         workers: int | None = None,
     ) -> list[SpanRelation]:
@@ -481,6 +494,17 @@ class Engine:
         to workers — so on sparse corpora the per-document cost collapses
         to the O(1) histogram check.
 
+        ``documents`` may also be a :class:`~repro.corpus.CorpusStore` (or
+        a :meth:`~repro.corpus.CorpusStore.select` selection of one): the
+        prefilter conditions then compile into *index operations* —
+        posting-list intersections and length range scans — so
+        non-matching documents are pruned in sublinear time without even
+        fetching their rows, and the survivors hydrate with their cached
+        run-length encodings and histograms instead of recomputing them
+        (:attr:`EngineStats.index_hits` / ``index_candidates`` /
+        ``hydrations``).  Results align with the store's ascending doc-id
+        order (or the selection's order).
+
         Args:
             limit: per-document cap on materialised mappings.
             workers: shard the *surviving* documents across this many
@@ -490,6 +514,9 @@ class Engine:
                 (e.g. black-box spanners that do not pickle) or the batch
                 is tiny.
         """
+        selection = _as_corpus_selection(documents)
+        if selection is not None:
+            return self._evaluate_corpus(query, selection, limit, workers)
         docs = [as_document(doc) for doc in documents]
         # Compile in the parent only when the corpus-level prefilter may
         # need the plan; a prefilter-off parallel batch leaves compilation
@@ -552,10 +579,112 @@ class Engine:
         self.stats.parallel_shards += len(shard_stats)
         return relations
 
+    # -- corpus-store (index-driven) paths ----------------------------------
+
+    def _corpus_survivors(
+        self, context: ExecutionContext, selection: CorpusSelection
+    ) -> "tuple[list[int], set[int] | None]":
+        """The selection's ids plus the set surviving the index plan.
+
+        A ``None`` survivor set means the index could not prune (prefilter
+        disabled, ad-hoc plan, non-sequential automaton): every id must be
+        hydrated and evaluated.  Pruned documents are charged to the
+        ``prefilter_rejects`` counter — they were rejected by exactly the
+        prefilter's conditions, just from the index instead of a walk.
+        """
+        ids = list(selection.doc_ids)
+        prefilter = context.prefilter()
+        if prefilter is None:
+            return ids, None
+        stats = self.stats
+        plan, kept = selection.store.survivors(prefilter, within=ids)
+        stats.index_hits += 1
+        stats.index_candidates += len(plan.doc_ids)
+        kept_set = set(kept)
+        rejected = sum(1 for doc_id in ids if doc_id not in kept_set)
+        stats.documents += rejected
+        stats.prefilter_rejects += rejected
+        return ids, kept_set
+
+    def _hydrate(self, store: CorpusStore, doc_id: int) -> Document:
+        self.stats.hydrations += 1
+        return store.document(doc_id)
+
+    def _evaluate_corpus(
+        self,
+        query,
+        selection: CorpusSelection,
+        limit: int | None,
+        workers: int | None,
+    ) -> list[SpanRelation]:
+        """The index-driven form of :meth:`evaluate_many`."""
+        context = self.prepare(query)
+        ids, survivor_set = self._corpus_survivors(context, selection)
+        store = selection.store
+        surviving_ids = [
+            doc_id
+            for doc_id in dict.fromkeys(ids)  # hydrate duplicates once
+            if survivor_set is None or doc_id in survivor_set
+        ]
+        survivors = [self._hydrate(store, doc_id) for doc_id in surviving_ids]
+        relations: "list[SpanRelation] | None" = None
+        if workers is not None and workers > 1 and len(survivors) > 1:
+            relations = self._evaluate_parallel(query, survivors, limit, workers)
+        if relations is None:
+            relations = [
+                SpanRelation(context.enumerate(doc, limit=limit))
+                for doc in survivors
+            ]
+        by_id = dict(zip(surviving_ids, relations))
+        empty = SpanRelation(())
+        return [by_id.get(doc_id, empty) for doc_id in ids]
+
+    # -- batch emptiness ------------------------------------------------------
+
+    def is_nonempty_many(
+        self,
+        query,
+        documents: "Iterable[Document | str] | CorpusStore | CorpusSelection",
+    ) -> list[bool]:
+        """Decide ``⟦q⟧(d) ≠ ∅`` for a whole batch, sharing one compiled
+        plan — the batch form of :meth:`is_nonempty`.
+
+        Plain iterables walk the batch with the per-document prefilter;
+        a :class:`~repro.corpus.CorpusStore` (or selection) answers
+        through the index plan first, running the Boolean pass only on
+        the candidate documents that survive it.
+        """
+        context = self.prepare(query)
+        selection = _as_corpus_selection(documents)
+        if selection is None:
+            return [
+                context.is_nonempty(as_document(doc)) for doc in documents
+            ]
+        ids, survivor_set = self._corpus_survivors(context, selection)
+        store = selection.store
+        if survivor_set is not None:
+            # Index-pruned documents count as (answered) emptiness checks.
+            rejected = sum(1 for doc_id in ids if doc_id not in survivor_set)
+            self.stats.nonempty_checks += rejected
+            self.stats.documents -= rejected  # _corpus_survivors charged them
+        answers: dict[int, bool] = {}
+        out = []
+        for doc_id in ids:
+            if survivor_set is not None and doc_id not in survivor_set:
+                out.append(False)
+                continue
+            answer = answers.get(doc_id)
+            if answer is None:
+                answer = answers[doc_id] = context.is_nonempty(
+                    self._hydrate(store, doc_id)
+                )
+            out.append(answer)
+        return out
+
     def enumerate_stream(
         self,
         query,
-        documents: Iterable[Document | str],
+        documents: "Iterable[Document | str] | CorpusStore | CorpusSelection",
         limit: int | None = None,
     ) -> Iterator[tuple[int, Mapping]]:
         """Stream ``(document_index, mapping)`` pairs over a document
@@ -565,8 +694,23 @@ class Engine:
         The stream shares one compiled plan and interned alphabet; each
         incoming document is wrapped once and checked against the
         VA-derived prefilter first, so non-matching documents cost one
-        O(1) histogram probe and contribute nothing to the stream."""
+        O(1) histogram probe and contribute nothing to the stream.
+
+        Over a :class:`~repro.corpus.CorpusStore` (or selection) the pairs
+        are ``(doc_id, mapping)`` and the index plan prunes non-candidates
+        up front, so pruned documents are never fetched at all."""
         context = self.prepare(query)
+        selection = _as_corpus_selection(documents)
+        if selection is not None:
+            ids, survivor_set = self._corpus_survivors(context, selection)
+            store = selection.store
+            for doc_id in ids:
+                if survivor_set is not None and doc_id not in survivor_set:
+                    continue
+                doc = self._hydrate(store, doc_id)
+                for mapping in context.enumerate(doc, limit=limit):
+                    yield doc_id, mapping
+            return
         for index, doc in enumerate(documents):
             for mapping in context.enumerate(as_document(doc), limit=limit):
                 yield index, mapping

@@ -9,6 +9,12 @@ cache), and reassembles results in input order.  Each worker returns its
 counters stay meaningful; the merged times are summed CPU seconds across
 processes, not wall time.
 
+The corpus-store path (``evaluate_many`` over a
+:class:`~repro.corpus.CorpusStore`) threads through here too: the parent
+runs the index plan and hydrates the surviving documents, and only those
+survivors are sharded — workers receive raw texts and re-derive their
+evaluation-local artifacts, so index pruning is never paid per shard.
+
 Work ships to workers by pickling, so the parallel path requires a
 picklable query.  :func:`parallel_payload` reduces the supported query
 shapes to plain data (an :class:`RAQuery` is sent as its

@@ -33,7 +33,17 @@ class EngineStats:
             pass (no enumeration edges built).
         prefilter_rejects: documents rejected by the VA-derived prefilter
             (:mod:`repro.va.prefilter`) before any graph was built or the
-            document was even encoded.
+            document was even encoded — including documents pruned by the
+            corpus index without ever being fetched from the store.
+        index_hits: batch/stream calls answered through a
+            :class:`~repro.corpus.CorpusStore` index plan (posting-list
+            intersections and range scans) instead of a corpus walk.
+        index_candidates: candidate documents produced by those index
+            plans — everything else was pruned without touching a row.
+        hydrations: documents fetched from a corpus store with their
+            cached artifacts (run-length encoding, letter histogram)
+            pre-seeded — each hydration skips a ``Document.runs()`` /
+            ``letter_counts()`` recomputation.
         kernel_run_hits: letter runs advanced by the run-compressed
             transition kernel (fixpoint absorption or power doubling)
             instead of per-letter stepping.
@@ -68,6 +78,9 @@ class EngineStats:
     document_misses: int = 0
     nonempty_checks: int = 0
     prefilter_rejects: int = 0
+    index_hits: int = 0
+    index_candidates: int = 0
+    hydrations: int = 0
     kernel_run_hits: int = 0
     frontier_cache_misses: int = 0
     parallel_shards: int = 0
@@ -131,6 +144,9 @@ class EngineStats:
             f"ad-hoc compiles    {self.adhoc_compiles}",
             f"nonempty checks    {self.nonempty_checks}",
             f"prefilter rejects  {self.prefilter_rejects}",
+            f"index hits         {self.index_hits}"
+            f" ({self.index_candidates} candidates)",
+            f"hydrations         {self.hydrations}",
             f"kernel run hits    {self.kernel_run_hits}",
             f"frontier misses    {self.frontier_cache_misses}",
             f"parallel shards    {self.parallel_shards}",

@@ -89,15 +89,23 @@ class VAPrefilter:
         O(distinct letters of the document) after the document's cached
         histogram exists.
         """
+        doc = as_document(document)
+        return self.admits_profile(len(doc), doc.letter_counts())
+
+    def admits_profile(self, length: int, counts) -> bool:
+        """:meth:`admits` on a bare ``(length, letter histogram)`` profile.
+
+        The document-free form: a :class:`~repro.corpus.CorpusStore` keeps
+        exactly this profile per document, so its residual filter runs the
+        check straight off the persisted rows, hydrating only the
+        survivors.  ``counts`` is any mapping letter → occurrences.
+        """
         if self.empty:
             return False
-        doc = as_document(document)
-        length = len(doc)
         if length < self.min_length:
             return False
         if self.max_length is not None and length > self.max_length:
             return False
-        counts = doc.letter_counts()
         ids = self.alphabet.ids
         if len(counts) > len(ids):
             return False  # pigeonhole: some letter is outside the alphabet

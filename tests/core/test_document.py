@@ -123,3 +123,49 @@ class TestDocumentEncodingCache:
         a, b = Document("ab"), Document("ab")
         assert a.encoded(alphabet) == b.encoded(alphabet)
         assert a.encoded(alphabet) is not b.encoded(alphabet)
+
+
+class TestCachedArtifacts:
+    def test_letter_counts_is_read_only(self):
+        counts = Document("abca").letter_counts()
+        assert dict(counts) == {"a": 2, "b": 1, "c": 1}
+        with pytest.raises(TypeError):
+            counts["a"] = 99
+        with pytest.raises(TypeError):
+            del counts["a"]
+
+    def test_letter_counts_view_is_cached(self):
+        doc = Document("abca")
+        assert doc.letter_counts() is doc.letter_counts()
+
+    def test_runs_are_immutable(self):
+        runs = Document("aabcc").runs()
+        assert runs == (("a", 0, 2), ("b", 2, 1), ("c", 3, 2))
+        assert isinstance(runs, tuple)
+
+    def test_from_cached_seeds_the_artifact_caches(self):
+        reference = Document("aabcc")
+        doc = Document.from_cached(
+            "aabcc",
+            runs=reference.runs(),
+            letter_counts=dict(reference.letter_counts()),
+        )
+        assert doc.runs() == reference.runs()
+        assert dict(doc.letter_counts()) == dict(reference.letter_counts())
+        with pytest.raises(TypeError):
+            doc.letter_counts()["a"] = 0
+
+    def test_from_cached_without_artifacts_computes_lazily(self):
+        doc = Document.from_cached("ab")
+        assert doc.runs() == (("a", 0, 1), ("b", 1, 1))
+        assert dict(doc.letter_counts()) == {"a": 1, "b": 1}
+
+    def test_documents_pickle_by_text(self):
+        import pickle
+
+        doc = Document("abca")
+        doc.letter_counts()  # seed the (unpicklable) proxy cache
+        doc.runs()
+        restored = pickle.loads(pickle.dumps(doc))
+        assert restored == doc
+        assert dict(restored.letter_counts()) == {"a": 2, "b": 1, "c": 1}

@@ -1,12 +1,12 @@
-"""Perf-budget regression gate (ROADMAP item: CI perf budgets, first
-slice).
+"""Perf-budget regression gate (ROADMAP item: CI perf budgets).
 
-The committed ``BENCH_kernel.json`` at the repository root is the perf
-baseline: it records the E16 kernel/prefilter/backend-matrix speedups at
-the SHA they were measured.  This module gates two things:
+The committed ``BENCH_*.json`` files at the repository root are the perf
+baselines: they record each experiment's speedups at the SHA they were
+measured.  This module gates two things:
 
-* **the committed baseline itself** — the acceptance bars of the E16
-  bench must hold in the checked-in numbers (a PR that regresses perf and
+* **the committed baselines themselves** — the acceptance bars of the
+  E14 runtime, E15 optimizer, E16 kernel, and E17 corpus-store benches
+  must hold in the checked-in numbers (a PR that regresses perf and
   "fixes" CI by committing worse numbers fails here, visibly);
 * **the live code** — the backend-matrix workload is re-run in-process
   (one 100k-letter document, reduced repeats — the tiny slice of the full
@@ -42,13 +42,20 @@ pytestmark = pytest.mark.skipif(
 )
 
 
-def _baseline() -> dict:
-    if not BASELINE_PATH.exists():
-        pytest.skip("no committed BENCH_kernel.json baseline")
-    data = json.loads(BASELINE_PATH.read_text())
+def _committed(name: str, experiment: str) -> dict:
+    path = REPO_ROOT / name
+    if not path.exists():
+        pytest.skip(f"no committed {name} baseline")
+    data = json.loads(path.read_text())
     if data.get("tiny"):
-        pytest.skip("committed baseline was written in tiny mode")
+        pytest.skip(f"committed {name} was written in tiny mode")
+    assert data["experiment"] == experiment
+    assert data["git_sha"] and data["git_sha"] != "unknown"
     return data
+
+
+def _baseline() -> dict:
+    return _committed("BENCH_kernel.json", "e16_kernel_prefilter")
 
 
 def _bench_module():
@@ -120,3 +127,87 @@ class TestLiveSpeedupBudget:
                 "python_files='bench_*.py' -o python_functions='bench_*' "
                 "--benchmark-disable)"
             )
+
+
+class TestCommittedRuntimeBaseline:
+    """``BENCH_runtime.json`` (E14): streaming/first-match acceptance bars."""
+
+    def test_schema_and_sections(self):
+        sections = _committed("BENCH_runtime.json", "e14_streaming_runtime")[
+            "sections"
+        ]
+        for name in ("density_sweep", "first_match", "parallel_scaling"):
+            assert sections[name]["rows"], name
+
+    def test_lazy_first_match_acceptance_bar_holds(self):
+        rows = _committed("BENCH_runtime.json", "e14_streaming_runtime")[
+            "sections"
+        ]["first_match"]["rows"]
+        deepest = max(rows, key=lambda r: r["length"])
+        assert deepest["length"] >= 10_000, deepest
+        assert deepest["speedup_vs_eager"] >= 2.0, deepest
+
+    def test_nonempty_never_costs_a_full_enumeration(self):
+        rows = _committed("BENCH_runtime.json", "e14_streaming_runtime")[
+            "sections"
+        ]["density_sweep"]["rows"]
+        densest = max(rows, key=lambda r: r["density"])
+        assert densest["nonempty_ms"] <= densest["full_ms"] * 1.5, densest
+
+
+class TestCommittedOptimizerBaseline:
+    """``BENCH_optimizer.json`` (E15): rewrite-payoff acceptance bars."""
+
+    def test_union_cse_shrinks_states_and_pays_off(self):
+        rows = _committed("BENCH_optimizer.json", "e15_optimizer")["sections"][
+            "deep_union_cse"
+        ]
+        for row in rows:
+            assert row["states_after"] < row["states_before"], row
+        deepest = max(rows, key=lambda r: r["size"])
+        assert deepest["total_ms_on"] < deepest["total_ms_off"], deepest
+        assert deepest["speedup"] >= 2.0, deepest
+
+    def test_join_pushdown_compiles_faster(self):
+        rows = _committed("BENCH_optimizer.json", "e15_optimizer")["sections"][
+            "join_pushdown"
+        ]
+        for row in rows:
+            assert row["states_after"] <= row["states_before"], row
+            assert "push-project-join" in row["rules_fired"], row
+        widest = max(rows, key=lambda r: r["size"])
+        assert widest["compile_ms_on"] * 2.0 <= widest["compile_ms_off"], widest
+
+
+class TestCommittedCorpusBaseline:
+    """``BENCH_corpus.json`` (E17): index-vs-walk acceptance bars."""
+
+    def test_schema_and_sections(self):
+        data = _committed("BENCH_corpus.json", "e17_corpus_store")
+        sections = data["sections"]
+        assert sections["index_vs_walk"]["rows"]
+        assert sections["ingest"]["docs"] >= 1000
+        assert sections["maintenance"]["rebuild_verify_ms"] > 0
+
+    def test_index_speedup_acceptance_bar_holds(self):
+        section = _committed("BENCH_corpus.json", "e17_corpus_store")[
+            "sections"
+        ]["index_vs_walk"]
+        sparsest = min(
+            section["rows"], key=lambda r: r["matching_fraction"]
+        )
+        # The tentpole bar: ≥5x for warm-store index-driven evaluate_many
+        # over the list walk at 1% selectivity on a ≥1000-document corpus.
+        assert sparsest["matching_fraction"] <= 0.01, sparsest
+        assert sparsest["docs"] >= 1000, sparsest
+        assert sparsest["speedup_warm"] >= 5.0, sparsest
+
+    def test_index_prunes_to_candidate_scale(self):
+        section = _committed("BENCH_corpus.json", "e17_corpus_store")[
+            "sections"
+        ]["index_vs_walk"]
+        for row in section["rows"]:
+            assert (
+                row["candidates_per_query"] <= row["matching_docs"] + 1
+            ), row
+            assert row["hydrations_per_query"] <= row["docs"], row

@@ -116,3 +116,62 @@ class TestCli:
             ["extract", "x{[a-z]+}", "--text", "abc", "--show-content"]
         ) == 0
         assert "'abc'" in capsys.readouterr().out
+
+
+class TestCorpusCli:
+    @pytest.fixture
+    def store_path(self, tmp_path, capsys):
+        docs = tmp_path / "docs.txt"
+        docs.write_text("abc\naabb\ncc\nb\nzebra\nccc\nabc\n")
+        path = tmp_path / "corpus.sqlite"
+        assert main(
+            ["corpus", "ingest", "--store", str(path), "--file", str(docs)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "7 line(s) → 6 new document(s), 1 deduplicated" in out
+        return path
+
+    def test_stats(self, store_path, capsys):
+        assert main(["corpus", "stats", "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "documents         6" in out
+
+    def test_stats_json(self, store_path, capsys):
+        assert main(
+            ["corpus", "stats", "--store", str(store_path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["documents"] == 6
+        assert payload["schema_version"] == 1
+
+    def test_query_with_explain(self, store_path, capsys):
+        assert main(
+            [
+                "corpus", "query", "(a|b)*x{c+}(a|b)*",
+                "--store", str(store_path), "--explain",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "index plan over 6 document(s):" in out
+        assert "posting-seed" in out
+        assert "3 matching" in out
+
+    def test_query_json_lines(self, store_path, capsys):
+        assert main(
+            [
+                "corpus", "query", "(a|b)*x{c+}(a|b)*",
+                "--store", str(store_path), "--json",
+            ]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        assert len(payloads) == 3
+        assert all("doc_id" in p and "relation" in p for p in payloads)
+
+    def test_rebuild_verify(self, store_path, capsys):
+        assert main(
+            ["corpus", "rebuild", "--store", str(store_path), "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rebuilt 6 document(s)" in out
+        assert "0 issue(s) repaired (verified)" in out
