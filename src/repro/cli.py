@@ -15,6 +15,13 @@ Subcommands:
 * ``extract``  — evaluate a formula on a document (table or JSON output);
 * ``batch``    — evaluate a formula on many documents (one per line)
   through the execution engine, sharing all compiled state;
+* ``tail``     — follow a growing file (``tail -f`` style) and stream
+  *new* matches as appends complete them, through the incremental
+  :class:`~repro.engine.tail.TailSession` runtime (each poll costs
+  O(appended bytes), not O(file)); ``--interval`` sets the poll period,
+  ``--from-end`` suppresses matches already present at startup,
+  ``--max-polls`` bounds the run (handy in scripts), and truncation
+  (logrotate) restarts the session cleanly;
 * ``corpus``   — the persistent corpus store: ``corpus ingest`` loads
   documents (one per line) into a content-hash-deduped sqlite store with
   cached artifacts and posting lists, ``corpus query`` evaluates a formula
@@ -246,6 +253,78 @@ def _cmd_corpus_rebuild(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """Follow a growing file, streaming new mappings with bounded delay.
+
+    The incremental runtime end to end: one
+    :class:`~repro.engine.tail.TailSession` accumulates the file's bytes
+    and re-evaluates only over the appended region, so each poll costs
+    O(appended) — tailing a large log never re-walks it.  Partial UTF-8
+    sequences at the read boundary are held back by an incremental
+    decoder; a truncated file (logrotate) restarts the session from the
+    new content.
+    """
+    import codecs
+    import time as _time
+
+    engine = Engine(
+        backend=args.backend,
+        optimize=not args.no_optimize,
+        prefilter=not args.no_prefilter,
+    )
+    va = _compile(args)
+
+    def emit(mappings) -> None:
+        for mapping in mappings:
+            if args.json:
+                print(
+                    json.dumps(
+                        {str(var): [span.begin, span.end] for var, span in mapping.items()},
+                        sort_keys=True,
+                    ),
+                    flush=True,
+                )
+            else:
+                print(mapping, flush=True)
+
+    session = engine.tail(va)
+    decoder = codecs.getincrementaldecoder("utf-8")()
+    offset = 0
+    polls = 0
+    try:
+        with open(args.file, "rb") as handle:
+            if args.from_end:
+                # Seed silently: existing content is evaluated so its
+                # matches are marked seen, but nothing is printed for it.
+                chunk = handle.read()
+                offset = len(chunk)
+                session.reevaluate(decoder.decode(chunk))
+            while args.max_polls is None or polls < args.max_polls:
+                size = handle.seek(0, 2)
+                if size < offset:
+                    # Truncated (rotation): start a fresh session over the
+                    # new content.
+                    handle.seek(0)
+                    offset = 0
+                    session = engine.tail(va)
+                    decoder = codecs.getincrementaldecoder("utf-8")()
+                else:
+                    handle.seek(offset)
+                chunk = handle.read()
+                offset += len(chunk)
+                text = decoder.decode(chunk)
+                if text or session.reevaluations == 0:
+                    emit(session.reevaluate(text))
+                polls += 1
+                if args.max_polls is None or polls < args.max_polls:
+                    _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    if args.stats:
+        _print_stats(engine)
+    return 0
+
+
 def _build_ra_query(args: argparse.Namespace) -> RAQuery:
     """Fold the ``--union``/``--join``/``--difference`` formulas onto the
     positional one (in that group order), then wrap ``--project``."""
@@ -371,6 +450,40 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(batch)
     batch.set_defaults(func=_cmd_batch)
 
+    tail = sub.add_parser(
+        "tail",
+        help="follow a growing file, streaming new matches incrementally",
+    )
+    add_common(tail)
+    tail.add_argument(
+        "--file", required=True, help="the file to follow (a growing log)"
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval (default: %(default)s)",
+    )
+    tail.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N polls (default: follow until interrupted)",
+    )
+    tail.add_argument(
+        "--from-end",
+        action="store_true",
+        help="seed on the existing content silently and report only "
+        "matches completed by later appends",
+    )
+    tail.add_argument(
+        "--json", action="store_true", help="JSON-lines output (one mapping per line)"
+    )
+    add_engine(tail)
+    tail.set_defaults(func=_cmd_tail)
+
     corpus = sub.add_parser(
         "corpus", help="persistent corpus store: ingest once, query the index"
     )
@@ -494,7 +607,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except SpannerError as error:
+    except (SpannerError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -211,6 +211,60 @@ class Document:
             )
         return cached
 
+    def append(self, suffix: "str | Document") -> "Document":
+        """A new document holding ``self.text + suffix``, with every cached
+        artifact *extended* instead of recomputed.
+
+        The incremental entry point of the tailing runtime: the run-length
+        encoding, the letter histogram, and every cached per-alphabet
+        encoding of the result are derived from this document's caches in
+        O(len(suffix)) — appending letters that merge with the last maximal
+        run extends that run in place (O(1) amortized), so repeatedly
+        tailing a growing document never re-walks the prefix.  ``self`` is
+        untouched (documents stay immutable); an empty suffix returns a
+        document sharing the caches outright.
+        """
+        if isinstance(suffix, Document):
+            suffix = suffix._text
+        if not suffix:
+            doc = Document.__new__(Document)
+            doc._text = self._text
+            doc._encodings = dict(self._encodings) if self._encodings else None
+            doc._runs = self.runs()
+            doc._letter_counts = self.letter_counts()
+            return doc
+        doc = Document.__new__(Document)
+        doc._text = self._text + suffix
+        # Runs: the suffix's own runs, with its first run merged into our
+        # last one when the letters agree.
+        old_runs = self.runs()
+        out = list(old_runs)
+        position = len(self._text)
+        for letter, group in groupby(suffix):
+            length = sum(1 for _ in group)
+            if out and position == out[-1][1] + out[-1][2] and out[-1][0] == letter:
+                last = out[-1]
+                out[-1] = (letter, last[1], last[2] + length)
+            else:
+                out.append((letter, position, length))
+            position += length
+        doc._runs = tuple(out)
+        # Histogram: add the suffix's counts on top of ours.
+        counts = dict(self.letter_counts())
+        for letter, count in Counter(suffix).items():
+            counts[letter] = counts.get(letter, 0) + count
+        doc._letter_counts = MappingProxyType(counts)
+        # Encodings: extend every cached per-alphabet id tuple by the
+        # suffix's ids (the prefix ids are position independent).
+        if self._encodings:
+            doc._encodings = {
+                signature: ids + Alphabet.of(signature).encode(suffix)
+                for signature, ids in self._encodings.items()
+            }
+        else:
+            doc._encodings = None
+        return doc
+
     def encoded(self, alphabet: Alphabet) -> tuple[int, ...]:
         """This document as dense letter ids under ``alphabet``.
 

@@ -179,20 +179,44 @@ class CorpusStore:
         document_cache_size: LRU bound on hydrated
             :class:`~repro.core.document.Document` objects kept on this
             handle (``0`` disables caching).
+        read_only: open an existing store without write access (sqlite
+            ``mode=ro``).  Mutating calls raise :class:`CorpusError`;
+            combined with the writer's WAL journal, a read-only handle in
+            another process sees every committed write — call
+            :meth:`refresh` to drop this handle's caches and pick up the
+            writer's progress.
 
-    Use as a context manager or call :meth:`close`; every mutating call
-    commits before returning, so a store is always reopenable at the
-    last completed operation.
+    Writable stores run in sqlite WAL mode (set on open, persistent in
+    the file), so concurrent readers are never blocked by the ingesting
+    writer.  Use as a context manager or call :meth:`close`; every
+    mutating call commits before returning, so a store is always
+    reopenable at the last completed operation.
     """
 
-    def __init__(self, path: "str | Path", document_cache_size: int = 1024):
+    def __init__(
+        self,
+        path: "str | Path",
+        document_cache_size: int = 1024,
+        read_only: bool = False,
+    ):
         path = Path(path)
         if path.is_dir() or not path.suffix:
             path = path / "corpus.sqlite"
-        path.parent.mkdir(parents=True, exist_ok=True)
         self.path = path
-        self._conn = sqlite3.connect(str(path))
-        self._conn.executescript(_SCHEMA)
+        self.read_only = read_only
+        if read_only:
+            if not path.exists():
+                raise CorpusError(
+                    f"cannot open {path} read-only: the store does not exist"
+                )
+            self._conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(str(path))
+            # WAL: readers (tail sessions, other processes) proceed while
+            # the writer ingests; the mode persists in the database file.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.executescript(_SCHEMA)
         self._init_meta()
         self._postings: dict[str, _Posting] = {}
         self._letters: set[str] = {
@@ -208,10 +232,22 @@ class CorpusStore:
         self.hydrations = 0
 
     def _init_meta(self) -> None:
-        row = self._conn.execute(
-            "SELECT value FROM meta WHERE key = 'schema_version'"
-        ).fetchone()
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.OperationalError as exc:
+            # Only reachable read-only (the writable open creates the
+            # schema first): the file is not an initialised store.
+            raise CorpusError(
+                f"store {self.path} is not a corpus store: {exc}"
+            ) from None
         if row is None:
+            if self.read_only:
+                raise CorpusError(
+                    f"store {self.path} was never initialised "
+                    f"(no schema version row)"
+                )
             with self._conn:
                 self._conn.execute(
                     "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
@@ -239,6 +275,27 @@ class CorpusStore:
     def __repr__(self) -> str:
         return f"CorpusStore({str(self.path)!r}, {len(self)} docs)"
 
+    def refresh(self) -> None:
+        """Drop this handle's caches and reload the index state from the
+        database — how a (typically read-only) handle picks up commits
+        made by a writer in another process.  sqlite snapshot isolation
+        means a handle only advances between transactions; refreshing
+        also forgets hydrated documents and in-memory postings that may
+        predate the writer's changes."""
+        self._postings.clear()
+        self._doc_cache.clear()
+        self._letters = {
+            row[0]
+            for row in self._conn.execute("SELECT letter FROM postings")
+        }
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise CorpusError(
+                f"store {self.path} is open read-only; "
+                f"open without read_only=True to modify it"
+            )
+
     # -- ingest / maintenance ----------------------------------------------
 
     def add(self, text: "str | Document") -> int:
@@ -252,6 +309,7 @@ class CorpusStore:
 
     def add_many(self, texts: Iterable["str | Document"]) -> list[int]:
         """Ingest a batch in one transaction; returns the ids in order."""
+        self._check_writable()
         ids: list[int] = []
         touched: set[str] = set()
         with self._conn:
@@ -285,6 +343,7 @@ class CorpusStore:
 
     def remove(self, doc_id: int) -> None:
         """Delete a document and scrub it from every posting list."""
+        self._check_writable()
         row = self._conn.execute(
             "SELECT histogram FROM documents WHERE doc_id = ?", (doc_id,)
         ).fetchone()
@@ -308,6 +367,7 @@ class CorpusStore:
         Raises :class:`CorpusError` if the new content duplicates another
         stored document; updating to the current content is a no-op.
         """
+        self._check_writable()
         if isinstance(text, Document):
             text = text.text
         row = self._conn.execute(
@@ -347,6 +407,72 @@ class CorpusStore:
             self._flush_postings(touched)
         self._doc_cache.pop(doc_id, None)
 
+    def append(self, doc_id: int, text: "str | Document") -> Document:
+        """Grow a stored document by ``text`` (same id), incrementally.
+
+        The tailing counterpart of :meth:`update`: the new artifacts come
+        from :meth:`Document.append` — the run-length encoding and
+        histogram *extend* in O(len(text)) instead of re-walking the
+        document — and only the letters whose counts changed touch their
+        posting lists (an append never removes a document from a posting,
+        so there is nothing to scrub).  Returns the appended
+        :class:`~repro.core.document.Document`, which also replaces the
+        cached hydration so a tail session keeps evaluating the same
+        warm object.
+
+        Raises :class:`CorpusError` if the grown content would duplicate
+        another stored document; an empty ``text`` is a no-op.
+        """
+        self._check_writable()
+        if isinstance(text, Document):
+            text = text.text
+        doc = self.document(doc_id)
+        if not text:
+            return doc
+        new_doc = doc.append(text)
+        digest = content_hash(new_doc.text)
+        clash = self._conn.execute(
+            "SELECT doc_id FROM documents WHERE hash = ?", (digest,)
+        ).fetchone()
+        if clash is not None and clash[0] != doc_id:
+            raise CorpusError(
+                f"appending to document {doc_id} would duplicate document "
+                f"{clash[0]} (identical content)"
+            )
+        old_histogram = doc.letter_counts()
+        histogram = dict(new_doc.letter_counts())
+        runs = new_doc.runs()
+        letters = "".join(letter for letter, _start, _length in runs)
+        lengths = pack_ids(
+            id_array(length for _letter, _start, length in runs)
+        )
+        blob = json.dumps(histogram, sort_keys=True, ensure_ascii=False)
+        touched = set()
+        with self._conn:
+            self._conn.execute(
+                "UPDATE documents SET hash = ?, length = ?, text = ?, "
+                "runs_letters = ?, runs_lengths = ?, histogram = ? "
+                "WHERE doc_id = ?",
+                (
+                    digest,
+                    len(new_doc),
+                    new_doc.text,
+                    letters,
+                    lengths,
+                    blob,
+                    doc_id,
+                ),
+            )
+            for letter, count in histogram.items():
+                if old_histogram.get(letter) != count:
+                    self._posting_for_write(letter).add(doc_id, count)
+                    touched.add(letter)
+            self._flush_postings(touched)
+        if self._doc_cache_size > 0:
+            self._doc_cache[doc_id] = new_doc
+            self._doc_cache.move_to_end(doc_id)
+        return new_doc
+
     def rebuild(self, verify: bool = False) -> dict:
         """Recompute every artifact and posting list from the raw texts.
 
@@ -358,6 +484,7 @@ class CorpusStore:
         divergence is reported in the returned summary — the rebuild then
         repairs it.
         """
+        self._check_writable()
         issues = self.verify() if verify else []
         postings: dict[str, _Posting] = {}
         documents = 0

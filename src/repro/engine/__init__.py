@@ -51,6 +51,7 @@ from .plan import (
     plan_from_logical,
 )
 from .stats import EngineStats
+from .tail import TailSession
 
 __all__ = [
     "BACKENDS",
@@ -71,6 +72,7 @@ __all__ = [
     "RewriteRule",
     "StaticNode",
     "SyncDifferencePlanNode",
+    "TailSession",
     "VectorizedBackend",
     "available_backends",
     "build_plan",

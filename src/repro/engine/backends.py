@@ -103,6 +103,26 @@ class PreparedVA(abc.ABC):
             return True
         return False
 
+    def supports_extension(self) -> bool:
+        """Whether :meth:`run_extended` resumes from a prior run's
+        checkpoint instead of rebuilding.  Backends whose match graph
+        snapshots the forward frontier (``indexed``, ``indexed-plain``,
+        ``vectorized``) override this; the tail session consults it to
+        attribute reused vs. recomputed layers honestly."""
+        return False
+
+    def run_extended(
+        self, prior: PreparedRun, document: Document | str
+    ) -> PreparedRun:
+        """The run of ``document``, an append-extension of ``prior``'s
+        document, reusing ``prior``'s layers where the backend can.
+
+        The default is a full rebuild — always correct, never faster.
+        Extending backends override it with the O(appended) checkpoint
+        resume.
+        """
+        return self.run(document)
+
     def kernel_hits(self) -> int:
         """Cumulative run-compressed kernel advances behind this prepared
         form (``0`` for backends without a kernel).  The engine samples it
@@ -214,6 +234,16 @@ class PreparedIndexedVA(PreparedVA):
     def is_nonempty(self, document: Document | str) -> bool:
         return indexed_nonempty(self.indexed, document, compressed=self.compressed)
 
+    def supports_extension(self) -> bool:
+        return True
+
+    def run_extended(
+        self, prior: PreparedRun, document: Document | str
+    ) -> IndexedMatchGraph:
+        if not isinstance(prior, IndexedMatchGraph):
+            return self.run(document)
+        return prior.extended(as_document(document))
+
     def kernel_hits(self) -> int:
         return self.indexed.kernel().run_hits if self.compressed else 0
 
@@ -258,6 +288,16 @@ class PreparedVectorizedVA(PreparedVA):
 
     def is_nonempty(self, document: Document | str) -> bool:
         return vectorized_nonempty(self.vectorized, document)
+
+    def supports_extension(self) -> bool:
+        return True
+
+    def run_extended(
+        self, prior: PreparedRun, document: Document | str
+    ) -> VectorizedMatchGraph:
+        if not isinstance(prior, VectorizedMatchGraph):
+            return self.run(document)
+        return prior.extended(as_document(document))
 
     def kernel_hits(self) -> int:
         return self.vectorized.kernel().run_hits

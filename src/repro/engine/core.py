@@ -474,6 +474,19 @@ class Engine:
         no enumeration edges are built."""
         return self.prepare(query).is_nonempty(document)
 
+    def tail(self, query, document: Document | str = "") -> "TailSession":
+        """An incremental evaluation session for a growing document
+        (:class:`~repro.engine.tail.TailSession`).
+
+        The session shares this engine's compiled plan and prepared
+        automaton for ``query``; each ``reevaluate(appended_text)``
+        resumes the forward pass from the previous run's checkpoint (on
+        backends that support extension) and returns only the mappings
+        that are new since the last call."""
+        from .tail import TailSession
+
+        return TailSession(self.prepare(query), document)
+
     # -- batch / streaming API ----------------------------------------------
 
     def evaluate_many(

@@ -51,6 +51,14 @@ class EngineStats:
             backend actually computed through its numpy plane tables —
             every other position was served by the interned frontier-node
             cache (``0`` on backends without a frontier cache).
+        tail_reevaluations: incremental ``TailSession.reevaluate()`` calls
+            (including ones short-circuited by the prefilter).
+        tail_reused_layers: document layers served from a checkpointed
+            prior run during tail re-evaluations — work the full rebuild
+            would have repeated.
+        tail_recomputed_layers: document layers actually computed during
+            tail re-evaluations (the appended overhang on an extension;
+            the whole document on a rebuild or a non-extending backend).
         parallel_shards: worker shards dispatched by
             ``evaluate_many(workers=N)``; shard counters are merged back
             into the parent engine, so times are summed CPU time across
@@ -83,6 +91,9 @@ class EngineStats:
     hydrations: int = 0
     kernel_run_hits: int = 0
     frontier_cache_misses: int = 0
+    tail_reevaluations: int = 0
+    tail_reused_layers: int = 0
+    tail_recomputed_layers: int = 0
     parallel_shards: int = 0
     rules_fired: int = 0
     rule_fires: dict = field(default_factory=dict)
@@ -149,6 +160,9 @@ class EngineStats:
             f"hydrations         {self.hydrations}",
             f"kernel run hits    {self.kernel_run_hits}",
             f"frontier misses    {self.frontier_cache_misses}",
+            f"tail reevaluations {self.tail_reevaluations}"
+            f" ({self.tail_reused_layers} layers reused /"
+            f" {self.tail_recomputed_layers} recomputed)",
             f"parallel shards    {self.parallel_shards}",
             f"optimizer rewrites {self.rules_fired}{self._rule_breakdown()}",
             f"plan CSE hits      {self.cse_hits}",

@@ -1,0 +1,158 @@
+"""Incremental evaluation over growing documents (the log-tailing runtime).
+
+The match graph is layered by position, so appending ``k`` letters to a
+document only *extends* the frontier — nothing in the first ``n`` layers
+changes.  A :class:`TailSession` exploits that end to end: it holds one
+(query, document) pair, accumulates appends through
+:meth:`~repro.core.document.Document.append` (O(k) artifact extension),
+and re-evaluates by resuming the backend's Boolean forward pass from the
+previous run's checkpointed frontier
+(:meth:`~repro.va.indexed.IndexedMatchGraph.extended`) instead of
+rebuilding from position 0.  Appends that merge into the document's tail
+run advance through the kernel's memoized transformer powers, so a long
+quiet stretch costs O(log extra), not even O(k).
+
+:meth:`TailSession.reevaluate` returns only the *new* mappings — those
+not produced by any earlier re-evaluation.  New mappings are computed as
+a set difference against everything already emitted, not by a span
+predicate: an append can complete a match whose every capture operation
+lies in the old region (``x{a}bb`` on ``"ab" + "b"`` captures ``a`` at
+position 1), so "spans ending in the appended region" is not a sound
+filter, but mappings are hashable and the emitted set is exact.
+
+Cost model (when incremental reuse wins — see the README's streaming
+section):
+
+* **Quiet documents** (the monitoring regime: most appends complete no
+  match) cost one checkpoint resume over the overhang plus an emptiness
+  test — O(appended), independent of the document length.
+* **Prefilter-rejected states** are cheaper still: while the accumulated
+  document cannot possibly match (a must-occur letter absent), the
+  session answers from the O(1) histogram check without touching the
+  backend at all, and extends from the last checkpoint once the
+  prefilter admits.
+* **Matching re-evaluations** pay enumeration over the whole document —
+  that is output cost, shared with a full rebuild; the incremental saving
+  is the graph construction.
+* **Tiny documents** or backends without extension support
+  (``matchgraph``) fall back to a full rebuild — always correct, just
+  not faster; :class:`~repro.engine.stats.EngineStats` attributes reused
+  vs. recomputed layers either way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from ..core.document import Document, as_document
+from ..core.mapping import Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .backends import PreparedRun, PreparedVA
+    from .core import ExecutionContext
+
+
+class TailSession:
+    """An incremental evaluation handle for one query on one growing
+    document.
+
+    Build via :meth:`Engine.tail(query) <repro.engine.core.Engine.tail>`.
+    Feed text with :meth:`append` (cheap, no evaluation), then call
+    :meth:`reevaluate` to get the mappings that are new since the last
+    call; ``reevaluate(text)`` combines both.  The session shares its
+    engine's compiled plan, prepared automaton, statistics, and kernel
+    caches.
+
+    Attributes:
+        document: the accumulated :class:`~repro.core.document.Document`.
+        reevaluations: completed :meth:`reevaluate` calls.
+        total_matches: mappings emitted across the session's lifetime.
+    """
+
+    __slots__ = (
+        "_context",
+        "document",
+        "_prepared",
+        "_run",
+        "_run_n",
+        "_seen",
+        "reevaluations",
+        "total_matches",
+    )
+
+    def __init__(self, context: "ExecutionContext", document: Document | str = ""):
+        self._context = context
+        self.document = as_document(document)
+        self._prepared: "PreparedVA | None" = None
+        self._run: "PreparedRun | None" = None
+        self._run_n = 0
+        self._seen: set[Mapping] = set()
+        self.reevaluations = 0
+        self.total_matches = 0
+
+    def __len__(self) -> int:
+        return len(self.document)
+
+    def append(self, text: str) -> None:
+        """Grow the document by ``text`` without evaluating — the cached
+        artifacts (runs, histogram, encodings) extend in O(len(text))."""
+        if text:
+            self.document = self.document.append(text)
+
+    def reevaluate(self, text: str = "") -> list[Mapping]:
+        """Append ``text`` (optional) and return the mappings that are new
+        since the previous call, in canonical enumeration order.
+
+        The union of every call's results equals a fresh full evaluation
+        of the accumulated document — the hypothesis suite pins that
+        equivalence across all backends.
+        """
+        self.append(text)
+        doc = self.document
+        stats = self._context.stats
+        stats.tail_reevaluations += 1
+        self.reevaluations += 1
+        prefilter = self._context.prefilter()
+        if prefilter is not None and not prefilter.admits(doc):
+            # Proven empty from the histogram alone: no graph, no letter
+            # work.  The prior run's checkpoint stays valid — extension
+            # spans multi-append gaps — so the next admitted re-evaluation
+            # still resumes instead of rebuilding.
+            stats.prefilter_rejects += 1
+            return []
+        prepared = self._context.prepared_for(doc)
+        n = len(doc)
+        start = time.perf_counter()
+        if (
+            self._run is not None
+            and prepared is self._prepared
+            and prepared.supports_extension()
+        ):
+            run = prepared.run_extended(self._run, doc)
+            stats.tail_reused_layers += self._run_n
+            stats.tail_recomputed_layers += n - self._run_n
+        else:
+            run = prepared.run(doc)
+            stats.tail_recomputed_layers += n
+        stats.compile_seconds += time.perf_counter() - start
+        self._prepared = prepared
+        self._run = run
+        self._run_n = n
+        if run.is_empty:
+            return []
+        seen = self._seen
+        start = time.perf_counter()
+        fresh = [m for m in run.enumerate() if m not in seen]
+        stats.enumerate_seconds += time.perf_counter() - start
+        seen.update(fresh)
+        stats.mappings += len(fresh)
+        self.total_matches += len(fresh)
+        return fresh
+
+    def __repr__(self) -> str:
+        return (
+            f"TailSession(letters={len(self.document)}, "
+            f"reevaluations={self.reevaluations}, "
+            f"matches={self.total_matches})"
+        )

@@ -48,7 +48,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Iterator
 
 from ..core.document import Alphabet, Document, as_document
-from ..core.errors import NotSequentialError
+from ..core.errors import NotSequentialError, SpannerError
 from ..core.mapping import Mapping
 from ..core.spans import Span
 from ..utils.bits import apply_masks, iter_bits
@@ -273,6 +273,7 @@ class IndexedMatchGraph:
         "_kernel",
         "_letter_ids",
         "_forward",
+        "_frontier",
         "_alive",
         "_jump",
         "_edges",
@@ -327,6 +328,9 @@ class IndexedMatchGraph:
                     break
                 forward[i + 1] = mask = nxt
             self._forward = forward
+        # Checkpoint the raw pre-acceptance frontier: an append-extension
+        # resumes the forward pass from here instead of position 0.
+        self._frontier = mask
         # Acceptance at the last layer.
         final_mask = mask & indexed.accept_mask
         self.final_mask = final_mask
@@ -354,6 +358,111 @@ class IndexedMatchGraph:
         if ids is None:
             ids = self._letter_ids = self.document.encoded(self.indexed.alphabet)
         return ids
+
+    def checkpoint(self) -> int:
+        """The raw forward frontier at the last layer, *before* the
+        acceptance intersection — the state :meth:`extended` resumes from.
+        Distinct from :attr:`final_mask`: a frontier with no accepting
+        state today may reach one after the next append."""
+        return self._frontier
+
+    def extended(self, document: Document | str) -> "IndexedMatchGraph":
+        """The match graph of ``document`` — an append-extension of this
+        graph's document — built by resuming the Boolean forward pass from
+        the checkpointed frontier instead of position 0.
+
+        The graph is layered by position, so the appended letters only
+        extend the frontier: the prefix contributes nothing but its
+        checkpoint, already-materialised prefix forward layers are carried
+        over, and an appended run that merges with the tail run advances
+        through the kernel's memoized transformer powers in O(log extra).
+        The backward pruning, jump table, and enumeration edge rows are
+        *not* carried over — they are pruned against the final layer's
+        acceptance, which every append changes — and rebuild lazily over
+        the new document on demand.
+
+        ``document`` must extend ``self.document`` letter for letter;
+        callers (normally a tail session, via
+        :meth:`~repro.core.document.Document.append`) guarantee it, and
+        only the lengths are checked — a full prefix comparison would cost
+        the O(document) this path exists to avoid.
+        """
+        doc = as_document(document)
+        old_n = self._n
+        n = len(doc)
+        if n < old_n:
+            raise SpannerError(
+                f"extended() needs an append-extension of the graph's "
+                f"document ({n} letters < {old_n})"
+            )
+        indexed = self.indexed
+        graph = IndexedMatchGraph.__new__(IndexedMatchGraph)
+        graph.indexed = indexed
+        graph.document = doc
+        graph._n = n
+        graph._letter_ids = None
+        graph._forward = None
+        graph._alive = None
+        graph._jump = None
+        mask = self._frontier
+        if self._runs is not None:
+            # Run-compressed: splice the encoded runs (only the possibly
+            # merged tail run and the new suffix runs are re-encoded) and
+            # advance the checkpoint over the overhang.
+            kernel = graph._kernel = self._kernel
+            letter_id = indexed.alphabet.ids.get
+            old_runs = self._runs
+            keep = max(len(old_runs) - 1, 0)
+            graph._runs = old_runs[:keep] + tuple(
+                (letter_id(letter, -1), start, length)
+                for letter, start, length in doc.runs()[keep:]
+            )
+            for lid, start, length in graph._runs[keep:]:
+                end = start + length
+                if end <= old_n or not mask:
+                    continue
+                if lid < 0:
+                    mask = 0
+                    break
+                mask = kernel.advance(lid, mask, end - max(start, old_n))
+                if not mask:
+                    break
+            reuse_forward = self._forward is not None
+        else:
+            # Plain per-letter substrate: its forward layers are always
+            # eager, so the extension fills the suffix layers eagerly too.
+            graph._runs = None
+            graph._kernel = None
+            reuse_forward = True
+        if reuse_forward:
+            succ = indexed.successor_masks
+            ids_get = indexed.alphabet.ids.get
+            forward = list(self._forward)
+            forward.extend([0] * (n - old_n))
+            m = self._frontier
+            i = old_n
+            for ch in doc.text[old_n:]:
+                if not m:
+                    break
+                lid = ids_get(ch, -1)
+                if lid < 0:
+                    m = 0
+                    break
+                m = apply_masks(succ[lid], m)
+                if not m:
+                    break
+                i += 1
+                forward[i] = m
+            graph._forward = forward
+            if graph._runs is None:
+                mask = m
+        graph._frontier = mask
+        final_mask = mask & indexed.accept_mask
+        graph.final_mask = final_mask
+        accept = indexed.accept
+        graph.final = {sid: accept[sid] for sid in iter_bits(final_mask)}
+        graph._edges = [None] * n
+        return graph
 
     @property
     def forward(self) -> list[int]:

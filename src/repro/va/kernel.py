@@ -103,6 +103,20 @@ class TransitionKernel:
             k += 1
         return mask
 
+    def cached_power_count(self) -> int:
+        """How many composed ``(letter, 2^k)`` transformers are memoized
+        (the base ``2^0`` rows are free and not counted).
+
+        The incremental-append path leans on this memo: extending a
+        document whose appended letters merge into the tail run re-enters
+        :meth:`advance` with the checkpointed frontier, and every power the
+        original run already built is reused — the extension costs
+        O(log extra) applications and at most O(log extra) *new*
+        compositions, never a re-walk of the run.  The tail tests pin that
+        by watching this gauge across extensions.
+        """
+        return sum(len(powers) - 1 for powers in self._powers.values())
+
     def pred_row(self, letter_id: int) -> "list[int]":
         """The predecessor transformer of the letter (transpose of the
         successor relation), built once per letter on demand.  Drives the
@@ -121,7 +135,7 @@ class TransitionKernel:
         return row
 
     def __repr__(self) -> str:
-        cached = sum(len(powers) - 1 for powers in self._powers.values())
+        cached = self.cached_power_count()
         return (
             f"TransitionKernel(states={self.n_states}, "
             f"cached_powers={cached}, run_hits={self.run_hits})"

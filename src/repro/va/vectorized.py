@@ -68,7 +68,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from ..core.document import Document, as_document
-from ..core.errors import BackendUnavailableError, NotSequentialError
+from ..core.errors import (
+    BackendUnavailableError,
+    NotSequentialError,
+    SpannerError,
+)
 from ..core.mapping import Mapping
 from ..utils.bits import iter_bits
 from .automaton import VA
@@ -533,11 +537,91 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         kernel = self._vkernel = vva.kernel()
         self._runs = tuple(_encoded_runs(self.document.runs(), indexed.alphabet))
         mask = kernel.frontier(self.document, 1 << indexed.initial_id)
+        # Checkpoint for append-extensions (see the base class).
+        self._frontier = mask
         final_mask = mask & indexed.accept_mask
         self.final_mask = final_mask
         accept = indexed.accept
         self.final = {sid: accept[sid] for sid in iter_bits(final_mask)}
         self._edges = [None] * n
+
+    def extended(self, document: Document | str) -> "VectorizedMatchGraph":
+        """The match graph of ``document`` — an append-extension of this
+        graph's document — resumed from the checkpointed frontier (the
+        vectorized mirror of the base-class override).
+
+        The overhang advances through the shared kernel: interned frontier
+        nodes per appended letter, plane-power doubling when appended
+        letters merge into the tail run.  Already-materialised prefix
+        forward layers carry over; the plane arrays, co-reachability
+        nodes, jump table, and edge rows rebuild lazily (they are pruned
+        against the acceptance of the *new* final layer).
+        """
+        doc = as_document(document)
+        old_n = self._n
+        n = len(doc)
+        if n < old_n:
+            raise SpannerError(
+                f"extended() needs an append-extension of the graph's "
+                f"document ({n} letters < {old_n})"
+            )
+        indexed = self.indexed
+        graph = VectorizedMatchGraph.__new__(VectorizedMatchGraph)
+        graph.vva = self.vva
+        graph.indexed = indexed
+        graph.document = doc
+        graph._n = n
+        graph._letter_ids = None
+        graph._forward = None
+        graph._alive = None
+        graph._jump = None
+        graph._kernel = None
+        graph._forward_planes = None
+        graph._alive_planes = None
+        graph._cnodes = None
+        kernel = graph._vkernel = self._vkernel
+        ids_get = indexed.alphabet.ids.get
+        old_runs = self._runs
+        keep = max(len(old_runs) - 1, 0)
+        graph._runs = old_runs[:keep] + tuple(
+            (ids_get(letter, -1), start, length)
+            for letter, start, length in doc.runs()[keep:]
+        )
+        mask = self._frontier
+        for lid, start, length in graph._runs[keep:]:
+            end = start + length
+            if end <= old_n or not mask:
+                continue
+            if lid < 0:
+                mask = 0
+                break
+            mask = kernel.advance(lid, mask, end - max(start, old_n))
+            if not mask:
+                break
+        if self._forward is not None:
+            forward = list(self._forward)
+            forward.extend([0] * (n - old_n))
+            m = self._frontier
+            i = old_n
+            for ch in doc.text[old_n:]:
+                if not m:
+                    break
+                lid = ids_get(ch, -1)
+                if lid < 0:
+                    break
+                m = kernel.step(lid, m)
+                if not m:
+                    break
+                i += 1
+                forward[i] = m
+            graph._forward = forward
+        graph._frontier = mask
+        final_mask = mask & indexed.accept_mask
+        graph.final_mask = final_mask
+        accept = indexed.accept
+        graph.final = {sid: accept[sid] for sid in iter_bits(final_mask)}
+        graph._edges = [None] * n
+        return graph
 
     # -- plane-backed layer materialisation --------------------------------
 

@@ -1,6 +1,10 @@
 """Workload generators: the paper's examples, realistic extractors, and
-parametrised families for the experiment suite."""
+parametrised families for the experiment suite.
 
+Realistic end-to-end suites with golden outputs live under
+:mod:`repro.workloads.packs`."""
+
+from . import packs
 from .generators import (
     nth_from_end_formula,
     nth_from_end_va,
@@ -62,6 +66,7 @@ __all__ = [
     "log_line_formula",
     "nth_from_end_formula",
     "nth_from_end_va",
+    "packs",
     "phone_formula",
     "prop311_formula",
     "prop311_va",

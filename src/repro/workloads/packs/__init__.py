@@ -1,0 +1,30 @@
+"""Workload packs: realistic extraction suites with golden outputs.
+
+Each pack pairs a synthetic-but-realistic document generator with the
+regex formulas that extract from it **and** pure-string golden oracles
+computing the expected extractions independently of the spanner runtime —
+so the packs double as correctness nets (engine output ≡ golden output)
+and as benchmark corpora (the generators are deterministic per seed).
+
+Packs:
+
+* :mod:`repro.workloads.packs.server_logs` — timestamped access-log lines
+  (the §1 log-analysis workload and the corpus of the incremental-append
+  benchmark).
+"""
+
+from .server_logs import (
+    error_timestamp_formula,
+    generate_lines,
+    generate_log,
+    golden_error_timestamps,
+    golden_fields,
+)
+
+__all__ = [
+    "error_timestamp_formula",
+    "generate_lines",
+    "generate_log",
+    "golden_error_timestamps",
+    "golden_fields",
+]

@@ -1,0 +1,143 @@
+"""The server-logs workload pack: synthetic-but-realistic access logs.
+
+Lines follow the ``HH:MM:SS LEVEL message`` shape of
+:func:`repro.workloads.regexes.log_line_formula`.  The generator is
+deterministic per seed, stays inside :data:`~repro.workloads.regexes
+.TEXT_ALPHABET`, and keeps messages free of colons and of the literal
+level tokens — so a timestamp pattern or ``" ERROR "`` can only occur at
+the head of a line, and the pure-string golden oracles below agree with
+the spanner semantics exactly (one mapping per matching line).
+
+The pack feeds three consumers:
+
+* the workload tests — engine output ≡ golden output on random seeds;
+* the tail-session tests — a realistic growing document whose appends
+  merge runs and cross line boundaries;
+* ``benchmarks/bench_e18_incremental.py`` — the monitoring corpus of the
+  incremental-append sweeps (quiet streams via ``error_rate=0``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...regex.ast import RegexFormula
+from ...regex.builder import capture, char_range, chars, concat, lit, star
+from ..regexes import TEXT_ALPHABET
+
+#: The level tokens of :func:`~repro.workloads.regexes.log_line_formula`.
+LEVELS = ("INFO", "WARN", "ERROR", "DEBUG")
+
+#: Message templates: lowercase words, digits, and punctuation from
+#: TEXT_ALPHABET — never a colon (no accidental timestamps) and never an
+#: uppercase level token (no accidental ``" ERROR "``).
+_TEMPLATES = (
+    "request for /api/items/{n} handled in {m} ms",
+    "user u{n} connected from host-{m}.internal",
+    "cache warm for shard {n} ({m} entries)",
+    "queue depth {n}, draining worker-{m}",
+    "disk usage {n} percent on /data/vol{m}",
+    "upstream replica-{n} slow, retrying in {m} ms",
+    "connection reset by peer u{n} after {m} requests",
+    "checksum mismatch in segment {n}, rewriting {m} bytes",
+)
+
+
+def generate_lines(
+    n: int,
+    seed: int = 0,
+    error_rate: float = 0.05,
+    start_second: int = 0,
+) -> list[str]:
+    """``n`` log lines, deterministic per ``(seed, error_rate,
+    start_second)``.
+
+    Timestamps advance monotonically (1–3 s per line, wrapping at
+    midnight) from ``start_second`` — pass the previous batch's end to
+    continue a stream across appends.  ``error_rate`` is the per-line
+    probability of an ``ERROR`` level (``0`` generates the quiet
+    monitoring stream the incremental benchmark measures).
+    """
+    rng = random.Random(f"{seed}/{error_rate}/{start_second}")
+    lines = []
+    second = start_second
+    for _ in range(n):
+        second = (second + rng.randrange(1, 4)) % 86400
+        timestamp = (
+            f"{second // 3600:02d}:{second % 3600 // 60:02d}:{second % 60:02d}"
+        )
+        if rng.random() < error_rate:
+            level = "ERROR"
+        else:
+            level = rng.choice(("INFO", "WARN", "DEBUG"))
+        message = rng.choice(_TEMPLATES).format(
+            n=rng.randrange(1000), m=rng.randrange(1000)
+        )
+        lines.append(f"{timestamp} {level} {message}")
+    return lines
+
+
+def generate_log(
+    n: int,
+    seed: int = 0,
+    error_rate: float = 0.05,
+    start_second: int = 0,
+) -> str:
+    """The ``n``-line log as one newline-terminated document."""
+    return "".join(
+        line + "\n"
+        for line in generate_lines(n, seed, error_rate, start_second)
+    )
+
+
+def _is_timestamp(text: str) -> bool:
+    return (
+        len(text) == 8
+        and text[2] == ":"
+        and text[5] == ":"
+        and all(text[i].isdigit() for i in (0, 1, 3, 4, 6, 7))
+    )
+
+
+def golden_fields(line: str) -> "dict[str, str] | None":
+    """The ``{ts, level, msg}`` fields of one well-formed log line, by
+    pure string splitting — the oracle for
+    :func:`~repro.workloads.regexes.log_line_formula` (which yields
+    exactly one mapping per well-formed line), independent of the
+    spanner runtime."""
+    parts = line.split(" ", 2)
+    if len(parts) != 3:
+        return None
+    timestamp, level, message = parts
+    if level not in LEVELS or not _is_timestamp(timestamp):
+        return None
+    if any(ch not in TEXT_ALPHABET or ch == "\n" for ch in message):
+        return None
+    return {"ts": timestamp, "level": level, "msg": message}
+
+
+def golden_error_timestamps(text: str) -> list[str]:
+    """The timestamps of the ``ERROR`` lines of a pack-generated log, in
+    document order — the oracle for :func:`error_timestamp_formula`
+    (one mapping per ``ERROR`` line; duplicates kept, matching the
+    one-span-per-line mapping count)."""
+    out = []
+    for line in text.splitlines():
+        fields = golden_fields(line)
+        if fields is not None and fields["level"] == "ERROR" and fields["msg"]:
+            out.append(fields["ts"])
+    return out
+
+
+def error_timestamp_formula(ts_var: str = "ts") -> RegexFormula:
+    """Capture the timestamp of an ``ERROR`` line, anywhere in a
+    multi-line log — the monitoring query of the incremental benchmark
+    (quiet streams keep its match graph empty, so a tail session answers
+    each append in O(appended))."""
+    digit = char_range("0", "9")
+    two = concat(digit, digit)
+    timestamp = concat(two, lit(":"), two, lit(":"), two)
+    skip = star(chars(TEXT_ALPHABET))
+    return concat(
+        skip, capture(ts_var, timestamp), lit(" ERROR "), skip
+    )

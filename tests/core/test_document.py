@@ -160,6 +160,56 @@ class TestCachedArtifacts:
         assert doc.runs() == (("a", 0, 1), ("b", 1, 1))
         assert dict(doc.letter_counts()) == {"a": 1, "b": 1}
 
+    def test_append_extends_text_and_merges_runs(self):
+        doc = Document("aab")
+        grown = doc.append("bba")
+        assert grown.text == "aabbba"
+        assert grown.runs() == (("a", 0, 2), ("b", 2, 3), ("a", 5, 1))
+        # The original stays immutable.
+        assert doc.text == "aab"
+        assert doc.runs() == (("a", 0, 2), ("b", 2, 1))
+
+    def test_append_artifacts_match_fresh_document(self):
+        for prefix, suffix in [
+            ("", "abc"),
+            ("abc", ""),
+            ("aab", "bba"),
+            ("ab", "cd"),
+            ("aaa", "aaa"),
+        ]:
+            grown = Document(prefix).append(suffix)
+            fresh = Document(prefix + suffix)
+            assert grown.text == fresh.text
+            assert grown.runs() == fresh.runs()
+            assert dict(grown.letter_counts()) == dict(fresh.letter_counts())
+
+    def test_append_extends_cached_encodings(self):
+        alphabet = Alphabet.of("abc")
+        doc = Document("aab")
+        ids = doc.encoded(alphabet)
+        grown = doc.append("bca")
+        assert grown.encoded(alphabet) == ids + alphabet.encode("bca")
+        assert grown.encoded(alphabet) == Document("aabbca").encoded(alphabet)
+
+    def test_append_accepts_documents(self):
+        grown = Document("ab").append(Document("ba"))
+        assert grown.text == "abba"
+
+    def test_empty_append_shares_cached_artifacts(self):
+        doc = Document("aabcc")
+        runs = doc.runs()
+        grown = doc.append("")
+        assert grown.runs() is runs
+
+    def test_chained_appends(self):
+        doc = Document("")
+        for chunk in ("a", "ab", "", "bba", "c"):
+            doc = doc.append(chunk)
+        fresh = Document("aabbbac")
+        assert doc.text == fresh.text
+        assert doc.runs() == fresh.runs()
+        assert dict(doc.letter_counts()) == dict(fresh.letter_counts())
+
     def test_documents_pickle_by_text(self):
         import pickle
 

@@ -224,6 +224,81 @@ class TestMaintenance:
         assert content_hash("abc") != content_hash("abd")
 
 
+class TestIncrementalAppend:
+    def test_append_matches_fresh_ingest(self, tmp_path):
+        with _store(tmp_path, ["abc", "zz"]) as store:
+            grown = store.append(1, "cba")
+            assert grown.text == "abccba"
+            assert store.text(1) == "abccba"
+            assert store.verify() == []
+            with _store(tmp_path / "other", ["abccba", "zz"]) as oracle:
+                assert store.letters() == oracle.letters()
+                for letter in sorted(oracle.letters()):
+                    assert (
+                        list(store.posting(letter)[1])
+                        == list(oracle.posting(letter)[1])
+                    ), letter
+
+    def test_append_empty_text_is_a_noop(self, tmp_path):
+        with _store(tmp_path, ["abc"]) as store:
+            assert store.append(1, "").text == "abc"
+            assert store.verify() == []
+
+    def test_append_replaces_cached_document(self, tmp_path):
+        with _store(tmp_path, ["abc"]) as store:
+            store.document(1)
+            grown = store.append(1, "d")
+            assert store.document(1) is grown
+
+    def test_append_duplicating_another_document_raises(self, tmp_path):
+        with _store(tmp_path, ["abc", "ab"]) as store:
+            with pytest.raises(CorpusError, match="duplicate"):
+                store.append(2, "c")
+
+    def test_append_accepts_document_objects(self, tmp_path):
+        from repro.core import Document
+
+        with _store(tmp_path, ["ab"]) as store:
+            assert store.append(1, Document("ba")).text == "abba"
+
+
+class TestReadOnlyHandles:
+    def test_writable_store_runs_in_wal_mode(self, tmp_path):
+        with _store(tmp_path) as store:
+            (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode == "wal"
+
+    def test_read_only_rejects_mutations(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        _store(tmp_path).close()
+        with CorpusStore(path, read_only=True) as reader:
+            for call in (
+                lambda: reader.add_many(["new"]),
+                lambda: reader.remove(1),
+                lambda: reader.update(1, "x"),
+                lambda: reader.append(1, "x"),
+                lambda: reader.rebuild(),
+            ):
+                with pytest.raises(CorpusError, match="read-only"):
+                    call()
+
+    def test_read_only_requires_an_existing_store(self, tmp_path):
+        with pytest.raises(CorpusError, match="does not exist"):
+            CorpusStore(tmp_path / "missing.sqlite", read_only=True)
+
+    def test_reader_sees_writer_commits_after_refresh(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with _store(tmp_path, ["abc"]) as writer:
+            with CorpusStore(path, read_only=True) as reader:
+                assert reader.text(1) == "abc"
+                writer.append(1, "def")
+                reader.refresh()
+                assert reader.text(1) == "abcdef"
+                ids, counts = reader.posting("d")
+                assert list(ids) == [1]
+                assert list(counts) == [1]
+
+
 class TestPlanner:
     def test_required_letters_seed_from_postings(self, tmp_path):
         with _store(tmp_path) as store:

@@ -1,0 +1,163 @@
+"""The tail session: incremental re-evaluation of a growing document
+reuses the layered match graph instead of rebuilding it."""
+
+import pytest
+
+from repro.core import SpanRelation
+from repro.core.errors import SpannerError
+from repro.engine import Engine, TailSession, available_backends
+from repro.regex import parse
+from repro.va import regex_to_va, trim
+
+ALL_BACKENDS = available_backends()
+
+#: Backends whose prepared form resumes from a frontier checkpoint.
+EXTENDING = [b for b in ALL_BACKENDS if b != "matchgraph"]
+
+
+def compile_va(text):
+    return trim(regex_to_va(parse(text)))
+
+
+def union_of(emissions):
+    return SpanRelation(m for batch in emissions for m in batch)
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_union_over_time_matches_stepwise_full_evaluations(self, backend):
+        engine = Engine(backend=backend)
+        va = compile_va("(a|b)*x{a}b*")
+        session = engine.tail(va)
+        oracle = Engine(backend=backend)
+        seen = SpanRelation(())
+        text = ""
+        for chunk in ("a", "b", "", "ba", "bb", "a"):
+            fresh = session.reevaluate(chunk)
+            text += chunk
+            full = oracle.evaluate(va, text)
+            expected = [m for m in full if m not in seen]
+            assert SpanRelation(fresh) == SpanRelation(expected), (backend, text)
+            seen = SpanRelation(list(seen) + expected)
+        assert union_of([list(seen)]) == seen
+        assert session.total_matches == len(seen)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_old_region_captures_surface_on_completion(self, backend):
+        # The append completes a match whose capture lies entirely in the
+        # old region — a span-based "new matches" filter would miss it.
+        engine = Engine(backend=backend)
+        va = compile_va("x{a}bb")
+        session = engine.tail(va, "ab")
+        assert session.reevaluate() == []
+        (mapping,) = session.reevaluate("b")
+        ((var, span),) = mapping.items()
+        assert (span.begin, span.end) == (1, 2)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_seeded_document_and_empty_appends(self, backend):
+        engine = Engine(backend=backend)
+        va = compile_va("(a|b)*x{ab}(a|b)*")
+        session = engine.tail(va, "abab")
+        first = session.reevaluate()
+        assert SpanRelation(first) == engine.evaluate(va, "abab")
+        # Re-evaluating without growth yields nothing new.
+        assert session.reevaluate() == []
+        assert session.reevaluate("") == []
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_append_without_reevaluate_accumulates(self, backend):
+        engine = Engine(backend=backend)
+        va = compile_va("x{a}b*")
+        session = engine.tail(va)
+        session.append("a")
+        session.append("bb")
+        assert len(session) == 3
+        (mapping,) = session.reevaluate()
+        ((_, span),) = mapping.items()
+        assert (span.begin, span.end) == (1, 2)
+
+
+class TestLayerReuse:
+    @pytest.mark.parametrize("backend", EXTENDING)
+    def test_extension_reuses_prefix_layers(self, backend):
+        engine = Engine(backend=backend)
+        session = engine.tail(compile_va("(a|b)*x{a}"), "ab" * 8)
+        session.reevaluate()
+        stats = engine.stats
+        assert stats.tail_recomputed_layers == 16
+        session.reevaluate("ab")
+        assert stats.tail_reused_layers == 16
+        assert stats.tail_recomputed_layers == 18
+        assert stats.tail_reevaluations == 2
+
+    def test_matchgraph_falls_back_to_full_rebuild(self):
+        engine = Engine(backend="matchgraph")
+        session = engine.tail(compile_va("(a|b)*x{a}"), "ab" * 4)
+        session.reevaluate()
+        session.reevaluate("ab")
+        stats = engine.stats
+        assert stats.tail_reused_layers == 0
+        assert stats.tail_recomputed_layers == 8 + 10
+
+    def test_kernel_powers_are_reused_across_extensions(self):
+        # A long quiet run advances through memoized transformer powers;
+        # extending by more of the same letter must not regrow the cache.
+        engine = Engine(backend="indexed")
+        va = compile_va("a*x{b}a*")
+        session = engine.tail(va, "b" + "a" * 64)
+        session.reevaluate()
+        kernel = session._prepared.indexed.kernel()
+        cached = kernel.cached_power_count()
+        assert cached > 0
+        for _ in range(4):
+            session.reevaluate("a" * 64)
+        assert kernel.cached_power_count() == cached
+
+    @pytest.mark.parametrize("backend", EXTENDING)
+    def test_prefilter_reject_keeps_checkpoint_across_gaps(self, backend):
+        engine = Engine(backend=backend)
+        va = compile_va("(a|b)*x{b}(a|b)*")
+        session = engine.tail(va, "a" * 6)
+        # 'b' never occurs: the histogram prefilter answers without a graph.
+        assert session.reevaluate() == []
+        assert session.reevaluate("aa") == []
+        stats = engine.stats
+        assert stats.prefilter_rejects >= 2
+        assert stats.tail_recomputed_layers == 0
+        # Once admitted, the session evaluates the full document correctly.
+        fresh = session.reevaluate("b")
+        assert SpanRelation(fresh) == engine.evaluate(va, "a" * 8 + "b")
+
+
+class TestGraphExtensionErrors:
+    def test_extended_rejects_shrinking_documents(self):
+        from repro.va.indexed import IndexedMatchGraph
+
+        va = compile_va("(a|b)*x{a}")
+        graph = IndexedMatchGraph(va.indexed(), "abab")
+        with pytest.raises(SpannerError):
+            graph.extended("ab")
+
+    def test_checkpoint_is_exposed(self):
+        from repro.va.indexed import IndexedMatchGraph
+
+        va = compile_va("(a|b)*x{a}")
+        graph = IndexedMatchGraph(va.indexed(), "ab")
+        assert isinstance(graph.checkpoint(), int)
+        assert graph.checkpoint() > 0
+
+
+class TestSessionSurface:
+    def test_engine_tail_returns_session(self):
+        session = Engine().tail(compile_va("x{a}"))
+        assert isinstance(session, TailSession)
+        assert len(session) == 0
+        assert "TailSession" in repr(session)
+
+    def test_sessions_share_engine_stats(self):
+        engine = Engine()
+        session = engine.tail(compile_va("x{a}"))
+        session.reevaluate("a")
+        assert engine.stats.tail_reevaluations == 1
+        assert engine.stats.mappings == 1

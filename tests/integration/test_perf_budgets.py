@@ -211,3 +211,33 @@ class TestCommittedCorpusBaseline:
                 row["candidates_per_query"] <= row["matching_docs"] + 1
             ), row
             assert row["hydrations_per_query"] <= row["docs"], row
+
+
+class TestCommittedIncrementalBaseline:
+    """``BENCH_incremental.json`` (E18): tail-session acceptance bars."""
+
+    def test_schema_and_sections(self):
+        data = _committed("BENCH_incremental.json", "e18_incremental")
+        sections = data["sections"]
+        assert sections["quiet"]["rows"]
+        assert sections["dense"]["rows"]
+
+    def test_quiet_tail_speedup_acceptance_bar_holds(self):
+        rows = _committed("BENCH_incremental.json", "e18_incremental")[
+            "sections"
+        ]["quiet"]["rows"]
+        # The tentpole bar: 100-letter appends to a >=50k-letter quiet
+        # document re-evaluate >=5x faster than a full rebuild.
+        big = max(rows, key=lambda r: r["doc_letters"])
+        assert big["doc_letters"] >= 50_000, rows
+        assert big["append_letters"] == 100, rows
+        assert big["speedup"] >= 5.0, big
+        for row in rows:
+            assert row["matches"] == 0, row
+            assert row["reused_layers"] > 0, row
+
+    def test_dense_tail_is_reported(self):
+        rows = _committed("BENCH_incremental.json", "e18_incremental")[
+            "sections"
+        ]["dense"]["rows"]
+        assert rows[0]["matches"] > 0, rows

@@ -118,6 +118,70 @@ class TestCli:
         assert "'abc'" in capsys.readouterr().out
 
 
+class TestTailCli:
+    def test_tail_reports_existing_content_once(self, tmp_path, capsys):
+        path = tmp_path / "log.txt"
+        path.write_text("ab")
+        assert main(
+            ["tail", "x{a}b", "--file", str(path),
+             "--max-polls", "2", "--interval", "0"]
+        ) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1  # the second (no-growth) poll emits nothing
+        assert "1" in out[0]
+
+    def test_tail_json_lines(self, tmp_path, capsys):
+        path = tmp_path / "log.txt"
+        path.write_text("ab")
+        assert main(
+            ["tail", "x{a}b", "--file", str(path),
+             "--max-polls", "1", "--interval", "0", "--json"]
+        ) == 0
+        (line,) = capsys.readouterr().out.strip().splitlines()
+        assert json.loads(line) == {"x": [1, 2]}
+
+    def test_tail_picks_up_appends(self, tmp_path, capsys):
+        import threading
+
+        path = tmp_path / "log.txt"
+        path.write_text("ab")
+
+        def grow():
+            with open(path, "a") as handle:
+                handle.write("b")
+
+        # The first poll sees "ab" (no match for x{a}bb); the append lands
+        # during the interval sleep and a later poll completes the match.
+        timer = threading.Timer(0.15, grow)
+        timer.start()
+        try:
+            assert main(
+                ["tail", "x{a}bb", "--file", str(path),
+                 "--max-polls", "8", "--interval", "0.1"]
+            ) == 0
+        finally:
+            timer.cancel()
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert "1" in out[0]
+
+    def test_tail_missing_file_reports_an_error(self, tmp_path, capsys):
+        assert main(
+            ["tail", "x{a}", "--file", str(tmp_path / "missing.log"),
+             "--max-polls", "1"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tail_from_end_skips_existing_matches(self, tmp_path, capsys):
+        path = tmp_path / "log.txt"
+        path.write_text("ab")
+        assert main(
+            ["tail", "x{a}b", "--file", str(path),
+             "--max-polls", "2", "--interval", "0", "--from-end"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+
 class TestCorpusCli:
     @pytest.fixture
     def store_path(self, tmp_path, capsys):
