@@ -23,6 +23,12 @@ The evaluation kernel's per-document cost should be sublinear in practice:
   document (where the indexed kernel's Python-int doubling stays ahead —
   both cells are reported so the README's backend-selection matrix stays
   honest).
+* **enumeration throughput** (E16e) — *full enumeration* (mappings/sec)
+  across a run-length × match-density grid: ``indexed`` vs the
+  vectorized scalar walk (``--enum-block 0``) vs the batched block DFS
+  over batch-materialised edge rows.  The acceptance bar: ≥3x
+  enumeration throughput for vectorized-batched over ``indexed`` on the
+  low-run 100k-letter cells.
 
 Results are written as human-readable tables (the ``report`` fixture) and
 machine-readably to ``BENCH_kernel.json`` at the repository root (CI
@@ -482,6 +488,172 @@ def bench_e16_backend_matrix(benchmark, report):
         low_run = speedups["low_run"]
         assert low_run["nonempty"] >= 5.0, speedups
         assert low_run["first"] >= 5.0, speedups
+
+
+# -- enumeration throughput: indexed vs vectorized-scalar vs batched ---------
+
+ENUM_DOC_LETTERS = 2_000 if TINY else 100_000
+#: Gap shapes for the needle sea: 1 = low-run (random a/b letters),
+#: larger values = run-heavy (single-letter runs of that length).
+ENUM_RUN_LENGTHS = (1, 1_000)
+#: Per-gap needle probabilities (match density; one needle is always
+#: planted mid-document so every cell enumerates at least one mapping).
+ENUM_NEEDLE_RATES = (0.02, 0.08)
+ENUM_REPEATS = 1  # full enumeration is the cost being measured
+
+
+def _enum_document(run_length: int, needle_rate: float, seed: int) -> Document:
+    """~``ENUM_DOC_LETTERS`` letters of a/b gaps with ``ab^12 a`` needles
+    (the :data:`MATRIX_FORMULA` match) planted between gaps."""
+    rng = random.Random(seed)
+    needle = "ab" * 12 + "a"
+    parts = []
+    total = 0
+    while total < ENUM_DOC_LETTERS:
+        if run_length <= 1:
+            gap = "".join(
+                rng.choice("ab") for _ in range(rng.randrange(20, 60))
+            )
+        else:
+            gap = ("a" if rng.random() < 0.5 else "b") * run_length
+        parts.append(gap)
+        total += len(gap)
+        if rng.random() < needle_rate:
+            parts.append(needle)
+            total += len(needle)
+    text = "".join(parts)[:ENUM_DOC_LETTERS]
+    middle = len(text) // 2
+    return Document(text[:middle] + needle + text[middle:])
+
+
+def _enumeration_sweep():
+    from repro.engine import available_backends
+    from repro.regex import parse
+
+    from bench_common import compile_formula
+
+    va = compile_formula(parse(MATRIX_FORMULA))
+    indexed = va.indexed()
+    have_numpy = "vectorized" in available_backends()
+    rows = []
+    for run_length in ENUM_RUN_LENGTHS:
+        for rate in ENUM_NEEDLE_RATES:
+            doc = _enum_document(
+                run_length, rate, seed=run_length * 1000 + int(rate * 100)
+            )
+            indexed_ms, n_indexed = _best_of(
+                ENUM_REPEATS,
+                lambda: sum(
+                    1 for _ in IndexedMatchGraph(indexed, doc).enumerate()
+                ),
+            )
+            assert n_indexed > 0, (run_length, rate)
+            row = {
+                "workload": "low_run" if run_length <= 1 else "run_heavy",
+                "run_length": run_length,
+                "needle_rate": rate,
+                "doc_letters": len(doc),
+                "mappings": n_indexed,
+                "indexed_ms": round(indexed_ms, 3),
+                "indexed_maps_per_s": round(n_indexed / (indexed_ms / 1e3), 1),
+            }
+            if have_numpy:
+                from repro.va.vectorized import VectorizedMatchGraph
+
+                vva = va.vectorized()
+                scalar_ms, n_scalar = _best_of(
+                    ENUM_REPEATS,
+                    lambda: sum(
+                        1
+                        for _ in VectorizedMatchGraph(
+                            vva, doc, block_size=0
+                        ).enumerate()
+                    ),
+                )
+                batched_ms, n_batched = _best_of(
+                    ENUM_REPEATS,
+                    lambda: sum(
+                        1 for _ in VectorizedMatchGraph(vva, doc).enumerate()
+                    ),
+                )
+                assert n_scalar == n_batched == n_indexed, (run_length, rate)
+                row.update(
+                    {
+                        "scalar_ms": round(scalar_ms, 3),
+                        "batched_ms": round(batched_ms, 3),
+                        "scalar_maps_per_s": round(
+                            n_scalar / (scalar_ms / 1e3), 1
+                        ),
+                        "batched_maps_per_s": round(
+                            n_batched / (batched_ms / 1e3), 1
+                        ),
+                        "batched_speedup_vs_indexed": round(
+                            indexed_ms / batched_ms, 2
+                        ),
+                        "batched_speedup_vs_scalar": round(
+                            scalar_ms / batched_ms, 2
+                        ),
+                    }
+                )
+            rows.append(row)
+    return rows
+
+
+def bench_e16_enumeration_throughput(benchmark, report):
+    rows = benchmark.pedantic(_enumeration_sweep, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "workload",
+            "needle_rate",
+            "mappings",
+            "indexed_ms",
+            "scalar_ms",
+            "batched_ms",
+            "batched_maps_per_s",
+            "vs_indexed",
+        ],
+        [
+            [
+                r["workload"],
+                r["needle_rate"],
+                r["mappings"],
+                r["indexed_ms"],
+                r.get("scalar_ms", "-"),
+                r.get("batched_ms", "-"),
+                r.get("batched_maps_per_s", "-"),
+                f'{r["batched_speedup_vs_indexed"]:.2f}x'
+                if "batched_speedup_vs_indexed" in r
+                else "-",
+            ]
+            for r in rows
+        ],
+        title="E16e full-enumeration throughput on the >64-state matrix "
+        f"query ({ENUM_DOC_LETTERS} letters): indexed vs vectorized-scalar "
+        "(--enum-block 0) vs vectorized-batched, run-length x match-density",
+    )
+    report("E16e_enumeration_throughput", table)
+    _JSON["sections"]["enumeration_throughput"] = {
+        "formula": MATRIX_FORMULA,
+        "doc_letters": ENUM_DOC_LETTERS,
+        "repeats": ENUM_REPEATS,
+        "run_lengths": list(ENUM_RUN_LENGTHS),
+        "needle_rates": list(ENUM_NEEDLE_RATES),
+        "rows": rows,
+    }
+    _flush_json()
+    if not TINY:
+        # Acceptance bar: ≥3x full-enumeration throughput for the batched
+        # path over indexed on every low-run cell (run-heavy cells ride
+        # the shared run-skip, so they are reported, not asserted).
+        low_run = [
+            r
+            for r in rows
+            if r["workload"] == "low_run"
+            and "batched_speedup_vs_indexed" in r
+        ]
+        if low_run:
+            for row in low_run:
+                assert row["batched_speedup_vs_indexed"] >= 3.0, row
 
 
 def bench_e16_shared_corpus_batch(benchmark, report):

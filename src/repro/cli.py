@@ -94,6 +94,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         backend=args.backend,
         optimize=not args.no_optimize,
         prefilter=not args.no_prefilter,
+        enumeration_block_size=args.enum_block,
     )
     relation = SpanRelation(
         engine.enumerate(_compile(args), document, limit=args.limit)
@@ -119,6 +120,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         document_cache_size=args.cache_documents,
         optimize=not args.no_optimize,
         prefilter=not args.no_prefilter,
+        enumeration_block_size=args.enum_block,
     )
     va = _compile(args)
     relations = engine.evaluate_many(
@@ -194,6 +196,7 @@ def _cmd_corpus_query(args: argparse.Namespace) -> int:
         backend=args.backend,
         optimize=not args.no_optimize,
         prefilter=not args.no_prefilter,
+        enumeration_block_size=args.enum_block,
     )
     va = _compile(args)
     with _open_store(args) as store:
@@ -271,6 +274,7 @@ def _cmd_tail(args: argparse.Namespace) -> int:
         backend=args.backend,
         optimize=not args.no_optimize,
         prefilter=not args.no_prefilter,
+        enumeration_block_size=args.enum_block,
     )
     va = _compile(args)
 
@@ -413,6 +417,16 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the VA-derived document prefilter (run the full "
             "Boolean pass on every document)",
+        )
+        p.add_argument(
+            "--enum-block",
+            type=int,
+            default=None,
+            metavar="N",
+            help="batched-enumeration block budget for the vectorized "
+            "backend: fall back to the scalar walk past N distinct "
+            "(letter, live mask) layer contexts; 0 disables batching "
+            "(default: the backend's built-in budget)",
         )
 
     extract = sub.add_parser("extract", help="evaluate a formula on a document")

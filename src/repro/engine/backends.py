@@ -136,11 +136,26 @@ class PreparedVA(abc.ABC):
         ``frontier_cache_misses``."""
         return 0
 
+    def edge_rows_batched(self) -> int:
+        """Cumulative batched edge-row contexts materialised behind this
+        prepared form (``0`` for backends without batched enumeration).
+        The engine samples it around each evaluation to attribute
+        ``edge_rows_batched``."""
+        return 0
+
 
 class EnumerationBackend(abc.ABC):
     """A strategy for preparing and enumerating sequential VAs."""
 
     name: str
+
+    #: Block budget for backends with a batched enumeration path: the
+    #: maximum number of distinct ``(letter, live mask)`` layer contexts a
+    #: document may have before enumeration falls back to the scalar
+    #: walk; ``0`` disables batching, ``None`` keeps the backend default
+    #: (:data:`repro.va.vectorized.DEFAULT_ENUM_BLOCK_SIZE`).  Set by the
+    #: engine's ``enumeration_block_size`` knob / ``--enum-block``.
+    enumeration_block_size: "int | None" = None
 
     @classmethod
     def is_available(cls) -> bool:
@@ -276,15 +291,18 @@ class PreparedVectorizedVA(PreparedVA):
     via :meth:`VA.vectorized`) sharing one frontier-node kernel across
     every document."""
 
-    __slots__ = ("va", "vectorized")
+    __slots__ = ("va", "vectorized", "block_size")
 
-    def __init__(self, va: VA):
+    def __init__(self, va: VA, block_size: "int | None" = None):
         _require_sequential(va)
         self.vectorized = va.vectorized()
         self.va = self.vectorized.va
+        self.block_size = block_size
 
     def run(self, document: Document | str) -> VectorizedMatchGraph:
-        return VectorizedMatchGraph(self.vectorized, as_document(document))
+        return VectorizedMatchGraph(
+            self.vectorized, as_document(document), block_size=self.block_size
+        )
 
     def is_nonempty(self, document: Document | str) -> bool:
         return vectorized_nonempty(self.vectorized, document)
@@ -304,6 +322,9 @@ class PreparedVectorizedVA(PreparedVA):
 
     def frontier_misses(self) -> int:
         return self.vectorized.kernel().step_misses
+
+    def edge_rows_batched(self) -> int:
+        return self.vectorized.kernel().edge_rows_batched
 
 
 class VectorizedBackend(EnumerationBackend):
@@ -325,7 +346,7 @@ class VectorizedBackend(EnumerationBackend):
         return numpy_available()
 
     def prepare(self, va: VA) -> PreparedVectorizedVA:
-        return PreparedVectorizedVA(va)
+        return PreparedVectorizedVA(va, block_size=self.enumeration_block_size)
 
 
 # IndexedMatchGraph (and its vectorized subclass) already expose the full

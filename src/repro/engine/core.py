@@ -118,6 +118,7 @@ class ExecutionContext:
                 start = time.perf_counter()
                 self._static_prepared = self.backend.prepare(self.plan.root.va)
                 stats.compile_seconds += time.perf_counter() - start
+                self._mark_gauges(self._static_prepared)
                 stats.static_reuses += 1
             else:
                 stats.document_hits += 1
@@ -132,11 +133,44 @@ class ExecutionContext:
         start = time.perf_counter()
         prepared = self.backend.prepare(self.plan.va_for(doc, stats))
         stats.compile_seconds += time.perf_counter() - start
+        self._mark_gauges(prepared)
         if self._doc_cache_size > 0:
             self._doc_cache[key] = prepared
             while len(self._doc_cache) > self._doc_cache_size:
                 self._doc_cache.popitem(last=False)
         return prepared
+
+    @staticmethod
+    def _mark_gauges(prepared: PreparedVA) -> None:
+        """Watermark the prepared form's cumulative kernel counters.
+
+        The kernel behind a prepared form is shared (cached on the
+        automaton), so its counters are *cumulative across everything
+        that ever touched it* — attributing them to :attr:`stats` by
+        sampling a base around each evaluation double-counts as soon as
+        two evaluations overlap (interleaved enumeration generators, or a
+        tail session re-entering between samples).  Instead each prepared
+        form carries a single watermark; :meth:`_sync_gauges` attributes
+        exactly the growth since the last sync, once."""
+        prepared._gauge_mark = (
+            prepared.kernel_hits(),
+            prepared.frontier_misses(),
+            prepared.edge_rows_batched(),
+        )
+
+    def _sync_gauges(self, prepared: PreparedVA) -> None:
+        """Attribute the prepared form's counter growth since the last
+        watermark to :attr:`stats` (exactly once), and advance the mark."""
+        kernel_hits = prepared.kernel_hits()
+        frontier_misses = prepared.frontier_misses()
+        edge_rows = prepared.edge_rows_batched()
+        mark = getattr(prepared, "_gauge_mark", None)
+        if mark is not None:
+            stats = self.stats
+            stats.kernel_run_hits += kernel_hits - mark[0]
+            stats.frontier_cache_misses += frontier_misses - mark[1]
+            stats.edge_rows_batched += edge_rows - mark[2]
+        prepared._gauge_mark = (kernel_hits, frontier_misses, edge_rows)
 
     def compile(self, doc: Document) -> VA:
         """The (possibly ad-hoc) VA for one document, bypassing the
@@ -166,8 +200,6 @@ class ExecutionContext:
             return
         prepared = self.prepared_for(doc)
         stats.documents += 1
-        base_kernel_hits = prepared.kernel_hits()
-        base_frontier_misses = prepared.frontier_misses()
         start = time.perf_counter()
         run = prepared.run(doc)
         stats.compile_seconds += time.perf_counter() - start
@@ -192,10 +224,7 @@ class ExecutionContext:
             # Recorded on the way out (even on early abandonment) so the
             # lazy backend does not pay the gauge before the first yield.
             stats.states_explored += run.states_alive()
-            stats.kernel_run_hits += prepared.kernel_hits() - base_kernel_hits
-            stats.frontier_cache_misses += (
-                prepared.frontier_misses() - base_frontier_misses
-            )
+            self._sync_gauges(prepared)
 
     def first(self, document: Document | str) -> Mapping | None:
         """The first mapping in canonical order, or ``None`` if empty.
@@ -215,8 +244,6 @@ class ExecutionContext:
             return None
         prepared = self.prepared_for(doc)
         stats.documents += 1
-        base_kernel_hits = prepared.kernel_hits()
-        base_frontier_misses = prepared.frontier_misses()
         start = time.perf_counter()
         run = prepared.run(doc)
         stats.compile_seconds += time.perf_counter() - start
@@ -225,10 +252,7 @@ class ExecutionContext:
         stats.enumerate_seconds += time.perf_counter() - start
         if mapping is not None:
             stats.mappings += 1
-        stats.kernel_run_hits += prepared.kernel_hits() - base_kernel_hits
-        stats.frontier_cache_misses += (
-            prepared.frontier_misses() - base_frontier_misses
-        )
+        self._sync_gauges(prepared)
         return mapping
 
     def is_nonempty(self, document: Document | str) -> bool:
@@ -244,15 +268,10 @@ class ExecutionContext:
             return False
         prepared = self.prepared_for(doc)
         stats.nonempty_checks += 1
-        base_kernel_hits = prepared.kernel_hits()
-        base_frontier_misses = prepared.frontier_misses()
         start = time.perf_counter()
         result = prepared.is_nonempty(doc)
         stats.enumerate_seconds += time.perf_counter() - start
-        stats.kernel_run_hits += prepared.kernel_hits() - base_kernel_hits
-        stats.frontier_cache_misses += (
-            prepared.frontier_misses() - base_frontier_misses
-        )
+        self._sync_gauges(prepared)
         return result
 
 
@@ -276,6 +295,15 @@ class Engine:
             non-matching documents in O(1), before any graph is built
             (default).  ``False`` is the escape hatch: every document
             runs the full Boolean pass.
+        enumeration_block_size: block budget for backends with a batched
+            enumeration path (``vectorized``): the maximum number of
+            distinct ``(letter, live mask)`` layer contexts a document
+            may have before enumeration falls back to the scalar walk.
+            ``0`` disables batching entirely (the equivalence escape
+            hatch); ``None`` keeps the backend default
+            (:data:`repro.va.vectorized.DEFAULT_ENUM_BLOCK_SIZE`).  The
+            context cache is the memory cost — each context holds one
+            edge-row set.  Ignored by backends without batching.
     """
 
     def __init__(
@@ -285,11 +313,15 @@ class Engine:
         document_cache_size: int = 0,
         optimize: bool = True,
         prefilter: bool = True,
+        enumeration_block_size: "int | None" = None,
     ):
         self.backend = get_backend(backend)
         self.stats = EngineStats()
         self.optimize = optimize
         self.prefilter = prefilter
+        self.enumeration_block_size = enumeration_block_size
+        if enumeration_block_size is not None:
+            self.backend.enumeration_block_size = enumeration_block_size
         self._plan_cache_size = plan_cache_size
         self._document_cache_size = document_cache_size
         self._contexts: OrderedDict[object, ExecutionContext] = OrderedDict()
@@ -586,6 +618,7 @@ class Engine:
             document_cache_size=self._document_cache_size,
             optimize=self.optimize,
             prefilter=self.prefilter,
+            enumeration_block_size=self.enumeration_block_size,
         )
         for stats in shard_stats:
             self.stats.merge(stats)

@@ -81,6 +81,7 @@ def _run_shard(
     document_cache_size: int,
     optimize: bool,
     prefilter: bool,
+    enumeration_block_size: "int | None" = None,
 ) -> "tuple[list[SpanRelation], EngineStats]":
     """Worker entry point: evaluate one shard with a private engine."""
     from .core import Engine
@@ -90,6 +91,7 @@ def _run_shard(
         document_cache_size=document_cache_size,
         optimize=optimize,
         prefilter=prefilter,
+        enumeration_block_size=enumeration_block_size,
     )
     query = _rebuild_query(payload)
     relations = engine.evaluate_many(query, texts, limit=limit)
@@ -105,6 +107,7 @@ def evaluate_sharded(
     document_cache_size: int = 0,
     optimize: bool = True,
     prefilter: bool = True,
+    enumeration_block_size: "int | None" = None,
 ) -> "tuple[list[SpanRelation], list[EngineStats]]":
     """Evaluate ``documents`` across ``workers`` processes.
 
@@ -125,6 +128,7 @@ def evaluate_sharded(
             pool.submit(
                 _run_shard, payload, backend_name, texts, limit,
                 document_cache_size, optimize, prefilter,
+                enumeration_block_size,
             )
             for texts in shards
         ]

@@ -51,6 +51,10 @@ class EngineStats:
             backend actually computed through its numpy plane tables —
             every other position was served by the interned frontier-node
             cache (``0`` on backends without a frontier cache).
+        edge_rows_batched: layer contexts whose enumeration edge rows the
+            vectorized backend materialised through a batched plane
+            gather — every other layer shared a previously built context
+            (``0`` on backends without batched enumeration).
         tail_reevaluations: incremental ``TailSession.reevaluate()`` calls
             (including ones short-circuited by the prefilter).
         tail_reused_layers: document layers served from a checkpointed
@@ -91,6 +95,7 @@ class EngineStats:
     hydrations: int = 0
     kernel_run_hits: int = 0
     frontier_cache_misses: int = 0
+    edge_rows_batched: int = 0
     tail_reevaluations: int = 0
     tail_reused_layers: int = 0
     tail_recomputed_layers: int = 0
@@ -160,6 +165,7 @@ class EngineStats:
             f"hydrations         {self.hydrations}",
             f"kernel run hits    {self.kernel_run_hits}",
             f"frontier misses    {self.frontier_cache_misses}",
+            f"edge rows batched  {self.edge_rows_batched}",
             f"tail reevaluations {self.tail_reevaluations}"
             f" ({self.tail_reused_layers} layers reused /"
             f" {self.tail_recomputed_layers} recomputed)",

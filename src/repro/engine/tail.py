@@ -140,11 +140,15 @@ class TailSession:
         self._run = run
         self._run_n = n
         if run.is_empty:
+            # The checkpoint resume still advanced the kernel — attribute
+            # it now, not to whichever evaluation happens to sample next.
+            self._context._sync_gauges(prepared)
             return []
         seen = self._seen
         start = time.perf_counter()
         fresh = [m for m in run.enumerate() if m not in seen]
         stats.enumerate_seconds += time.perf_counter() - start
+        self._context._sync_gauges(prepared)
         seen.update(fresh)
         stats.mappings += len(fresh)
         self.total_matches += len(fresh)

@@ -182,6 +182,50 @@ class IndexedVA:
             self._kernel = TransitionKernel(self)
         return self._kernel
 
+    def letter_edge_arrays(
+        self, letter_id: int
+    ) -> "tuple[list[int], list[int], list[int]]":
+        """The macro transitions of one letter, flattened to parallel
+        arrays ``(source_sids, opset_ids, target_masks)`` over every
+        ``(state, opset)`` edge of ``tables[letter_id]``.
+
+        This is the columnar view the vectorized batch edge-row builder
+        gathers from: one plane AND over the whole target column prunes
+        every edge of a layer context at once, instead of walking
+        ``tables[letter_id][sid]`` per (layer, state) pair.  Built once
+        per letter and cached (document independent)."""
+        cache = getattr(self, "_letter_edge_arrays", None)
+        if cache is None:
+            cache = self._letter_edge_arrays = {}
+        arrays = cache.get(letter_id)
+        if arrays is None:
+            sids: list[int] = []
+            oids: list[int] = []
+            targets: list[int] = []
+            for sid, entries in enumerate(self.tables[letter_id]):
+                for oid, target_mask in entries:
+                    sids.append(sid)
+                    oids.append(oid)
+                    targets.append(target_mask)
+            arrays = cache[letter_id] = (sids, oids, targets)
+        return arrays
+
+    def op_programs(self) -> "list[tuple[tuple[str, ...], tuple[str, ...]]]":
+        """Per-opset ``(open_vars, close_vars)`` programs, indexed by
+        opset id — the unpacked form of :attr:`opsets` the bulk mapping
+        emitter replays without iterating frozensets per accepting path.
+        Built once and cached (document independent)."""
+        programs = getattr(self, "_op_programs", None)
+        if programs is None:
+            programs = self._op_programs = [
+                (
+                    tuple(op.var for op in ops if op.is_open),
+                    tuple(op.var for op in ops if not op.is_open),
+                )
+                for ops in self.opsets
+            ]
+        return programs
+
     def __repr__(self) -> str:
         return (
             f"IndexedVA(states={self.n_states}, opsets={len(self.opsets)}, "

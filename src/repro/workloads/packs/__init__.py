@@ -11,8 +11,20 @@ Packs:
 * :mod:`repro.workloads.packs.server_logs` — timestamped access-log lines
   (the §1 log-analysis workload and the corpus of the incremental-append
   benchmark).
+* :mod:`repro.workloads.packs.csv_records` — comma-separated ledger
+  exports (the enumeration-heavy record-scraping workload: one mapping
+  per record, plus a per-field scraping query).
 """
 
+from .csv_records import (
+    field_formula,
+    generate_csv,
+    generate_records,
+    golden_interior_fields,
+    golden_record,
+    golden_records,
+    record_formula,
+)
 from .server_logs import (
     error_timestamp_formula,
     generate_lines,
@@ -23,8 +35,15 @@ from .server_logs import (
 
 __all__ = [
     "error_timestamp_formula",
+    "field_formula",
+    "generate_csv",
     "generate_lines",
     "generate_log",
+    "generate_records",
     "golden_error_timestamps",
     "golden_fields",
+    "golden_interior_fields",
+    "golden_record",
+    "golden_records",
+    "record_formula",
 ]

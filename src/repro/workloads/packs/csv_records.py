@@ -1,0 +1,199 @@
+"""The CSV-records workload pack: comma-separated ledger exports.
+
+Documents are newline-terminated CSV with a header line and
+``id,email,city,amount`` records::
+
+    id,email,city,amount
+    4021,grace.hopper17@mail.example.com,arlington,310.25
+    4022,alan.turing3@example.org,london,18.00
+
+The generator is deterministic per seed, stays inside
+:data:`~repro.workloads.regexes.TEXT_ALPHABET`, and keeps every field
+free of commas and newlines — so the comma/newline delimiters are
+unambiguous and the pure-string golden oracles below agree with the
+spanner semantics exactly.  A ``noise_rate`` fraction of lines are
+free-text audit notes (never starting with a digit), which the record
+formula must skip and the field formula treats like any other line.
+
+This pack is the *enumeration-heavy* counterpart to
+:mod:`~repro.workloads.packs.server_logs`: :func:`record_formula` yields
+one four-variable mapping per record (thousands per document) and
+:func:`field_formula` yields one mapping per interior field occurrence,
+so full enumeration — not emptiness — dominates.  It feeds the workload
+tests (engine ≡ golden on every backend) and the enumeration-throughput
+benchmark section of ``benchmarks/bench_e16_kernel_prefilter.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from ...regex.ast import RegexFormula
+from ...regex.builder import capture, char_range, chars, concat, lit, plus, star
+from ..regexes import TEXT_ALPHABET
+
+#: Field alphabets (all ⊂ TEXT_ALPHABET, never ``,`` or newline).
+_DIGITS = string.digits
+_LOCAL_CHARS = string.ascii_lowercase + string.digits + "."
+_DOMAIN_CHARS = string.ascii_lowercase + string.digits + ".-"
+_CITY_CHARS = string.ascii_lowercase + "-"
+#: Anything a field may hold: TEXT_ALPHABET minus the two delimiters.
+_FIELD_CHARS = "".join(sorted(TEXT_ALPHABET - {",", "\n"}))
+
+_FIRST = ("ada", "grace", "alan", "edsger", "donald", "barbara", "tony", "edith")
+_LAST = ("lovelace", "hopper", "turing", "dijkstra", "knuth", "liskov", "hoare", "clarke")
+_HOSTS = ("example.org", "mail.example.com", "records.example.net", "ledger-eu.example.org")
+_CITIES = ("london", "zurich", "austin", "eindhoven", "pasadena", "new-york", "arlington", "milton-keynes")
+_NOTES = (
+    "note: manual adjustment pending review",
+    "audit trail rotated, see ledger archive",
+    "balance carried over from prior export",
+    "reconciliation run skipped (weekend)",
+)
+
+HEADER = "id,email,city,amount"
+
+
+def generate_records(
+    n: int, seed: int = 0, noise_rate: float = 0.0
+) -> list[str]:
+    """``n`` CSV lines (records and, at ``noise_rate``, free-text audit
+    notes), deterministic per ``(seed, noise_rate)``.  Record ids ascend,
+    mirroring an export in insertion order."""
+    rng = random.Random(f"{seed}/{noise_rate}")
+    lines = []
+    record_id = rng.randrange(1000, 5000)
+    for _ in range(n):
+        if rng.random() < noise_rate:
+            lines.append(rng.choice(_NOTES))
+            continue
+        record_id += rng.randrange(1, 3)
+        email = (
+            f"{rng.choice(_FIRST)}.{rng.choice(_LAST)}"
+            f"{rng.randrange(100)}@{rng.choice(_HOSTS)}"
+        )
+        amount = f"{rng.randrange(10_000)}.{rng.randrange(100):02d}"
+        lines.append(
+            f"{record_id},{email},{rng.choice(_CITIES)},{amount}"
+        )
+    return lines
+
+
+def generate_csv(n: int, seed: int = 0, noise_rate: float = 0.0) -> str:
+    """The ``n``-line export as one newline-terminated document with the
+    :data:`HEADER` line first — every record line is then delimited by
+    newlines on *both* sides, which is what anchors
+    :func:`record_formula` to whole lines."""
+    return "".join(
+        line + "\n"
+        for line in [HEADER, *generate_records(n, seed, noise_rate)]
+    )
+
+
+# -- golden oracles (pure string code, no spanner machinery) ---------------
+
+
+def golden_record(line: str) -> "dict[str, str] | None":
+    """The ``{id, email, city, amount}`` fields of one well-formed record
+    line, by pure string splitting — ``None`` for the header, audit
+    notes, and anything else malformed."""
+    parts = line.split(",")
+    if len(parts) != 4:
+        return None
+    record_id, email, city, amount = parts
+    if not record_id or any(ch not in _DIGITS for ch in record_id):
+        return None
+    local, at, domain = email.partition("@")
+    if at != "@" or not local or not domain:
+        return None
+    if any(ch not in _LOCAL_CHARS for ch in local):
+        return None
+    if any(ch not in _DOMAIN_CHARS for ch in domain):
+        return None
+    if not city or any(ch not in _CITY_CHARS for ch in city):
+        return None
+    whole, dot, cents = amount.partition(".")
+    if dot != "." or not whole or len(cents) != 2:
+        return None
+    if any(ch not in _DIGITS for ch in whole + cents):
+        return None
+    return {"id": record_id, "email": email, "city": city, "amount": amount}
+
+
+def golden_records(text: str) -> "list[dict[str, str]]":
+    """The well-formed records of a document, in document order — the
+    oracle for :func:`record_formula`, which yields exactly one mapping
+    per well-formed *newline-delimited* line (so the first line and an
+    unterminated last line never count, matching the formula's anchors)."""
+    parts = text.split("\n")
+    out = []
+    for index, line in enumerate(parts):
+        if 1 <= index < len(parts) - 1:
+            fields = golden_record(line)
+            if fields is not None:
+                out.append(fields)
+    return out
+
+
+def golden_interior_fields(text: str) -> list[str]:
+    """Every comma-delimited *interior* field occurrence (a non-empty
+    comma-free stretch with a comma on both sides, within one line), in
+    document order, duplicates kept — the oracle for
+    :func:`field_formula`.  On a four-field record these are the email
+    and the city; audit notes contribute whatever their commas delimit."""
+    out = []
+    for line in text.split("\n"):
+        parts = line.split(",")
+        out.extend(field for field in parts[1:-1] if field)
+    return out
+
+
+# -- the extraction formulas ----------------------------------------------
+
+
+def record_formula(
+    id_var: str = "id",
+    email_var: str = "email",
+    city_var: str = "city",
+    amount_var: str = "amount",
+) -> RegexFormula:
+    """Capture all four fields of every newline-delimited record line.
+
+    Each field pattern is forced by its delimiter (fields never contain
+    commas, the amount's cent part is exactly two digits), so a
+    well-formed line yields exactly one mapping and a malformed line
+    yields none — :func:`golden_records` is the exact oracle.
+    """
+    digit = char_range("0", "9")
+    skip = star(chars(TEXT_ALPHABET))
+    comma = lit(",")
+    email = concat(
+        plus(chars(_LOCAL_CHARS)), lit("@"), plus(chars(_DOMAIN_CHARS))
+    )
+    amount = concat(plus(digit), lit("."), digit, digit)
+    return concat(
+        skip,
+        lit("\n"),
+        capture(id_var, plus(digit)),
+        comma,
+        capture(email_var, email),
+        comma,
+        capture(city_var, plus(chars(_CITY_CHARS))),
+        comma,
+        capture(amount_var, amount),
+        lit("\n"),
+        skip,
+    )
+
+
+def field_formula(var: str = "field") -> RegexFormula:
+    """Capture every interior comma-delimited field occurrence — the
+    scraping query that does not assume the record shape.  Adjacent
+    fields share their middle comma (``,a,b,`` yields both ``a`` and
+    ``b``), which is exactly what :func:`golden_interior_fields`
+    computes; this is the pack's densest enumeration workload."""
+    skip = star(chars(TEXT_ALPHABET))
+    return concat(
+        skip, lit(","), capture(var, plus(chars(_FIELD_CHARS))), lit(","), skip
+    )

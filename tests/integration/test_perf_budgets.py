@@ -84,6 +84,7 @@ class TestCommittedBaseline:
             "prefilter_selectivity",
             "batch_corpus",
             "backend_matrix",
+            "enumeration_throughput",
         ):
             assert sections[name]["rows"], name
 
@@ -101,6 +102,21 @@ class TestCommittedBaseline:
         # for a low-run 100k-letter document with a >64-state query.
         assert low_run["nonempty"] >= 5.0, low_run
         assert low_run["first"] >= 5.0, low_run
+
+    def test_enumeration_throughput_acceptance_bar_holds(self):
+        section = _baseline()["sections"]["enumeration_throughput"]
+        assert section["doc_letters"] >= 100_000, section
+        low_run = [
+            r for r in section["rows"] if r["workload"] == "low_run"
+        ]
+        assert low_run, section["rows"]
+        # The batched-enumeration bar: ≥3x full-enumeration throughput
+        # (mappings/sec) over indexed on every low-run 100k-letter cell,
+        # and the batched path must never lose to its own scalar walk.
+        for row in low_run:
+            assert row["mappings"] > 0, row
+            assert row["batched_speedup_vs_indexed"] >= 3.0, row
+            assert row["batched_speedup_vs_scalar"] >= 1.0, row
 
 
 @pytest.mark.skipif(not numpy_available(), reason="vectorized needs numpy")
