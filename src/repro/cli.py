@@ -88,6 +88,30 @@ def _print_stats(engine: Engine) -> None:
     print(engine.stats.summary(), file=sys.stderr)
 
 
+def _make_guard(args: argparse.Namespace):
+    """The :class:`~repro.engine.ExecutionGuard` requested by
+    ``--deadline``/``--budget``, or ``None`` when neither is set."""
+    if args.deadline is None and args.budget is None:
+        return None
+    from .engine import ExecutionGuard
+
+    return ExecutionGuard(
+        deadline=args.deadline,
+        budget=args.budget,
+        on_budget="partial" if args.on_budget == "partial" else "raise",
+    )
+
+
+def _note_truncation(guard) -> None:
+    """In ``--on-budget partial`` mode, tell stderr what was cut short."""
+    if guard is not None and guard.truncated is not None:
+        print(
+            f"note: result truncated ({guard.truncated}); "
+            f"shown mappings are a consistent prefix",
+            file=sys.stderr,
+        )
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     document = _read_document(args)
     engine = Engine(
@@ -96,9 +120,13 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         prefilter=not args.no_prefilter,
         enumeration_block_size=args.enum_block,
     )
+    guard = _make_guard(args)
     relation = SpanRelation(
-        engine.enumerate(_compile(args), document, limit=args.limit)
+        engine.enumerate(_compile(args), document, limit=args.limit, guard=guard)
     )
+    if guard is not None and guard.truncated is not None:
+        relation = SpanRelation(relation, truncated=True)
+    _note_truncation(guard)
     if args.json:
         print(dumps_relation(relation, indent=2))
     else:
@@ -123,9 +151,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         enumeration_block_size=args.enum_block,
     )
     va = _compile(args)
+    guard = _make_guard(args)
     relations = engine.evaluate_many(
-        va, lines, limit=args.limit, workers=args.workers
+        va, lines, limit=args.limit, workers=args.workers, guard=guard
     )
+    _note_truncation(guard)
     if args.json:
         for relation in relations:
             print(dumps_relation(relation))
@@ -208,9 +238,11 @@ def _cmd_corpus_query(args: argparse.Namespace) -> int:
                 print(store.candidates(prefilter).describe())
             print()
         doc_ids = store.doc_ids()
+        guard = _make_guard(args)
         relations = engine.evaluate_many(
-            va, store, limit=args.limit, workers=args.workers
+            va, store, limit=args.limit, workers=args.workers, guard=guard
         )
+        _note_truncation(guard)
         total = 0
         matching = 0
         for doc_id, relation in zip(doc_ids, relations):
@@ -256,6 +288,12 @@ def _cmd_corpus_rebuild(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Bound on consecutive session restarts caused by undecodable bytes
+#: before ``tail`` gives up — a persistently non-UTF-8 file should be a
+#: clear error, not an infinite restart loop.
+_TAIL_DECODE_RESTARTS = 8
+
+
 def _cmd_tail(args: argparse.Namespace) -> int:
     """Follow a growing file, streaming new mappings with bounded delay.
 
@@ -264,10 +302,24 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     and re-evaluates only over the appended region, so each poll costs
     O(appended) — tailing a large log never re-walks it.  Partial UTF-8
     sequences at the read boundary are held back by an incremental
-    decoder; a truncated file (logrotate) restarts the session from the
-    new content.
+    decoder.
+
+    Degradation modes (the file is reopened on every poll, so none of
+    them need the original handle to survive):
+
+    * **Truncation / rotation to a shorter file** — the session resets
+      and re-reads the new content from position 0;
+    * **Replacement** (new inode at the same path, even same-length) —
+      detected via ``fstat`` and treated as a truncation;
+    * **Deletion** — polls keep counting while the path is missing; the
+      session resumes if the file reappears, and if ``--max-polls``
+      expires first the command exits 2 with a clear message (no
+      traceback);
+    * **Undecodable bytes** — the session restarts from position 0, at
+      most ``_TAIL_DECODE_RESTARTS`` consecutive times before exiting 2.
     """
     import codecs
+    import os
     import time as _time
 
     engine = Engine(
@@ -295,33 +347,73 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     decoder = codecs.getincrementaldecoder("utf-8")()
     offset = 0
     polls = 0
+    missing_polls = 0
+    decode_restarts = 0
+    inode: "int | None" = None
+    seeded = not args.from_end
+
+    def restart() -> None:
+        nonlocal offset, decoder
+        offset = 0
+        session.reset()
+        decoder = codecs.getincrementaldecoder("utf-8")()
+
     try:
-        with open(args.file, "rb") as handle:
-            if args.from_end:
-                # Seed silently: existing content is evaluated so its
-                # matches are marked seen, but nothing is printed for it.
-                chunk = handle.read()
-                offset = len(chunk)
-                session.reevaluate(decoder.decode(chunk))
-            while args.max_polls is None or polls < args.max_polls:
+        while args.max_polls is None or polls < args.max_polls:
+            try:
+                handle = open(args.file, "rb")
+            except FileNotFoundError:
+                missing_polls += 1
+                polls += 1
+                if args.max_polls is not None and polls >= args.max_polls:
+                    raise SpannerError(
+                        f"tail: {args.file} is missing (deleted or rotated "
+                        f"away) and --max-polls expired after "
+                        f"{missing_polls} poll(s) without it"
+                    ) from None
+                _time.sleep(args.interval)
+                continue
+            with handle:
+                stat = os.fstat(handle.fileno())
+                if inode is not None and stat.st_ino != inode:
+                    # Replaced at the same path: the accumulated document
+                    # describes the old file, so restart on the new one.
+                    restart()
+                inode = stat.st_ino
+                missing_polls = 0
                 size = handle.seek(0, 2)
                 if size < offset:
-                    # Truncated (rotation): start a fresh session over the
-                    # new content.
-                    handle.seek(0)
-                    offset = 0
-                    session = engine.tail(va)
-                    decoder = codecs.getincrementaldecoder("utf-8")()
-                else:
-                    handle.seek(offset)
+                    # Truncated (logrotate copytruncate): restart over
+                    # the new, shorter content.
+                    restart()
+                handle.seek(offset)
                 chunk = handle.read()
-                offset += len(chunk)
+            offset += len(chunk)
+            try:
                 text = decoder.decode(chunk)
-                if text or session.reevaluations == 0:
-                    emit(session.reevaluate(text))
+            except UnicodeDecodeError as error:
+                decode_restarts += 1
+                if decode_restarts >= _TAIL_DECODE_RESTARTS:
+                    raise SpannerError(
+                        f"tail: {args.file} is not valid UTF-8 ({error}); "
+                        f"gave up after {decode_restarts} session restarts"
+                    ) from None
+                restart()
                 polls += 1
                 if args.max_polls is None or polls < args.max_polls:
                     _time.sleep(args.interval)
+                continue
+            decode_restarts = 0
+            if not seeded:
+                # Seed silently: existing content is evaluated so its
+                # matches are marked seen, but nothing is printed for it.
+                seeded = True
+                session.reevaluate(text)
+            elif text or session.reevaluations == 0:
+                emit(session.reevaluate(text))
+            polls += 1
+            if args.max_polls is None or polls < args.max_polls:
+                _time.sleep(args.interval)
     except KeyboardInterrupt:
         pass
     if args.stats:
@@ -429,6 +521,32 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the backend's built-in budget)",
         )
 
+    def add_guard(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock deadline for the whole evaluation; on expiry "
+            "the command fails (or truncates, with --on-budget partial)",
+        )
+        p.add_argument(
+            "--budget",
+            default=None,
+            metavar="SPEC",
+            help="resource budget spec, e.g. "
+            "'mappings=10k,states=1m,edge-rows=500k,cache-bytes=64m' "
+            "(k/m/g suffixes; any subset of the four ceilings)",
+        )
+        p.add_argument(
+            "--on-budget",
+            choices=("error", "partial"),
+            default="error",
+            help="on a tripped deadline/budget: 'error' exits 2, "
+            "'partial' prints the consistent prefix computed so far and "
+            "notes the truncation on stderr (default: %(default)s)",
+        )
+
     extract = sub.add_parser("extract", help="evaluate a formula on a document")
     add_common(extract)
     source = extract.add_mutually_exclusive_group()
@@ -439,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-content", action="store_true", help="show span contents in the table"
     )
     add_engine(extract)
+    add_guard(extract)
     extract.set_defaults(func=_cmd_extract)
 
     batch = sub.add_parser(
@@ -462,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the batch across N worker processes (default: in-process)",
     )
     add_engine(batch)
+    add_guard(batch)
     batch.set_defaults(func=_cmd_batch)
 
     tail = sub.add_parser(
@@ -553,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard surviving documents across N worker processes",
     )
     add_engine(corpus_query)
+    add_guard(corpus_query)
     corpus_query.set_defaults(func=_cmd_corpus_query)
 
     corpus_rebuild = corpus_sub.add_parser(

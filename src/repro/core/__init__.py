@@ -4,7 +4,11 @@ from .document import Alphabet, Document, as_document
 from .errors import (
     ArityError,
     BackendUnavailableError,
+    BudgetExceeded,
+    DeadlineExceeded,
     EvaluationError,
+    ExecutionCancelled,
+    ExecutionInterrupted,
     MappingError,
     NotFunctionalError,
     NotSequentialError,
@@ -12,6 +16,8 @@ from .errors import (
     RegexSyntaxError,
     SpanError,
     SpannerError,
+    StoreBusy,
+    StoreCorrupt,
     VariableError,
 )
 from .mapping import EMPTY_MAPPING, Mapping, Variable, compatible, merge
@@ -23,11 +29,15 @@ __all__ = [
     "Alphabet",
     "ArityError",
     "BackendUnavailableError",
+    "BudgetExceeded",
     "ConstantSpanner",
+    "DeadlineExceeded",
     "Document",
     "EMPTY_MAPPING",
     "EMPTY_RELATION",
     "EvaluationError",
+    "ExecutionCancelled",
+    "ExecutionInterrupted",
     "Mapping",
     "MappingError",
     "NotFunctionalError",
@@ -40,6 +50,8 @@ __all__ = [
     "SpanRelation",
     "Spanner",
     "SpannerError",
+    "StoreBusy",
+    "StoreCorrupt",
     "Variable",
     "VariableError",
     "all_spans",

@@ -64,6 +64,61 @@ class BackendUnavailableError(SpannerError, RuntimeError):
     names the missing dependency and the portable alternatives."""
 
 
+class ExecutionInterrupted(SpannerError, RuntimeError):
+    """An evaluation was stopped by an
+    :class:`~repro.engine.guards.ExecutionGuard` before completing.
+
+    Structured: :attr:`reason` names what tripped (``"deadline"``,
+    ``"budget:mappings"``, ``"cancelled"``, …), :attr:`partial` carries
+    whatever prefix of the result the tripped call had already produced
+    (``None`` when the call materialises nothing), and :attr:`stats` is an
+    :class:`~repro.engine.stats.EngineStats` snapshot taken at the trip
+    (``None`` when the guard ran outside an engine).  With
+    ``on_budget="partial"`` the engine absorbs this exception and returns
+    the prefix with a truncation flag instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "interrupted",
+        partial=None,
+        stats=None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.partial = partial
+        self.stats = stats
+
+
+class DeadlineExceeded(ExecutionInterrupted):
+    """The guard's wall-clock deadline passed mid-evaluation."""
+
+
+class BudgetExceeded(ExecutionInterrupted):
+    """A guard resource budget (mappings, states, edge rows, cache bytes)
+    was exhausted mid-evaluation."""
+
+
+class ExecutionCancelled(ExecutionInterrupted):
+    """The guard's shared :class:`~repro.engine.guards.CancelToken` was
+    cancelled by another thread."""
+
+
+class StoreBusy(SpannerError, RuntimeError):
+    """A corpus-store sqlite call stayed locked/busy through every retry
+    of the store's bounded backoff policy.  Transient by nature — another
+    writer holds the file — so retrying the whole operation later is
+    legitimate; the store never half-applies a transaction."""
+
+
+class StoreCorrupt(SpannerError, RuntimeError):
+    """A corpus-store file is damaged (malformed database, failed
+    integrity check) — *not* a transient lock, so it is never retried.
+    The message carries the ``corpus rebuild --verify`` hint when the
+    derived state (artifacts, posting lists) may still be repairable."""
+
+
 class VariableError(SpannerError, ValueError):
     """An invalid variable usage, e.g. re-opening an already open variable
     in a context that forbids it."""

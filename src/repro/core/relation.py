@@ -21,12 +21,19 @@ class SpanRelation:
 
     Unlike classical relations, the mappings need not share a domain
     (schemaless semantics).
+
+    ``truncated`` marks relations produced by a guarded evaluation that
+    tripped under ``on_budget="partial"``: the mappings are a prefix of
+    the full result, not all of it.  The flag is presentation metadata —
+    two relations with the same mappings compare and hash equal
+    regardless of it.
     """
 
-    __slots__ = ("_mappings",)
+    __slots__ = ("_mappings", "truncated")
 
-    def __init__(self, mappings: Iterable[Mapping] = ()):
+    def __init__(self, mappings: Iterable[Mapping] = (), truncated: bool = False):
         self._mappings = frozenset(mappings)
+        self.truncated = truncated
 
     # -- container protocol --------------------------------------------------
 
@@ -51,11 +58,12 @@ class SpanRelation:
         return hash(self._mappings)
 
     def __repr__(self) -> str:
+        suffix = ", truncated" if self.truncated else ""
         if not self._mappings:
-            return "SpanRelation(∅)"
+            return f"SpanRelation(∅{suffix})"
         rows = ", ".join(repr(m) for m in list(self)[:6])
         more = "" if len(self) <= 6 else f", … ({len(self)} total)"
-        return f"SpanRelation({rows}{more})"
+        return f"SpanRelation({rows}{more}{suffix})"
 
     @property
     def is_empty(self) -> bool:

@@ -36,12 +36,23 @@ content-hash check doubles as corruption detection).
 The store is pure stdlib (``sqlite3`` + ``array``); numpy only
 accelerates the set operations.  One writer at a time per store file is
 assumed (sqlite's own locking protects against worse).
+
+Transient contention (``database is locked`` / ``busy`` from a concurrent
+writer) is absorbed by a bounded retry-with-backoff on every sqlite call:
+statements retry in place, mutating transactions retry whole (after a
+:meth:`CorpusStore.refresh`, since the in-memory postings may have been
+touched before the rollback).  Retries exhausted raise
+:class:`~repro.core.errors.StoreBusy`; a corrupted database file raises
+:class:`~repro.core.errors.StoreCorrupt` immediately — corruption is
+never retried and never misread as contention.  The :attr:`retries`
+counter feeds ``EngineStats.store_retries``.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from bisect import bisect_left
 from collections import OrderedDict
 from hashlib import sha256
@@ -49,7 +60,8 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..core.document import Document
-from ..core.errors import SpannerError
+from ..core.errors import SpannerError, StoreBusy, StoreCorrupt
+from ..testing import faults
 from .index import (
     IndexPlan,
     id_array,
@@ -64,6 +76,28 @@ SCHEMA_VERSION = 1
 #: Chunk size for ``WHERE doc_id IN (...)`` fetches (sqlite's default
 #: variable limit is 999).
 _IN_CHUNK = 500
+
+#: Bounded retry policy for transient sqlite contention: up to this many
+#: retries per call, sleeping ``_RETRY_BACKOFF * 2**attempt`` between them
+#: (10 ms, 20 ms, 40 ms, 80 ms — ~150 ms worst case before StoreBusy).
+_STORE_RETRIES = 4
+_RETRY_BACKOFF = 0.01
+
+
+def _classify_sqlite_error(exc: sqlite3.DatabaseError) -> str:
+    """``"transient"`` (locked/busy — retryable), ``"corrupt"`` (the file
+    itself is damaged — never retryable), or ``"other"`` (schema errors
+    like ``no such table`` — the caller's problem, not the store's)."""
+    message = str(exc).lower()
+    if "locked" in message or "busy" in message:
+        return "transient"
+    if (
+        "malformed" in message
+        or "not a database" in message
+        or "corrupt" in message
+    ):
+        return "corrupt"
+    return "other"
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -204,6 +238,9 @@ class CorpusStore:
             path = path / "corpus.sqlite"
         self.path = path
         self.read_only = read_only
+        #: Transient sqlite errors absorbed by retry-with-backoff (feeds
+        #: ``EngineStats.store_retries``).
+        self.retries = 0
         if read_only:
             if not path.exists():
                 raise CorpusError(
@@ -215,13 +252,13 @@ class CorpusStore:
             self._conn = sqlite3.connect(str(path))
             # WAL: readers (tail sessions, other processes) proceed while
             # the writer ingests; the mode persists in the database file.
-            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._execute("PRAGMA journal_mode=WAL")
             self._conn.executescript(_SCHEMA)
         self._init_meta()
         self._postings: dict[str, _Posting] = {}
         self._letters: set[str] = {
             row[0]
-            for row in self._conn.execute("SELECT letter FROM postings")
+            for row in self._execute("SELECT letter FROM postings")
         }
         self._doc_cache: OrderedDict[int, Document] = OrderedDict()
         self._doc_cache_size = document_cache_size
@@ -231,14 +268,85 @@ class CorpusStore:
         #: hydration is a fetch that *skips* artifact recomputation).
         self.hydrations = 0
 
+    def _execute(self, sql: str, params=()) -> sqlite3.Cursor:
+        """``conn.execute`` with the store's robustness policy: transient
+        lock/busy errors retry with bounded exponential backoff (counted
+        in :attr:`retries`, raising :class:`StoreBusy` when exhausted),
+        corruption raises :class:`StoreCorrupt` immediately, and anything
+        else (schema errors, programming errors) propagates untouched."""
+        attempt = 0
+        while True:
+            try:
+                if faults.ACTIVE is not None:
+                    faults.sqlite_error("store")
+                return self._conn.execute(sql, params)
+            except sqlite3.DatabaseError as exc:
+                kind = _classify_sqlite_error(exc)
+                if kind == "transient":
+                    if attempt < _STORE_RETRIES:
+                        self.retries += 1
+                        time.sleep(_RETRY_BACKOFF * (2 ** attempt))
+                        attempt += 1
+                        continue
+                    raise StoreBusy(
+                        f"store {self.path} stayed locked after "
+                        f"{attempt} retries: {exc}"
+                    ) from exc
+                if kind == "corrupt":
+                    raise StoreCorrupt(
+                        f"store {self.path} appears corrupt ({exc}); "
+                        f"run `corpus rebuild --verify` to inspect and "
+                        f"repair it"
+                    ) from exc
+                raise
+
+    def _transact(self, work):
+        """Run ``work()`` inside one committed transaction, retrying the
+        *whole* transaction on transient contention.  ``work`` must be
+        re-entrant (build its result from scratch on each call): a failed
+        attempt rolls the database back and :meth:`refresh` drops any
+        in-memory posting/document state the attempt touched before the
+        next try.  ``StoreBusy`` raised by an inner statement propagates
+        as-is — per-statement and per-transaction retries never stack."""
+        attempt = 0
+        while True:
+            try:
+                with self._conn:
+                    return work()
+            except sqlite3.DatabaseError as exc:
+                kind = _classify_sqlite_error(exc)
+                if kind == "transient":
+                    if attempt < _STORE_RETRIES:
+                        self.retries += 1
+                        self.refresh()
+                        time.sleep(_RETRY_BACKOFF * (2 ** attempt))
+                        attempt += 1
+                        continue
+                    raise StoreBusy(
+                        f"store {self.path} stayed locked after "
+                        f"{attempt} transaction retries: {exc}"
+                    ) from exc
+                if kind == "corrupt":
+                    raise StoreCorrupt(
+                        f"store {self.path} appears corrupt ({exc}); "
+                        f"run `corpus rebuild --verify` to inspect and "
+                        f"repair it"
+                    ) from exc
+                raise
+
     def _init_meta(self) -> None:
         try:
-            row = self._conn.execute(
+            row = self._execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
         except sqlite3.OperationalError as exc:
             # Only reachable read-only (the writable open creates the
-            # schema first): the file is not an initialised store.
+            # schema first), and only for schema-level errors — ``no such
+            # table: meta`` means the file is not an initialised store.
+            # Corruption and persistent contention have already been
+            # routed to StoreCorrupt/StoreBusy by ``_execute`` (neither
+            # is an OperationalError), so they are never misreported as
+            # "not a corpus store".
             raise CorpusError(
                 f"store {self.path} is not a corpus store: {exc}"
             ) from None
@@ -249,7 +357,7 @@ class CorpusStore:
                     f"(no schema version row)"
                 )
             with self._conn:
-                self._conn.execute(
+                self._execute(
                     "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
                     (str(SCHEMA_VERSION),),
                 )
@@ -286,7 +394,7 @@ class CorpusStore:
         self._doc_cache.clear()
         self._letters = {
             row[0]
-            for row in self._conn.execute("SELECT letter FROM postings")
+            for row in self._execute("SELECT letter FROM postings")
         }
 
     def _check_writable(self) -> None:
@@ -310,26 +418,31 @@ class CorpusStore:
     def add_many(self, texts: Iterable["str | Document"]) -> list[int]:
         """Ingest a batch in one transaction; returns the ids in order."""
         self._check_writable()
-        ids: list[int] = []
-        touched: set[str] = set()
-        with self._conn:
-            for text in texts:
-                if isinstance(text, Document):
-                    text = text.text
+        items = [
+            text.text if isinstance(text, Document) else text
+            for text in texts
+        ]
+
+        def work() -> list[int]:
+            ids: list[int] = []
+            touched: set[str] = set()
+            for text in items:
                 ids.append(self._add_one(text, touched))
             self._flush_postings(touched)
-        return ids
+            return ids
+
+        return self._transact(work)
 
     def _add_one(self, text: str, touched: set[str]) -> int:
         digest = content_hash(text)
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT doc_id FROM documents WHERE hash = ?", (digest,)
         ).fetchone()
         if row is not None:
             self.dedup_hits += 1
             return row[0]
         _runs, histogram, letters, lengths, blob = _artifacts(text)
-        cursor = self._conn.execute(
+        cursor = self._execute(
             "INSERT INTO documents "
             "(hash, length, text, runs_letters, runs_lengths, histogram) "
             "VALUES (?, ?, ?, ?, ?, ?)",
@@ -344,21 +457,24 @@ class CorpusStore:
     def remove(self, doc_id: int) -> None:
         """Delete a document and scrub it from every posting list."""
         self._check_writable()
-        row = self._conn.execute(
-            "SELECT histogram FROM documents WHERE doc_id = ?", (doc_id,)
-        ).fetchone()
-        if row is None:
-            raise CorpusError(f"no document with id {doc_id}")
-        histogram = json.loads(row[0])
-        touched = set()
-        with self._conn:
-            self._conn.execute(
+
+        def work() -> None:
+            row = self._execute(
+                "SELECT histogram FROM documents WHERE doc_id = ?", (doc_id,)
+            ).fetchone()
+            if row is None:
+                raise CorpusError(f"no document with id {doc_id}")
+            histogram = json.loads(row[0])
+            touched = set()
+            self._execute(
                 "DELETE FROM documents WHERE doc_id = ?", (doc_id,)
             )
             for letter in histogram:
                 self._posting_for_write(letter).discard(doc_id)
                 touched.add(letter)
             self._flush_postings(touched)
+
+        self._transact(work)
         self._doc_cache.pop(doc_id, None)
 
     def update(self, doc_id: int, text: "str | Document") -> None:
@@ -370,28 +486,33 @@ class CorpusStore:
         self._check_writable()
         if isinstance(text, Document):
             text = text.text
-        row = self._conn.execute(
-            "SELECT hash, histogram FROM documents WHERE doc_id = ?", (doc_id,)
+        row = self._execute(
+            "SELECT hash FROM documents WHERE doc_id = ?", (doc_id,)
         ).fetchone()
         if row is None:
             raise CorpusError(f"no document with id {doc_id}")
-        old_hash, old_histogram_json = row
         digest = content_hash(text)
-        if digest == old_hash:
+        if digest == row[0]:
             return
-        clash = self._conn.execute(
-            "SELECT doc_id FROM documents WHERE hash = ?", (digest,)
-        ).fetchone()
-        if clash is not None:
-            raise CorpusError(
-                f"updating document {doc_id} would duplicate document "
-                f"{clash[0]} (identical content)"
-            )
-        old_histogram = json.loads(old_histogram_json)
         _runs, histogram, letters, lengths, blob = _artifacts(text)
-        touched = set()
-        with self._conn:
-            self._conn.execute(
+
+        def work() -> None:
+            fresh = self._execute(
+                "SELECT histogram FROM documents WHERE doc_id = ?", (doc_id,)
+            ).fetchone()
+            if fresh is None:
+                raise CorpusError(f"no document with id {doc_id}")
+            clash = self._execute(
+                "SELECT doc_id FROM documents WHERE hash = ?", (digest,)
+            ).fetchone()
+            if clash is not None and clash[0] != doc_id:
+                raise CorpusError(
+                    f"updating document {doc_id} would duplicate document "
+                    f"{clash[0]} (identical content)"
+                )
+            old_histogram = json.loads(fresh[0])
+            touched = set()
+            self._execute(
                 "UPDATE documents SET hash = ?, length = ?, text = ?, "
                 "runs_letters = ?, runs_lengths = ?, histogram = ? "
                 "WHERE doc_id = ?",
@@ -405,6 +526,8 @@ class CorpusStore:
                     self._posting_for_write(letter).add(doc_id, count)
                     touched.add(letter)
             self._flush_postings(touched)
+
+        self._transact(work)
         self._doc_cache.pop(doc_id, None)
 
     def append(self, doc_id: int, text: "str | Document") -> Document:
@@ -431,14 +554,6 @@ class CorpusStore:
             return doc
         new_doc = doc.append(text)
         digest = content_hash(new_doc.text)
-        clash = self._conn.execute(
-            "SELECT doc_id FROM documents WHERE hash = ?", (digest,)
-        ).fetchone()
-        if clash is not None and clash[0] != doc_id:
-            raise CorpusError(
-                f"appending to document {doc_id} would duplicate document "
-                f"{clash[0]} (identical content)"
-            )
         old_histogram = doc.letter_counts()
         histogram = dict(new_doc.letter_counts())
         runs = new_doc.runs()
@@ -447,9 +562,18 @@ class CorpusStore:
             id_array(length for _letter, _start, length in runs)
         )
         blob = json.dumps(histogram, sort_keys=True, ensure_ascii=False)
-        touched = set()
-        with self._conn:
-            self._conn.execute(
+
+        def work() -> None:
+            clash = self._execute(
+                "SELECT doc_id FROM documents WHERE hash = ?", (digest,)
+            ).fetchone()
+            if clash is not None and clash[0] != doc_id:
+                raise CorpusError(
+                    f"appending to document {doc_id} would duplicate "
+                    f"document {clash[0]} (identical content)"
+                )
+            touched = set()
+            self._execute(
                 "UPDATE documents SET hash = ?, length = ?, text = ?, "
                 "runs_letters = ?, runs_lengths = ?, histogram = ? "
                 "WHERE doc_id = ?",
@@ -468,6 +592,8 @@ class CorpusStore:
                     self._posting_for_write(letter).add(doc_id, count)
                     touched.add(letter)
             self._flush_postings(touched)
+
+        self._transact(work)
         if self._doc_cache_size > 0:
             self._doc_cache[doc_id] = new_doc
             self._doc_cache.move_to_end(doc_id)
@@ -486,17 +612,18 @@ class CorpusStore:
         """
         self._check_writable()
         issues = self.verify() if verify else []
-        postings: dict[str, _Posting] = {}
-        documents = 0
-        with self._conn:
-            rows = self._conn.execute(
+
+        def work() -> int:
+            postings: dict[str, _Posting] = {}
+            documents = 0
+            rows = self._execute(
                 "SELECT doc_id, text FROM documents ORDER BY doc_id"
             ).fetchall()
             for doc_id, text in rows:
                 documents += 1
                 digest = content_hash(text)
                 _runs, histogram, letters, lengths, blob = _artifacts(text)
-                self._conn.execute(
+                self._execute(
                     "UPDATE documents SET hash = ?, length = ?, "
                     "runs_letters = ?, runs_lengths = ?, histogram = ? "
                     "WHERE doc_id = ?",
@@ -511,10 +638,13 @@ class CorpusStore:
                     # doc_ids arrive in ascending order: plain appends.
                     posting.ids.append(doc_id)
                     posting.counts.append(count)
-            self._conn.execute("DELETE FROM postings")
+            self._execute("DELETE FROM postings")
             self._postings = postings
             self._letters = set(postings)
             self._flush_postings(set(postings))
+            return documents
+
+        documents = self._transact(work)
         self._doc_cache.clear()
         return {
             "documents": documents,
@@ -533,7 +663,7 @@ class CorpusStore:
         """
         issues: list[str] = []
         expected: dict[str, dict[int, int]] = {}
-        rows = self._conn.execute(
+        rows = self._execute(
             "SELECT doc_id, hash, length, text, runs_letters, runs_lengths, "
             "histogram FROM documents ORDER BY doc_id"
         ).fetchall()
@@ -552,7 +682,7 @@ class CorpusStore:
             for letter, count in histogram.items():
                 expected.setdefault(letter, {})[doc_id] = count
         stored: dict[str, dict[int, int]] = {}
-        for letter, ids_blob, counts_blob in self._conn.execute(
+        for letter, ids_blob, counts_blob in self._execute(
             "SELECT letter, ids, counts FROM postings"
         ):
             ids = unpack_ids(ids_blob)
@@ -581,7 +711,7 @@ class CorpusStore:
     def _load_posting(self, letter: str) -> "_Posting | None":
         posting = self._postings.get(letter)
         if posting is None and letter in self._letters:
-            row = self._conn.execute(
+            row = self._execute(
                 "SELECT ids, counts FROM postings WHERE letter = ?", (letter,)
             ).fetchone()
             if row is not None:
@@ -597,13 +727,13 @@ class CorpusStore:
             if posting is None or not posting.dirty:
                 continue
             if not posting.ids:
-                self._conn.execute(
+                self._execute(
                     "DELETE FROM postings WHERE letter = ?", (letter,)
                 )
                 del self._postings[letter]
                 self._letters.discard(letter)
                 continue
-            self._conn.execute(
+            self._execute(
                 "INSERT INTO postings (letter, n, ids, counts) VALUES (?, ?, ?, ?) "
                 "ON CONFLICT(letter) DO UPDATE SET n = excluded.n, "
                 "ids = excluded.ids, counts = excluded.counts",
@@ -634,7 +764,7 @@ class CorpusStore:
         """Every document id, sorted ascending."""
         return id_array(
             row[0]
-            for row in self._conn.execute(
+            for row in self._execute(
                 "SELECT doc_id FROM documents ORDER BY doc_id"
             )
         )
@@ -643,13 +773,13 @@ class CorpusStore:
         """Document ids with length in ``[minimum, maximum]`` (sorted) —
         a range scan of the indexed ``length`` column."""
         if maximum is None:
-            rows = self._conn.execute(
+            rows = self._execute(
                 "SELECT doc_id FROM documents WHERE length >= ? "
                 "ORDER BY doc_id",
                 (minimum,),
             )
         else:
-            rows = self._conn.execute(
+            rows = self._execute(
                 "SELECT doc_id FROM documents WHERE length BETWEEN ? AND ? "
                 "ORDER BY doc_id",
                 (minimum, maximum),
@@ -689,7 +819,7 @@ class CorpusStore:
             marks = ",".join("?" * len(chunk))
             rows = {
                 row[0]: row
-                for row in self._conn.execute(
+                for row in self._execute(
                     f"SELECT doc_id, length, histogram FROM documents "
                     f"WHERE doc_id IN ({marks})",
                     chunk,
@@ -711,7 +841,7 @@ class CorpusStore:
             self._doc_cache.move_to_end(doc_id)
             self.hydrations += 1
             return cached
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT text, runs_letters, runs_lengths, histogram "
             "FROM documents WHERE doc_id = ?",
             (doc_id,),
@@ -732,7 +862,7 @@ class CorpusStore:
         return doc
 
     def text(self, doc_id: int) -> str:
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT text FROM documents WHERE doc_id = ?", (doc_id,)
         ).fetchone()
         if row is None:
@@ -743,7 +873,7 @@ class CorpusStore:
         """The id of the stored document with this exact content, if any."""
         if isinstance(text, Document):
             text = text.text
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT doc_id FROM documents WHERE hash = ?",
             (content_hash(text),),
         ).fetchone()
@@ -758,7 +888,7 @@ class CorpusStore:
         return CorpusSelection(self, doc_ids)
 
     def __len__(self) -> int:
-        return self._conn.execute("SELECT COUNT(*) FROM documents").fetchone()[0]
+        return self._execute("SELECT COUNT(*) FROM documents").fetchone()[0]
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.doc_ids())
@@ -766,7 +896,7 @@ class CorpusStore:
     def __contains__(self, doc_id: object) -> bool:
         if not isinstance(doc_id, int):
             return False
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT 1 FROM documents WHERE doc_id = ?", (doc_id,)
         ).fetchone()
         return row is not None
@@ -775,11 +905,11 @@ class CorpusStore:
 
     def stats(self) -> dict:
         """A summary for ``corpus stats``: sizes, letters, dedup counters."""
-        documents, total_letters, min_len, max_len = self._conn.execute(
+        documents, total_letters, min_len, max_len = self._execute(
             "SELECT COUNT(*), COALESCE(SUM(length), 0), MIN(length), "
             "MAX(length) FROM documents"
         ).fetchone()
-        top = self._conn.execute(
+        top = self._execute(
             "SELECT letter, n FROM postings ORDER BY n DESC, letter LIMIT 5"
         ).fetchall()
         return {

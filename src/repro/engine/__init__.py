@@ -17,6 +17,9 @@ across documents:
 * :mod:`repro.engine.backends` — interchangeable enumeration backends
   (``matchgraph``, ``indexed``, ``indexed-plain``, and the numpy-backed
   ``vectorized``);
+* :mod:`repro.engine.guards` — execution guards: wall-clock deadlines,
+  cooperative cancellation (:class:`CancelToken`), and resource budgets
+  (:class:`Budget`) enforced cooperatively along every evaluation path;
 * :class:`EngineStats` — cache, optimizer, compile-time and graph-size
   statistics.
 """
@@ -35,6 +38,7 @@ from .backends import (
     get_backend,
 )
 from .core import Engine, ExecutionContext
+from .guards import Budget, CancelToken, ExecutionGuard
 from .optimizer import (
     DEFAULT_RULES,
     OptimizerReport,
@@ -55,6 +59,8 @@ from .tail import TailSession
 
 __all__ = [
     "BACKENDS",
+    "Budget",
+    "CancelToken",
     "CompiledPlan",
     "DEFAULT_BACKEND",
     "DEFAULT_RULES",
@@ -62,6 +68,7 @@ __all__ = [
     "EngineStats",
     "EnumerationBackend",
     "ExecutionContext",
+    "ExecutionGuard",
     "IndexedBackend",
     "MatchGraphBackend",
     "OptimizerReport",

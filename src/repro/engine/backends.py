@@ -86,20 +86,25 @@ class PreparedVA(abc.ABC):
     va: VA
 
     @abc.abstractmethod
-    def run(self, document: Document | str) -> PreparedRun:
-        """Build the per-document run (graph construction)."""
+    def run(self, document: Document | str, guard=None) -> PreparedRun:
+        """Build the per-document run (graph construction).  ``guard`` is
+        an optional :class:`~repro.engine.guards.ExecutionGuard` the run
+        checks cooperatively (at run boundaries during construction, per
+        DFS frame during enumeration)."""
 
     def enumerate(self, document: Document | str) -> Iterator[Mapping]:
         return self.run(document).enumerate()
 
-    def is_nonempty(self, document: Document | str) -> bool:
+    def is_nonempty(self, document: Document | str, guard=None) -> bool:
         """Decide ``⟦A⟧(d) ≠ ∅``.
 
         Backends override this with a Boolean forward pass that never
         builds enumeration edges; the fallback asks the enumerator for one
         mapping.
         """
-        for _ in self.enumerate(document):
+        if guard is not None:
+            guard.check()
+        for _ in self.run(document, guard=guard).enumerate():
             return True
         return False
 
@@ -112,7 +117,7 @@ class PreparedVA(abc.ABC):
         return False
 
     def run_extended(
-        self, prior: PreparedRun, document: Document | str
+        self, prior: PreparedRun, document: Document | str, guard=None
     ) -> PreparedRun:
         """The run of ``document``, an append-extension of ``prior``'s
         document, reusing ``prior``'s layers where the backend can.
@@ -121,7 +126,7 @@ class PreparedVA(abc.ABC):
         Extending backends override it with the O(appended) checkpoint
         resume.
         """
-        return self.run(document)
+        return self.run(document, guard=guard)
 
     def kernel_hits(self) -> int:
         """Cumulative run-compressed kernel advances behind this prepared
@@ -209,10 +214,20 @@ class PreparedMatchGraphVA(PreparedVA):
         self.factorized = FactorizedVA(va)
         self.va = self.factorized.va
 
-    def run(self, document: Document | str) -> _MatchGraphRun:
-        return _MatchGraphRun(MatchGraph(self.factorized, document))
+    def run(self, document: Document | str, guard=None) -> _MatchGraphRun:
+        # The matchgraph substrate predates the guard plumbing: the guard
+        # brackets construction (the engine ticks per emitted mapping), so
+        # deadlines still bound the whole evaluation.
+        if guard is not None:
+            guard.check()
+        graph = MatchGraph(self.factorized, document)
+        if guard is not None:
+            guard.check()
+        return _MatchGraphRun(graph)
 
-    def is_nonempty(self, document: Document | str) -> bool:
+    def is_nonempty(self, document: Document | str, guard=None) -> bool:
+        if guard is not None:
+            guard.check()
         return boolean_nonempty(self.factorized, document)
 
 
@@ -241,23 +256,28 @@ class PreparedIndexedVA(PreparedVA):
         self.va = self.indexed.va
         self.compressed = compressed
 
-    def run(self, document: Document | str) -> IndexedMatchGraph:
+    def run(self, document: Document | str, guard=None) -> IndexedMatchGraph:
         return IndexedMatchGraph(
-            self.indexed, as_document(document), compressed=self.compressed
+            self.indexed,
+            as_document(document),
+            compressed=self.compressed,
+            guard=guard,
         )
 
-    def is_nonempty(self, document: Document | str) -> bool:
-        return indexed_nonempty(self.indexed, document, compressed=self.compressed)
+    def is_nonempty(self, document: Document | str, guard=None) -> bool:
+        return indexed_nonempty(
+            self.indexed, document, compressed=self.compressed, guard=guard
+        )
 
     def supports_extension(self) -> bool:
         return True
 
     def run_extended(
-        self, prior: PreparedRun, document: Document | str
+        self, prior: PreparedRun, document: Document | str, guard=None
     ) -> IndexedMatchGraph:
         if not isinstance(prior, IndexedMatchGraph):
-            return self.run(document)
-        return prior.extended(as_document(document))
+            return self.run(document, guard=guard)
+        return prior.extended(as_document(document), guard=guard)
 
     def kernel_hits(self) -> int:
         return self.indexed.kernel().run_hits if self.compressed else 0
@@ -299,23 +319,26 @@ class PreparedVectorizedVA(PreparedVA):
         self.va = self.vectorized.va
         self.block_size = block_size
 
-    def run(self, document: Document | str) -> VectorizedMatchGraph:
+    def run(self, document: Document | str, guard=None) -> VectorizedMatchGraph:
         return VectorizedMatchGraph(
-            self.vectorized, as_document(document), block_size=self.block_size
+            self.vectorized,
+            as_document(document),
+            block_size=self.block_size,
+            guard=guard,
         )
 
-    def is_nonempty(self, document: Document | str) -> bool:
-        return vectorized_nonempty(self.vectorized, document)
+    def is_nonempty(self, document: Document | str, guard=None) -> bool:
+        return vectorized_nonempty(self.vectorized, document, guard=guard)
 
     def supports_extension(self) -> bool:
         return True
 
     def run_extended(
-        self, prior: PreparedRun, document: Document | str
+        self, prior: PreparedRun, document: Document | str, guard=None
     ) -> VectorizedMatchGraph:
         if not isinstance(prior, VectorizedMatchGraph):
-            return self.run(document)
-        return prior.extended(as_document(document))
+            return self.run(document, guard=guard)
+        return prior.extended(as_document(document), guard=guard)
 
     def kernel_hits(self) -> int:
         return self.vectorized.kernel().run_hits

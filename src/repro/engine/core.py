@@ -36,7 +36,7 @@ from typing import Iterable, Iterator
 from ..algebra.planner import PlannerConfig, RAQuery
 from ..algebra.ra_tree import Instantiation, RANode
 from ..core.document import Document, as_document
-from ..core.errors import SpannerError
+from ..core.errors import ExecutionInterrupted, SpannerError
 from ..core.mapping import Mapping
 from ..core.relation import SpanRelation
 from ..corpus.store import CorpusSelection, CorpusStore
@@ -44,6 +44,7 @@ from ..va.automaton import VA
 from ..va.prefilter import VAPrefilter
 from ..va.properties import is_sequential
 from .backends import BACKENDS, EnumerationBackend, PreparedVA, get_backend
+from .guards import Budget, CancelToken, ExecutionGuard
 from .plan import CompiledPlan, StaticNode, plan_from_logical, resolve_logical
 from .stats import EngineStats
 
@@ -177,8 +178,24 @@ class ExecutionContext:
         backend."""
         return self.plan.va_for(doc, self.stats)
 
+    def _absorb_trip(self, exc: ExecutionInterrupted, guard) -> bool:
+        """Handle one guard trip: attribute the guard's counters, then
+        either absorb it (partial mode — records the truncation reason and
+        returns ``True``) or decorate it with a stats snapshot for the
+        caller and return ``False`` (re-raise)."""
+        guard.drain_into(self.stats)
+        if guard.degrade:
+            guard.truncated = exc.reason
+            return True
+        if exc.stats is None:
+            exc.stats = self.stats.snapshot()
+        return False
+
     def enumerate(
-        self, document: Document | str, limit: int | None = None
+        self,
+        document: Document | str,
+        limit: int | None = None,
+        guard: "ExecutionGuard | None" = None,
     ) -> Iterator[Mapping]:
         """Enumerate the query on one document, recording statistics.
 
@@ -186,6 +203,13 @@ class ExecutionContext:
         backend a small limit short-circuits graph construction too, so the
         first answers arrive after one Boolean pass rather than the full
         edge build.
+
+        A ``guard`` bounds the evaluation: construction and the DFS check
+        it cooperatively, and each emitted mapping is charged against the
+        ``mappings`` budget.  On a trip, ``on_budget="raise"`` propagates
+        the structured exception (with a stats snapshot attached);
+        ``on_budget="partial"`` ends the iteration early with
+        ``guard.truncated`` recording the reason.
         """
         if limit is not None and limit <= 0:
             return
@@ -201,7 +225,14 @@ class ExecutionContext:
         prepared = self.prepared_for(doc)
         stats.documents += 1
         start = time.perf_counter()
-        run = prepared.run(doc)
+        try:
+            run = prepared.run(doc, guard=guard)
+        except ExecutionInterrupted as exc:
+            stats.compile_seconds += time.perf_counter() - start
+            self._sync_gauges(prepared)
+            if self._absorb_trip(exc, guard):
+                return
+            raise
         stats.compile_seconds += time.perf_counter() - start
         emitted = 0
         start = time.perf_counter()
@@ -210,9 +241,21 @@ class ExecutionContext:
             while True:
                 try:
                     mapping = next(iterator)
+                    if guard is not None:
+                        # Budget first, then the strided deadline tick —
+                        # backends whose runs never consult the guard
+                        # (matchgraph) still observe deadlines at
+                        # per-mapping granularity this way.
+                        guard.charge_mappings(1)
+                        guard.tick()
                 except StopIteration:
                     stats.enumerate_seconds += time.perf_counter() - start
                     break
+                except ExecutionInterrupted as exc:
+                    stats.enumerate_seconds += time.perf_counter() - start
+                    if self._absorb_trip(exc, guard):
+                        break
+                    raise
                 stats.enumerate_seconds += time.perf_counter() - start
                 stats.mappings += 1
                 emitted += 1
@@ -223,10 +266,21 @@ class ExecutionContext:
         finally:
             # Recorded on the way out (even on early abandonment) so the
             # lazy backend does not pay the gauge before the first yield.
-            stats.states_explored += run.states_alive()
+            try:
+                stats.states_explored += run.states_alive()
+            except ExecutionInterrupted:
+                # A tripped guard re-trips on the gauge's lazy backward
+                # pass; the gauge is best-effort on the way out.
+                pass
             self._sync_gauges(prepared)
+            if guard is not None:
+                guard.drain_into(stats)
 
-    def first(self, document: Document | str) -> Mapping | None:
+    def first(
+        self,
+        document: Document | str,
+        guard: "ExecutionGuard | None" = None,
+    ) -> Mapping | None:
         """The first mapping in canonical order, or ``None`` if empty.
 
         Delegates to the run's dedicated :meth:`PreparedRun.first` walk —
@@ -245,20 +299,36 @@ class ExecutionContext:
         prepared = self.prepared_for(doc)
         stats.documents += 1
         start = time.perf_counter()
-        run = prepared.run(doc)
-        stats.compile_seconds += time.perf_counter() - start
-        start = time.perf_counter()
-        mapping = run.first()
-        stats.enumerate_seconds += time.perf_counter() - start
+        try:
+            run = prepared.run(doc, guard=guard)
+            stats.compile_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            mapping = run.first()
+            stats.enumerate_seconds += time.perf_counter() - start
+        except ExecutionInterrupted as exc:
+            # Decision calls have no partial prefix to degrade to, so a
+            # trip always raises — partial mode only softens enumeration.
+            self._sync_gauges(prepared)
+            guard.drain_into(stats)
+            if exc.stats is None:
+                exc.stats = stats.snapshot()
+            raise
         if mapping is not None:
             stats.mappings += 1
         self._sync_gauges(prepared)
+        if guard is not None:
+            guard.drain_into(stats)
         return mapping
 
-    def is_nonempty(self, document: Document | str) -> bool:
+    def is_nonempty(
+        self,
+        document: Document | str,
+        guard: "ExecutionGuard | None" = None,
+    ) -> bool:
         """Decide emptiness with the backend's Boolean pass — no
         enumeration edges are built.  The prefilter answers outright for
-        documents it can reject, skipping even the Boolean pass."""
+        documents it can reject, skipping even the Boolean pass.  A guard
+        trip always raises here (a Boolean answer has no usable prefix)."""
         doc = as_document(document)
         stats = self.stats
         prefilter = self.prefilter()
@@ -269,9 +339,19 @@ class ExecutionContext:
         prepared = self.prepared_for(doc)
         stats.nonempty_checks += 1
         start = time.perf_counter()
-        result = prepared.is_nonempty(doc)
+        try:
+            result = prepared.is_nonempty(doc, guard=guard)
+        except ExecutionInterrupted as exc:
+            stats.enumerate_seconds += time.perf_counter() - start
+            self._sync_gauges(prepared)
+            guard.drain_into(stats)
+            if exc.stats is None:
+                exc.stats = stats.snapshot()
+            raise
         stats.enumerate_seconds += time.perf_counter() - start
         self._sync_gauges(prepared)
+        if guard is not None:
+            guard.drain_into(stats)
         return result
 
 
@@ -462,6 +542,27 @@ class Engine:
             return None
         return key
 
+    # -- guards --------------------------------------------------------------
+
+    @staticmethod
+    def _make_guard(
+        deadline: "float | None" = None,
+        budget: "Budget | dict | str | None" = None,
+        on_budget: str = "raise",
+        cancel: "CancelToken | None" = None,
+        guard: "ExecutionGuard | None" = None,
+    ) -> "ExecutionGuard | None":
+        """The guard of one engine call: an explicit ``guard`` passes
+        through verbatim (shared-across-calls semantics), the shorthand
+        knobs build a fresh one, and all-``None`` means unguarded."""
+        if guard is not None:
+            return guard
+        if deadline is None and budget is None and cancel is None:
+            return None
+        return ExecutionGuard(
+            deadline=deadline, budget=budget, cancel=cancel, on_budget=on_budget
+        )
+
     # -- single-document API ------------------------------------------------
 
     def compile(self, query, document: Document | str) -> VA:
@@ -482,29 +583,93 @@ class Engine:
         return self.prepare(query, instantiation, config).plan.explain()
 
     def enumerate(
-        self, query, document: Document | str, limit: int | None = None
+        self,
+        query,
+        document: Document | str,
+        limit: int | None = None,
+        *,
+        deadline: "float | None" = None,
+        budget: "Budget | dict | str | None" = None,
+        on_budget: str = "raise",
+        cancel: "CancelToken | None" = None,
+        guard: "ExecutionGuard | None" = None,
     ) -> Iterator[Mapping]:
         """Enumerate a query on one document (polynomial delay).
 
         ``limit`` caps the number of mappings; small limits short-circuit
-        graph construction on the lazy (indexed) backend.
+        graph construction on the lazy (indexed) backend.  ``deadline`` /
+        ``budget`` / ``cancel`` bound the evaluation through an
+        :class:`ExecutionGuard` (or pass a prebuilt ``guard`` to share one
+        across calls); ``on_budget="partial"`` ends the iteration at the
+        trip instead of raising.
         """
-        return self.prepare(query).enumerate(document, limit=limit)
+        g = self._make_guard(deadline, budget, on_budget, cancel, guard)
+        return self.prepare(query).enumerate(document, limit=limit, guard=g)
 
-    def evaluate(self, query, document: Document | str) -> SpanRelation:
-        """Materialise a query on one document."""
-        return SpanRelation(self.enumerate(query, document))
+    def evaluate(
+        self,
+        query,
+        document: Document | str,
+        *,
+        deadline: "float | None" = None,
+        budget: "Budget | dict | str | None" = None,
+        on_budget: str = "raise",
+        cancel: "CancelToken | None" = None,
+        guard: "ExecutionGuard | None" = None,
+    ) -> SpanRelation:
+        """Materialise a query on one document.
 
-    def first(self, query, document: Document | str) -> Mapping | None:
+        Under a guard, a trip with ``on_budget="raise"`` propagates the
+        structured :class:`~repro.core.errors.ExecutionInterrupted` with
+        the prefix materialised so far attached as ``exc.partial`` (a
+        truncated :class:`SpanRelation`); with ``on_budget="partial"`` the
+        prefix is returned directly, flagged ``truncated``.
+        """
+        g = self._make_guard(deadline, budget, on_budget, cancel, guard)
+        context = self.prepare(query)
+        if g is None:
+            return SpanRelation(context.enumerate(document))
+        collected: list[Mapping] = []
+        try:
+            for mapping in context.enumerate(document, guard=g):
+                collected.append(mapping)
+        except ExecutionInterrupted as exc:
+            exc.partial = SpanRelation(collected, truncated=True)
+            raise
+        return SpanRelation(collected, truncated=g.truncated is not None)
+
+    def first(
+        self,
+        query,
+        document: Document | str,
+        *,
+        deadline: "float | None" = None,
+        budget: "Budget | dict | str | None" = None,
+        on_budget: str = "raise",
+        cancel: "CancelToken | None" = None,
+        guard: "ExecutionGuard | None" = None,
+    ) -> Mapping | None:
         """The first mapping in canonical order, or ``None`` if empty —
         Theorem 2.5's first delay: one linear preprocessing pass plus a
-        single root-to-sink walk."""
-        return self.prepare(query).first(document)
+        single root-to-sink walk.  Guard trips always raise here."""
+        g = self._make_guard(deadline, budget, on_budget, cancel, guard)
+        return self.prepare(query).first(document, guard=g)
 
-    def is_nonempty(self, query, document: Document | str) -> bool:
+    def is_nonempty(
+        self,
+        query,
+        document: Document | str,
+        *,
+        deadline: "float | None" = None,
+        budget: "Budget | dict | str | None" = None,
+        on_budget: str = "raise",
+        cancel: "CancelToken | None" = None,
+        guard: "ExecutionGuard | None" = None,
+    ) -> bool:
         """Decide ``⟦q⟧(d) ≠ ∅`` via the backend's Boolean bitmask pass —
-        no enumeration edges are built."""
-        return self.prepare(query).is_nonempty(document)
+        no enumeration edges are built.  Guard trips always raise here."""
+        g = self._make_guard(deadline, budget, on_budget, cancel, guard)
+        return self.prepare(query).is_nonempty(document, guard=g)
 
     def tail(self, query, document: Document | str = "") -> "TailSession":
         """An incremental evaluation session for a growing document
@@ -527,6 +692,12 @@ class Engine:
         documents: "Iterable[Document | str] | CorpusStore | CorpusSelection",
         limit: int | None = None,
         workers: int | None = None,
+        *,
+        deadline: "float | None" = None,
+        budget: "Budget | dict | str | None" = None,
+        on_budget: str = "raise",
+        cancel: "CancelToken | None" = None,
+        guard: "ExecutionGuard | None" = None,
     ) -> list[SpanRelation]:
         """Materialise a query over a batch of documents, compiling the
         static prefix exactly once.
@@ -557,11 +728,22 @@ class Engine:
                 merged back into :attr:`stats`.  Falls back to in-process
                 evaluation when the query cannot be shipped to workers
                 (e.g. black-box spanners that do not pickle) or the batch
-                is tiny.
+                is tiny; fallback reasons are recorded in
+                ``stats.parallel_fallbacks``.
+            deadline / budget / cancel / guard: one
+                :class:`ExecutionGuard` shared across the *whole batch*
+                (budgets are cumulative over all documents; the deadline
+                is propagated to worker shards).  With
+                ``on_budget="raise"`` a trip carries the relations
+                completed so far as ``exc.partial``; with
+                ``on_budget="partial"`` the tripped document keeps its
+                prefix and every later document returns an empty relation,
+                all flagged ``truncated``.
         """
+        g = self._make_guard(deadline, budget, on_budget, cancel, guard)
         selection = _as_corpus_selection(documents)
         if selection is not None:
-            return self._evaluate_corpus(query, selection, limit, workers)
+            return self._evaluate_corpus(query, selection, limit, workers, g)
         docs = [as_document(doc) for doc in documents]
         # Compile in the parent only when the corpus-level prefilter may
         # need the plan; a prefilter-off parallel batch leaves compilation
@@ -582,14 +764,13 @@ class Engine:
             self.stats.prefilter_rejects += rejected
         relations: "list[SpanRelation] | None" = None
         if workers is not None and workers > 1 and len(survivors) > 1:
-            relations = self._evaluate_parallel(query, survivors, limit, workers)
+            relations = self._evaluate_parallel(
+                query, survivors, limit, workers, g
+            )
         if relations is None:
             if context is None:
                 context = self.prepare(query)
-            relations = [
-                SpanRelation(context.enumerate(doc, limit=limit))
-                for doc in survivors
-            ]
+            relations = self._materialise_batch(context, survivors, limit, g)
         if len(survivors) == len(docs):
             return relations
         empty = SpanRelation(())
@@ -598,31 +779,111 @@ class Engine:
             out[index] = relation
         return out
 
+    def _materialise_batch(
+        self,
+        context: ExecutionContext,
+        docs: "list[Document]",
+        limit: int | None,
+        guard: "ExecutionGuard | None",
+    ) -> list[SpanRelation]:
+        """Materialise one relation per document in-process, sharing one
+        guard across the batch.  Raise-mode trips carry the relations
+        completed so far as ``exc.partial``; partial mode flags the
+        tripped document's prefix (and every later document's empty
+        relation) as truncated — a tripped guard keeps re-tripping, so
+        the rest of the batch short-circuits at construction."""
+        if guard is None:
+            return [
+                SpanRelation(context.enumerate(doc, limit=limit))
+                for doc in docs
+            ]
+        relations: list[SpanRelation] = []
+        try:
+            for doc in docs:
+                mappings = list(context.enumerate(doc, limit=limit, guard=guard))
+                relations.append(
+                    SpanRelation(mappings, truncated=guard.truncated is not None)
+                )
+        except ExecutionInterrupted as exc:
+            exc.partial = relations
+            raise
+        return relations
+
+    def _note_fallback(self, category: str) -> None:
+        """Record why a parallel batch fell back to sequential."""
+        fallbacks = self.stats.parallel_fallbacks
+        fallbacks[category] = fallbacks.get(category, 0) + 1
+
     def _evaluate_parallel(
-        self, query, docs: list[Document], limit: int | None, workers: int
+        self,
+        query,
+        docs: list[Document],
+        limit: int | None,
+        workers: int,
+        guard: "ExecutionGuard | None" = None,
     ) -> "list[SpanRelation] | None":
-        """The process-pool path; ``None`` means fall back to sequential."""
-        from .parallel import can_parallelise, evaluate_sharded, parallel_payload
+        """The process-pool path; ``None`` means fall back to sequential
+        (with the reason recorded in ``stats.parallel_fallbacks``).
+
+        Guard propagation: shards receive the *remaining* deadline and the
+        budget spec, run in partial mode, and report their trip reason
+        back; the parent then re-raises (raise mode, with the merged
+        relations as the partial result) or marks the batch truncated
+        (partial mode).  Budgets apply per shard — the parent cannot
+        meter workers mid-flight — so a batch-wide ceiling is the spec
+        times the shard count in the worst case.  Cancel tokens do not
+        cross process boundaries; lost (crashed) shards are recomputed
+        serially in the parent and counted in ``stats.shard_retries``."""
+        from .guards import exception_for
+        from .parallel import evaluate_sharded, parallel_payload, probe_parallelise
 
         backend_name = self.backend.name
         if type(self.backend) is not BACKENDS.get(backend_name):
-            return None  # custom backend instance: workers cannot rebuild it
+            # Custom backend instance: workers cannot rebuild it by name.
+            self._note_fallback("custom_backend")
+            return None
         try:
             payload = parallel_payload(query)
         except TypeError:
+            self._note_fallback("query_shape")
             return None
-        if not can_parallelise(payload, backend_name):
+        probe_failure = probe_parallelise(payload, backend_name)
+        if probe_failure is not None:
+            self._note_fallback(probe_failure)
             return None
-        relations, shard_stats = evaluate_sharded(
+        relations, shard_stats, tripped, retries = evaluate_sharded(
             payload, backend_name, docs, limit, workers,
             document_cache_size=self._document_cache_size,
             optimize=self.optimize,
             prefilter=self.prefilter,
             enumeration_block_size=self.enumeration_block_size,
+            deadline=guard.remaining() if guard is not None else None,
+            budget=guard.budget if guard is not None else None,
         )
         for stats in shard_stats:
             self.stats.merge(stats)
         self.stats.parallel_shards += len(shard_stats)
+        self.stats.shard_retries += retries
+        reasons = [reason for reason in tripped if reason]
+        if guard is not None and reasons:
+            reason = reasons[0]
+            if guard.tripped is None:
+                guard.tripped = reason
+            if reason == "deadline":
+                guard.deadline_hits += 1
+            elif reason.startswith("budget"):
+                guard.budget_hits += 1
+            guard.drain_into(self.stats)
+            if guard.degrade:
+                guard.truncated = reason
+            else:
+                exc = exception_for(reason)(
+                    f"evaluation interrupted in a worker shard ({reason})",
+                    reason=reason,
+                    partial=relations,
+                    stats=self.stats.snapshot(),
+                )
+                raise exc
         return relations
 
     # -- corpus-store (index-driven) paths ----------------------------------
@@ -662,25 +923,31 @@ class Engine:
         selection: CorpusSelection,
         limit: int | None,
         workers: int | None,
+        guard: "ExecutionGuard | None" = None,
     ) -> list[SpanRelation]:
         """The index-driven form of :meth:`evaluate_many`."""
         context = self.prepare(query)
-        ids, survivor_set = self._corpus_survivors(context, selection)
         store = selection.store
-        surviving_ids = [
-            doc_id
-            for doc_id in dict.fromkeys(ids)  # hydrate duplicates once
-            if survivor_set is None or doc_id in survivor_set
-        ]
-        survivors = [self._hydrate(store, doc_id) for doc_id in surviving_ids]
+        retries_base = store.retries
+        try:
+            ids, survivor_set = self._corpus_survivors(context, selection)
+            surviving_ids = [
+                doc_id
+                for doc_id in dict.fromkeys(ids)  # hydrate duplicates once
+                if survivor_set is None or doc_id in survivor_set
+            ]
+            survivors = [
+                self._hydrate(store, doc_id) for doc_id in surviving_ids
+            ]
+        finally:
+            self.stats.store_retries += store.retries - retries_base
         relations: "list[SpanRelation] | None" = None
         if workers is not None and workers > 1 and len(survivors) > 1:
-            relations = self._evaluate_parallel(query, survivors, limit, workers)
+            relations = self._evaluate_parallel(
+                query, survivors, limit, workers, guard
+            )
         if relations is None:
-            relations = [
-                SpanRelation(context.enumerate(doc, limit=limit))
-                for doc in survivors
-            ]
+            relations = self._materialise_batch(context, survivors, limit, guard)
         by_id = dict(zip(surviving_ids, relations))
         empty = SpanRelation(())
         return [by_id.get(doc_id, empty) for doc_id in ids]
@@ -691,6 +958,11 @@ class Engine:
         self,
         query,
         documents: "Iterable[Document | str] | CorpusStore | CorpusSelection",
+        *,
+        deadline: "float | None" = None,
+        budget: "Budget | dict | str | None" = None,
+        cancel: "CancelToken | None" = None,
+        guard: "ExecutionGuard | None" = None,
     ) -> list[bool]:
         """Decide ``⟦q⟧(d) ≠ ∅`` for a whole batch, sharing one compiled
         plan — the batch form of :meth:`is_nonempty`.
@@ -698,33 +970,44 @@ class Engine:
         Plain iterables walk the batch with the per-document prefilter;
         a :class:`~repro.corpus.CorpusStore` (or selection) answers
         through the index plan first, running the Boolean pass only on
-        the candidate documents that survive it.
+        the candidate documents that survive it.  A shared guard bounds
+        the whole batch; trips always raise (Boolean answers have no
+        usable prefix to degrade to).
         """
+        g = self._make_guard(deadline, budget, "raise", cancel, guard)
         context = self.prepare(query)
         selection = _as_corpus_selection(documents)
         if selection is None:
             return [
-                context.is_nonempty(as_document(doc)) for doc in documents
+                context.is_nonempty(as_document(doc), guard=g)
+                for doc in documents
             ]
-        ids, survivor_set = self._corpus_survivors(context, selection)
         store = selection.store
-        if survivor_set is not None:
-            # Index-pruned documents count as (answered) emptiness checks.
-            rejected = sum(1 for doc_id in ids if doc_id not in survivor_set)
-            self.stats.nonempty_checks += rejected
-            self.stats.documents -= rejected  # _corpus_survivors charged them
-        answers: dict[int, bool] = {}
-        out = []
-        for doc_id in ids:
-            if survivor_set is not None and doc_id not in survivor_set:
-                out.append(False)
-                continue
-            answer = answers.get(doc_id)
-            if answer is None:
-                answer = answers[doc_id] = context.is_nonempty(
-                    self._hydrate(store, doc_id)
+        retries_base = store.retries
+        try:
+            ids, survivor_set = self._corpus_survivors(context, selection)
+            if survivor_set is not None:
+                # Index-pruned documents count as (answered) emptiness
+                # checks.
+                rejected = sum(
+                    1 for doc_id in ids if doc_id not in survivor_set
                 )
-            out.append(answer)
+                self.stats.nonempty_checks += rejected
+                self.stats.documents -= rejected  # charged above
+            answers: dict[int, bool] = {}
+            out = []
+            for doc_id in ids:
+                if survivor_set is not None and doc_id not in survivor_set:
+                    out.append(False)
+                    continue
+                answer = answers.get(doc_id)
+                if answer is None:
+                    answer = answers[doc_id] = context.is_nonempty(
+                        self._hydrate(store, doc_id), guard=g
+                    )
+                out.append(answer)
+        finally:
+            self.stats.store_retries += store.retries - retries_base
         return out
 
     def enumerate_stream(
@@ -732,6 +1015,12 @@ class Engine:
         query,
         documents: "Iterable[Document | str] | CorpusStore | CorpusSelection",
         limit: int | None = None,
+        *,
+        deadline: "float | None" = None,
+        budget: "Budget | dict | str | None" = None,
+        on_budget: str = "raise",
+        cancel: "CancelToken | None" = None,
+        guard: "ExecutionGuard | None" = None,
     ) -> Iterator[tuple[int, Mapping]]:
         """Stream ``(document_index, mapping)`` pairs over a document
         stream, lazily — suitable for unbounded streams.  ``limit`` caps
@@ -744,22 +1033,37 @@ class Engine:
 
         Over a :class:`~repro.corpus.CorpusStore` (or selection) the pairs
         are ``(doc_id, mapping)`` and the index plan prunes non-candidates
-        up front, so pruned documents are never fetched at all."""
+        up front, so pruned documents are never fetched at all.
+
+        Guard parameters mirror :meth:`evaluate`; the guard spans the
+        whole stream (budgets are cumulative across documents)."""
+        g = self._make_guard(
+            deadline=deadline, budget=budget, on_budget=on_budget,
+            cancel=cancel, guard=guard,
+        )
         context = self.prepare(query)
         selection = _as_corpus_selection(documents)
         if selection is not None:
-            ids, survivor_set = self._corpus_survivors(context, selection)
             store = selection.store
-            for doc_id in ids:
-                if survivor_set is not None and doc_id not in survivor_set:
-                    continue
-                doc = self._hydrate(store, doc_id)
-                for mapping in context.enumerate(doc, limit=limit):
-                    yield doc_id, mapping
+            retries_base = store.retries
+            try:
+                ids, survivor_set = self._corpus_survivors(context, selection)
+                for doc_id in ids:
+                    if survivor_set is not None and doc_id not in survivor_set:
+                        continue
+                    doc = self._hydrate(store, doc_id)
+                    for mapping in context.enumerate(doc, limit=limit, guard=g):
+                        yield doc_id, mapping
+                    if g is not None and g.truncated is not None:
+                        return
+            finally:
+                self.stats.store_retries += store.retries - retries_base
             return
         for index, doc in enumerate(documents):
-            for mapping in context.enumerate(as_document(doc), limit=limit):
+            for mapping in context.enumerate(as_document(doc), limit=limit, guard=g):
                 yield index, mapping
+            if g is not None and g.truncated is not None:
+                return
 
     def __repr__(self) -> str:
         return (

@@ -19,15 +19,24 @@ Work ships to workers by pickling, so the parallel path requires a
 picklable query.  :func:`parallel_payload` reduces the supported query
 shapes to plain data (an :class:`RAQuery` is sent as its
 ``(tree, instantiation, config)`` triple — never its engine) and
-:func:`can_parallelise` probes pickling up front; callers fall back to the
-sequential path when the probe fails (e.g. black-box spanners closing over
-lambdas), so ``workers=N`` is always safe to pass.
+:func:`probe_parallelise` probes pickling up front; callers fall back to
+the sequential path when the probe fails (e.g. black-box spanners closing
+over lambdas), so ``workers=N`` is always safe to pass.
+
+Robustness: shards inherit the caller's remaining deadline and budget
+spec and run their guard in partial mode, reporting the trip reason back
+instead of raising across the process boundary.  A crashed worker breaks
+the whole pool (``BrokenProcessPool``); the shards whose results were
+lost are recomputed serially in the parent — with fault injection's
+crash site disabled so an injected crash cannot loop — and the retry
+count is reported so the caller can surface it in ``EngineStats``.
 """
 
 from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Sequence
 
 from ..core.document import Document
@@ -55,13 +64,25 @@ def parallel_payload(query: object) -> object:
     )
 
 
-def can_parallelise(payload: object, backend_name: str) -> bool:
-    """Whether the payload survives pickling (workers receive a copy)."""
+def probe_parallelise(payload: object, backend_name: str) -> "str | None":
+    """Probe whether the payload survives pickling (workers get a copy).
+
+    Returns ``None`` when sharding is viable, otherwise a short reason
+    string for the fallback ledger.  Only serialisation failures are
+    caught — ``PicklingError`` plus the ``TypeError``/``AttributeError``
+    that ``pickle`` raises for closures and local classes; anything else
+    (a broken ``__reduce__``, say) is a real bug and propagates.
+    """
     try:
         pickle.dumps((payload, backend_name))
-        return True
-    except Exception:
-        return False
+        return None
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        return f"pickle: {type(exc).__name__}"
+
+
+def can_parallelise(payload: object, backend_name: str) -> bool:
+    """Whether the payload survives pickling (workers receive a copy)."""
+    return probe_parallelise(payload, backend_name) is None
 
 
 def _rebuild_query(payload):
@@ -82,10 +103,25 @@ def _run_shard(
     optimize: bool,
     prefilter: bool,
     enumeration_block_size: "int | None" = None,
-) -> "tuple[list[SpanRelation], EngineStats]":
-    """Worker entry point: evaluate one shard with a private engine."""
-    from .core import Engine
+    deadline: "float | None" = None,
+    budget=None,
+    crashable: bool = True,
+) -> "tuple[list[SpanRelation], EngineStats, str | None]":
+    """Worker entry point: evaluate one shard with a private engine.
 
+    Runs the shard guard in partial mode so a trip never crosses the
+    process boundary as an exception — the trip *reason* travels back in
+    the result tuple and the parent decides whether to raise.  Serial
+    retries of lost shards run in the parent with ``crashable=False`` so
+    the fault harness's crash site cannot re-fire.
+    """
+    from ..testing import faults
+    from .core import Engine
+    from .guards import ExecutionGuard
+
+    faults.install_from_env()
+    if crashable:
+        faults.shard_crash("parallel.shard")
     engine = Engine(
         backend=backend_name,
         document_cache_size=document_cache_size,
@@ -94,8 +130,14 @@ def _run_shard(
         enumeration_block_size=enumeration_block_size,
     )
     query = _rebuild_query(payload)
-    relations = engine.evaluate_many(query, texts, limit=limit)
-    return relations, engine.stats
+    guard = None
+    if deadline is not None or budget is not None:
+        guard = ExecutionGuard(
+            deadline=deadline, budget=budget, on_budget="partial"
+        )
+    relations = engine.evaluate_many(query, texts, limit=limit, guard=guard)
+    tripped = guard.tripped if guard is not None else None
+    return relations, engine.stats, tripped
 
 
 def evaluate_sharded(
@@ -108,33 +150,63 @@ def evaluate_sharded(
     optimize: bool = True,
     prefilter: bool = True,
     enumeration_block_size: "int | None" = None,
-) -> "tuple[list[SpanRelation], list[EngineStats]]":
+    deadline: "float | None" = None,
+    budget=None,
+) -> "tuple[list[SpanRelation], list[EngineStats], list[str | None], int]":
     """Evaluate ``documents`` across ``workers`` processes.
 
-    Returns the relations in input order plus the per-shard statistics.
-    Documents are sharded round-robin (``documents[i::n]``), which balances
-    load when document cost correlates with position in the batch.  The
-    caller has already prefiltered the corpus (only surviving documents
-    are shipped); ``prefilter`` just keeps worker engines configured like
-    the parent.
+    Returns ``(relations, shard_stats, tripped_reasons, retries)``: the
+    relations in input order, the per-shard statistics, each shard's
+    guard-trip reason (``None`` when it ran to completion), and how many
+    shards had to be recomputed serially after a worker crash.  Documents
+    are sharded round-robin (``documents[i::n]``), which balances load
+    when document cost correlates with position in the batch.  The caller
+    has already prefiltered the corpus (only surviving documents are
+    shipped); ``prefilter`` just keeps worker engines configured like the
+    parent.
+
+    A crashed worker poisons the whole pool, so every shard whose future
+    raises ``BrokenProcessPool`` is rerun in-parent (``crashable=False``)
+    rather than resubmitted — one serial pass, no crash loop.
     """
     n_shards = max(1, min(workers, len(documents)))
     shards = [
         [doc.text for doc in documents[offset::n_shards]]
         for offset in range(n_shards)
     ]
+    results: "list[tuple[list[SpanRelation], EngineStats, str | None] | None]"
+    results = [None] * n_shards
     with ProcessPoolExecutor(max_workers=n_shards) as pool:
-        futures = [
-            pool.submit(
-                _run_shard, payload, backend_name, texts, limit,
-                document_cache_size, optimize, prefilter,
-                enumeration_block_size,
-            )
-            for texts in shards
-        ]
-        results = [future.result() for future in futures]
+        futures = []
+        try:
+            for texts in shards:
+                futures.append(pool.submit(
+                    _run_shard, payload, backend_name, texts, limit,
+                    document_cache_size, optimize, prefilter,
+                    enumeration_block_size, deadline, budget,
+                ))
+        except BrokenProcessPool:
+            pass  # shards never submitted join the serial reap below
+        for offset, future in enumerate(futures):
+            try:
+                results[offset] = future.result()
+            except BrokenProcessPool:
+                pass
+    lost = [offset for offset, result in enumerate(results) if result is None]
+    for offset in lost:
+        results[offset] = _run_shard(
+            payload, backend_name, shards[offset], limit,
+            document_cache_size, optimize, prefilter,
+            enumeration_block_size, deadline, budget, crashable=False,
+        )
     relations: list[SpanRelation | None] = [None] * len(documents)
-    for offset, (shard_relations, _) in enumerate(results):
+    for offset, shard_result in enumerate(results):
+        shard_relations = shard_result[0]  # type: ignore[index]
         for position, relation in enumerate(shard_relations):
             relations[offset + position * n_shards] = relation
-    return relations, [stats for _, stats in results]  # type: ignore[return-value]
+    return (
+        relations,  # type: ignore[return-value]
+        [result[1] for result in results],  # type: ignore[index]
+        [result[2] for result in results],  # type: ignore[index]
+        len(lost),
+    )

@@ -75,6 +75,20 @@ class EngineStats:
         fingerprint_hits: plan-cache hits served by the structural
             fingerprint of the optimized logical plan (structurally equal
             queries built from distinct atom objects).
+        guard_checks: :class:`~repro.engine.guards.ExecutionGuard`
+            checkpoints evaluated (full ``check()`` calls — strided
+            ``tick()`` calls that skipped the clock are not counted).
+        deadline_hits: evaluations stopped by a guard deadline.
+        budget_hits: evaluations stopped by a guard resource budget.
+        shard_retries: parallel shards lost to a crashed worker process
+            and recomputed serially in the parent.
+        store_retries: corpus-store sqlite calls that hit a transient
+            locked/busy error and succeeded on a bounded-backoff retry.
+        parallel_fallbacks: reasons ``evaluate_many(workers=N)`` fell back
+            to sequential evaluation (category → count): ``custom_backend``
+            (a hand-built backend instance the workers cannot recreate),
+            ``query_shape`` (black-box atoms the shards cannot rebuild),
+            or ``pickle: …`` (the payload probe failed to serialise).
         compile_seconds: wall time spent compiling and preparing automata.
         enumerate_seconds: wall time spent inside enumeration.
         states_explored: total live match-graph states across all runs.
@@ -104,6 +118,12 @@ class EngineStats:
     rule_fires: dict = field(default_factory=dict)
     cse_hits: int = 0
     fingerprint_hits: int = 0
+    guard_checks: int = 0
+    deadline_hits: int = 0
+    budget_hits: int = 0
+    shard_retries: int = 0
+    store_retries: int = 0
+    parallel_fallbacks: dict = field(default_factory=dict)
     compile_seconds: float = 0.0
     enumerate_seconds: float = 0.0
     states_explored: int = 0
@@ -112,6 +132,7 @@ class EngineStats:
         """An independent copy of the current counters."""
         copy = replace(self)
         copy.rule_fires = dict(self.rule_fires)
+        copy.parallel_fallbacks = dict(self.parallel_fallbacks)
         return copy
 
     def merge(self, other: "EngineStats") -> None:
@@ -173,11 +194,26 @@ class EngineStats:
             f"optimizer rewrites {self.rules_fired}{self._rule_breakdown()}",
             f"plan CSE hits      {self.cse_hits}",
             f"fingerprint hits   {self.fingerprint_hits}",
+            f"guard checks       {self.guard_checks}"
+            f" ({self.deadline_hits} deadline /"
+            f" {self.budget_hits} budget trips)",
+            f"shard retries      {self.shard_retries}"
+            f"{self._fallback_breakdown()}",
+            f"store retries      {self.store_retries}",
             f"compile time       {self.compile_seconds * 1e3:.2f} ms",
             f"enumerate time     {self.enumerate_seconds * 1e3:.2f} ms",
             f"states explored    {self.states_explored}",
         ]
         return "\n".join(lines)
+
+    def _fallback_breakdown(self) -> str:
+        if not self.parallel_fallbacks:
+            return ""
+        parts = ", ".join(
+            f"{name} ×{count}"
+            for name, count in sorted(self.parallel_fallbacks.items())
+        )
+        return f" (serial fallbacks: {parts})"
 
     def _rule_breakdown(self) -> str:
         if not self.rule_fires:

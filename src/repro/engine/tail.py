@@ -100,6 +100,25 @@ class TailSession:
         if text:
             self.document = self.document.append(text)
 
+    def reset(self, document: "Document | str" = "") -> None:
+        """Restart the session on ``document``, discarding the checkpoint
+        and the emitted-mapping memory.
+
+        The recovery path for sources that went *backwards* — a tailed
+        file that was truncated, rotated, or replaced.  Append-only
+        resumption is unsound there (the old frontier describes letters
+        that no longer exist), so the next :meth:`reevaluate` rebuilds
+        from position 0 and re-emits every mapping of the new content.
+        Session lifetime counters (:attr:`reevaluations`,
+        :attr:`total_matches`) survive; the compiled plan and kernel
+        caches are shared with the engine and stay warm.
+        """
+        self.document = as_document(document)
+        self._prepared = None
+        self._run = None
+        self._run_n = 0
+        self._seen = set()
+
     def reevaluate(self, text: str = "") -> list[Mapping]:
         """Append ``text`` (optional) and return the mappings that are new
         since the previous call, in canonical enumeration order.

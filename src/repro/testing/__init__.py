@@ -1,0 +1,28 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+behind the robustness suite (and the ``REPRO_FAULTS=ci`` CI leg): sqlite
+error injection, shard-crash injection, clock skew, and slow-step hooks,
+all seeded and bounded so every failure path is exercisable from a plain
+pytest run.
+"""
+
+from .faults import (
+    FaultPlan,
+    activate,
+    active_plan,
+    deactivate,
+    injected,
+    install_from_env,
+    plan_from_env,
+)
+
+__all__ = [
+    "FaultPlan",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "injected",
+    "install_from_env",
+    "plan_from_env",
+]

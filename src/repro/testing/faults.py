@@ -1,0 +1,197 @@
+"""Deterministic, seedable fault injection for the robustness suite.
+
+Production code never fails on demand, so the failure paths added by the
+execution-guard work (store retry-with-backoff, shard reaping, tail
+restarts, deadline handling) would otherwise ship untested.  This module
+plants cheap *fault sites* at the few places failures really originate:
+
+* ``sqlite_error(site)`` — raise ``sqlite3.OperationalError("database is
+  locked")`` before a store call, exercising the bounded retry policy;
+* ``shard_crash(site)`` — hard-kill a worker process (``os._exit``),
+  exercising the ``BrokenProcessPool`` reaping in
+  :mod:`repro.engine.parallel`;
+* ``clock_skew`` — a constant added to the guard's monotonic clock, so
+  deadline arithmetic is testable without sleeping;
+* ``slow_step(site)`` — a sleep injected at guard checkpoints, making
+  "evaluation is slower than the deadline" reproducible.
+
+Zero cost when off: every site guards on ``faults.ACTIVE is None`` (one
+global load and an identity test).  Deterministic when on: each site draws
+from its own ``random.Random(f"{seed}:{site}")`` stream, so a fixed call
+sequence fires the same faults on every run, and ``max_faults_per_site``
+bounds the blast radius (rate ``1.0`` with a cap of ``2`` means "exactly
+the first two calls fail" — the shape the retry tests pin).
+
+``REPRO_FAULTS=ci`` selects the low-rate CI profile
+(:data:`CI_PROFILE`): injection rates small enough that every fault is
+absorbed by a retry path, so the whole suite must stay green *while*
+failures are happening.  Worker processes re-read the environment
+(:func:`install_from_env`), so the plan survives spawn-based pools too.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sqlite3
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultPlan:
+    """One experiment's fault configuration (see module docstring).
+
+    Rates are per-call probabilities in ``[0, 1]``; ``1.0`` fires on
+    every call (until ``max_faults_per_site``, when set).  ``clock_skew``
+    (seconds) shifts :func:`clock` forward; ``slow_step_seconds`` sleeps
+    at every guard checkpoint that consults :func:`slow_step`.
+    """
+
+    seed: int = 0
+    sqlite_error_rate: float = 0.0
+    shard_crash_rate: float = 0.0
+    clock_skew: float = 0.0
+    slow_step_seconds: float = 0.0
+    max_faults_per_site: "int | None" = None
+    _rngs: dict = field(default_factory=dict, repr=False)
+    _fired: dict = field(default_factory=dict, repr=False)
+
+    def should_fire(self, site: str, rate: float) -> bool:
+        """Deterministic per-site draw, honouring the per-site cap."""
+        if rate <= 0.0:
+            return False
+        cap = self.max_faults_per_site
+        if cap is not None and self._fired.get(site, 0) >= cap:
+            return False
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = self._rngs[site] = random.Random(f"{self.seed}:{site}")
+        if rng.random() >= rate:
+            return False
+        self._fired[site] = self._fired.get(site, 0) + 1
+        return True
+
+    def fired(self, site: str) -> int:
+        """How many times ``site`` has fired under this plan."""
+        return self._fired.get(site, 0)
+
+
+#: The low-rate deterministic profile of the ``REPRO_FAULTS=ci`` leg:
+#: every injected fault must be absorbed by a retry/restart path, so the
+#: full suite stays green while failures are happening underneath it.
+CI_PROFILE = dict(
+    seed=20190610,  # PODS 2019
+    sqlite_error_rate=0.02,
+    shard_crash_rate=0.05,
+    max_faults_per_site=2,
+)
+
+#: The active plan, or ``None`` (the production state).  Sites test this
+#: with one global load, so disabled injection costs nothing measurable.
+ACTIVE: "FaultPlan | None" = None
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-wide active plan."""
+    global ACTIVE
+    ACTIVE = plan
+    return plan
+
+
+def deactivate() -> None:
+    """Return to the production state (no injection)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+def active_plan() -> "FaultPlan | None":
+    return ACTIVE
+
+
+class injected:
+    """``with injected(FaultPlan(...)):`` — scoped activation for tests."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._previous: "FaultPlan | None" = None
+
+    def __enter__(self) -> FaultPlan:
+        global ACTIVE
+        self._previous = ACTIVE
+        ACTIVE = self.plan
+        return self.plan
+
+    def __exit__(self, *exc) -> None:
+        global ACTIVE
+        ACTIVE = self._previous
+
+
+def plan_from_env(value: "str | None" = None) -> "FaultPlan | None":
+    """The plan named by ``REPRO_FAULTS`` (or ``value``), if any.
+
+    ``ci`` selects :data:`CI_PROFILE`; ``off``/empty/unset means no plan.
+    Anything else is read as an integer seed for the CI rates (handy for
+    local fuzzing: ``REPRO_FAULTS=7 pytest``).
+    """
+    if value is None:
+        value = os.environ.get("REPRO_FAULTS", "")
+    value = value.strip()
+    if not value or value.lower() == "off":
+        return None
+    if value.lower() == "ci":
+        return FaultPlan(**CI_PROFILE)
+    try:
+        seed = int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_FAULTS={value!r} is not 'ci', 'off', or an integer seed"
+        ) from None
+    return FaultPlan(**{**CI_PROFILE, "seed": seed})
+
+
+def install_from_env() -> "FaultPlan | None":
+    """Activate the environment's plan if none is active yet — how worker
+    processes (which may not inherit the parent's in-memory plan under
+    spawn) pick up the ``REPRO_FAULTS`` profile."""
+    global ACTIVE
+    if ACTIVE is None:
+        plan = plan_from_env()
+        if plan is not None:
+            ACTIVE = plan
+    return ACTIVE
+
+
+# -- the fault sites ----------------------------------------------------------
+
+
+def sqlite_error(site: str) -> None:
+    """Raise a transient-looking sqlite error at a store call site."""
+    plan = ACTIVE
+    if plan is not None and plan.should_fire(site, plan.sqlite_error_rate):
+        raise sqlite3.OperationalError("database is locked (injected)")
+
+
+def shard_crash(site: str) -> None:
+    """Hard-kill the current process at a worker call site — the shape of
+    an OOM-killed or segfaulted shard (no exception crosses the pipe, the
+    parent sees ``BrokenProcessPool``)."""
+    plan = ACTIVE
+    if plan is not None and plan.should_fire(site, plan.shard_crash_rate):
+        os._exit(17)
+
+
+def clock() -> float:
+    """The guard's monotonic clock, shifted by the plan's skew (if any) —
+    lets deadline tests trip instantly without sleeping."""
+    plan = ACTIVE
+    if plan is not None and plan.clock_skew:
+        return time.monotonic() + plan.clock_skew
+    return time.monotonic()
+
+
+def slow_step(site: str) -> None:
+    """Sleep at a guard checkpoint (makes slow evaluation reproducible)."""
+    plan = ACTIVE
+    if plan is not None and plan.slow_step_seconds:
+        time.sleep(plan.slow_step_seconds)

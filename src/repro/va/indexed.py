@@ -234,7 +234,10 @@ class IndexedVA:
 
 
 def indexed_nonempty(
-    indexed: IndexedVA, document: Document | str, compressed: bool = True
+    indexed: IndexedVA,
+    document: Document | str,
+    compressed: bool = True,
+    guard=None,
 ) -> bool:
     """Decide ``⟦A⟧(d) ≠ ∅`` with the Boolean bitmask pass alone.
 
@@ -243,7 +246,9 @@ def indexed_nonempty(
     advances over the document's run-length encoding through the
     :class:`~repro.va.kernel.TransitionKernel`, costing O(runs · log run)
     instead of O(letters).  ``compressed=False`` keeps the plain per-letter
-    walk (the ``indexed-plain`` escape hatch).
+    walk (the ``indexed-plain`` escape hatch).  An
+    :class:`~repro.engine.guards.ExecutionGuard` is checked once per run
+    (compressed) or ticked per letter (plain).
     """
     doc = as_document(document)
     if compressed:
@@ -251,6 +256,8 @@ def indexed_nonempty(
         letter_id = indexed.alphabet.ids.get
         mask = 1 << indexed.initial_id
         for letter, _start, length in doc.runs():
+            if guard is not None:
+                guard.check()
             lid = letter_id(letter, -1)
             if lid < 0:
                 return False  # letter unknown to the VA: no run survives
@@ -262,6 +269,8 @@ def indexed_nonempty(
     succ = indexed.successor_masks
     mask = 1 << indexed.initial_id
     for lid in ids:
+        if guard is not None:
+            guard.tick()
         if lid < 0:
             return False  # letter unknown to the VA: no run survives
         nxt = apply_masks(succ[lid], mask)
@@ -305,6 +314,13 @@ class IndexedMatchGraph:
     per-letter kernel (the pre-kernel behaviour), ``eager=True`` to
     prebuild everything up front (kept for the comparison benches and
     equivalence tests).
+
+    ``guard`` attaches an :class:`~repro.engine.guards.ExecutionGuard`:
+    the forward/backward passes check it once per letter run (O(runs)
+    overhead, not O(positions)), the enumeration DFS ticks it per stack
+    frame, and every materialised edge row is charged against the
+    ``edge_rows`` budget.  With no guard every checkpoint is a single
+    ``is not None`` test.
     """
 
     __slots__ = (
@@ -321,6 +337,7 @@ class IndexedMatchGraph:
         "_alive",
         "_jump",
         "_edges",
+        "_guard",
     )
 
     def __init__(
@@ -329,9 +346,11 @@ class IndexedMatchGraph:
         document: Document | str,
         eager: bool = False,
         compressed: bool = True,
+        guard=None,
     ):
         self.indexed = indexed
         self.document = as_document(document)
+        self._guard = guard
         n = self._n = len(self.document)
         self._letter_ids: tuple[int, ...] | None = None
         self._forward: list[int] | None = None
@@ -348,6 +367,8 @@ class IndexedMatchGraph:
             )
             mask = 1 << indexed.initial_id
             for lid, _start, length in self._runs:
+                if guard is not None:
+                    guard.check()
                 if lid < 0:
                     mask = 0  # letter unknown to the VA: nothing survives
                     break
@@ -363,6 +384,8 @@ class IndexedMatchGraph:
             forward = [0] * (n + 1)
             mask = forward[0] = 1 << indexed.initial_id
             for i, lid in enumerate(self.letter_ids):
+                if guard is not None:
+                    guard.tick()
                 if lid < 0:
                     mask = 0  # letter unknown to the VA: nothing lives past
                     break
@@ -410,7 +433,7 @@ class IndexedMatchGraph:
         state today may reach one after the next append."""
         return self._frontier
 
-    def extended(self, document: Document | str) -> "IndexedMatchGraph":
+    def extended(self, document: Document | str, guard=None) -> "IndexedMatchGraph":
         """The match graph of ``document`` — an append-extension of this
         graph's document — built by resuming the Boolean forward pass from
         the checkpointed frontier instead of position 0.
@@ -443,6 +466,7 @@ class IndexedMatchGraph:
         graph = IndexedMatchGraph.__new__(IndexedMatchGraph)
         graph.indexed = indexed
         graph.document = doc
+        graph._guard = guard
         graph._n = n
         graph._letter_ids = None
         graph._forward = None
@@ -462,6 +486,8 @@ class IndexedMatchGraph:
                 for letter, start, length in doc.runs()[keep:]
             )
             for lid, start, length in graph._runs[keep:]:
+                if guard is not None:
+                    guard.check()
                 end = start + length
                 if end <= old_n or not mask:
                     continue
@@ -486,6 +512,8 @@ class IndexedMatchGraph:
             m = self._frontier
             i = old_n
             for ch in doc.text[old_n:]:
+                if guard is not None:
+                    guard.tick()
                 if not m:
                     break
                 lid = ids_get(ch, -1)
@@ -519,10 +547,13 @@ class IndexedMatchGraph:
         if forward is None:
             n = self._n
             indexed = self.indexed
+            guard = self._guard
             forward = [0] * (n + 1)
             mask = forward[0] = 1 << indexed.initial_id
             succ = indexed.successor_masks
             for lid, start, length in self._runs:
+                if guard is not None:
+                    guard.check()
                 if lid < 0 or not mask:
                     mask = 0
                     break
@@ -566,6 +597,13 @@ class IndexedMatchGraph:
             else:
                 alive = self._alive_plain()
             self._alive = alive
+            guard = self._guard
+            if (
+                guard is not None
+                and guard.budget is not None
+                and guard.budget.states is not None
+            ):
+                guard.charge_states(sum(mask.bit_count() for mask in alive))
         return alive
 
     def _alive_compressed(self) -> list[int]:
@@ -579,8 +617,11 @@ class IndexedMatchGraph:
         # masks small.  Inside a run, once both M and the forward mask are
         # stable the recurrence reproduces itself, so the rest of the
         # stable stretch fills without further mask applications.
+        guard = self._guard
         live = alive[n] = self.final_mask
         for lid, start, length in reversed(self._runs):
+            if guard is not None:
+                guard.check()
             if not live:
                 break  # nothing co-reachable earlier either
             pred = kernel.pred_row(lid)
@@ -609,9 +650,12 @@ class IndexedMatchGraph:
         forward = self.forward
         succ = self.indexed.successor_masks
         n = self._n
+        guard = self._guard
         alive = [0] * (n + 1)
         live = alive[n] = self.final_mask
         for i in range(n - 1, -1, -1):
+            if guard is not None:
+                guard.tick()
             if not live:
                 break  # nothing co-reachable earlier either
             row = succ[ids[i]]
@@ -665,6 +709,8 @@ class IndexedMatchGraph:
             cache = self._edges[layer] = {}
         row = cache.get(sid)
         if row is None:
+            if self._guard is not None:
+                self._guard.charge_edge_rows(1)
             live = self.alive[layer + 1]
             row = cache[sid] = [
                 (oid, target_mask & live)
@@ -707,6 +753,7 @@ class IndexedMatchGraph:
         tables = indexed.tables
         letter_ids = self.letter_ids
         edges = self._edges
+        guard = self._guard
         emitted = 0
         # Stack frames: (layer, profile mask, path node); a path node is
         # (opset_id, repeat count, parent node) — reconstruction replaces
@@ -716,6 +763,8 @@ class IndexedMatchGraph:
             (0, 1 << indexed.initial_id, None)
         ]
         while stack:
+            if guard is not None:
+                guard.tick()
             layer, profile, node = stack.pop()
             if layer == n:
                 options_set: set[int] = set()
@@ -758,6 +807,8 @@ class IndexedMatchGraph:
                 sid = low.bit_length() - 1
                 row = cache.get(sid)
                 if row is None:
+                    if guard is not None:
+                        guard.charge_edge_rows(1)
                     row = cache[sid] = [
                         (oid, target_mask & live)
                         for oid, target_mask in row_table[sid]
@@ -802,10 +853,13 @@ class IndexedMatchGraph:
         edge_row = self.edge_row
         jump = self.jump
         n = self._n
+        guard = self._guard
         entries: list[tuple[int, OpSet]] = []
         profile = 1 << indexed.initial_id
         layer = 0
         while layer < n:
+            if guard is not None:
+                guard.tick()
             best_oid = -1
             best_rank = -1
             best_mask = 0

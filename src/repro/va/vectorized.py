@@ -543,13 +543,16 @@ class VectorizedKernel:
 
     # -- whole-document sweeps ---------------------------------------------
 
-    def frontier(self, document: Document, mask: int) -> int:
+    def frontier(self, document: Document, mask: int, guard=None) -> int:
         """The final forward frontier of ``document`` started at ``mask``
         (``0`` if the frontier dies or a letter is unknown to the VA).
 
         Adaptive: documents dominated by short runs walk interned nodes
         per position (one list index each); run-heavy documents advance
         per run through fixpoint absorption and plane-power doubling.
+        A ``guard`` is checked once per run on the compressed path; the
+        node walk keeps its unguarded hot loop untouched and runs a
+        chunked twin (one check per ~4k positions) only when guarded.
         """
         if not mask:
             return 0
@@ -560,6 +563,8 @@ class VectorizedKernel:
         runs = document.runs()
         if n >= self.RUN_COMPRESS_THRESHOLD * len(runs):
             for lid, _start, length in _encoded_runs(runs, alphabet):
+                if guard is not None:
+                    guard.check()
                 if lid < 0:
                     return 0
                 mask = self.advance(lid, mask, length)
@@ -571,10 +576,33 @@ class VectorizedKernel:
             return 0  # an unknown letter kills every run through it
         node = self._intern(self._nodes, mask)
         extend = self.extend
-        for lid in document.encoded(alphabet):
-            nxt = node[lid]
-            node = nxt if nxt is not None else extend(node, lid)
+        encoded = document.encoded(alphabet)
+        if guard is None:
+            for lid in encoded:
+                nxt = node[lid]
+                node = nxt if nxt is not None else extend(node, lid)
+        else:
+            for start in range(0, n, 4096):
+                guard.check()
+                for lid in encoded[start : start + 4096]:
+                    nxt = node[lid]
+                    node = nxt if nxt is not None else extend(node, lid)
         return node[self._mask_slot]
+
+    def cache_bytes_estimate(self) -> int:
+        """A rough gauge of this kernel's cross-document cache footprint
+        (interned nodes, batched edge rows, option/first memos) — what a
+        guard's ``cache_bytes`` budget is checked against.  Deliberately
+        coarse: per-entry constants stand in for deep ``sys.getsizeof``
+        walks, so the gauge is cheap enough to consult per enumeration."""
+        slots = self._n_letters + 2
+        node_bytes = self._cached_steps * 8 * slots
+        row_bytes = 96 * len(self._batch_rows)
+        memo_bytes = 96 * (len(self.options_memo) + len(self.first_memo))
+        power_bytes = sum(
+            sum(p.nbytes for p in powers) for powers in self._powers.values()
+        )
+        return node_bytes + row_bytes + memo_bytes + power_bytes
 
     def __repr__(self) -> str:
         cached_powers = sum(len(p) - 1 for p in self._powers.values())
@@ -594,12 +622,14 @@ def _encoded_runs(runs, alphabet):
     )
 
 
-def vectorized_nonempty(vva: VectorizedVA, document: Document | str) -> bool:
+def vectorized_nonempty(
+    vva: VectorizedVA, document: Document | str, guard=None
+) -> bool:
     """Decide ``⟦A⟧(d) ≠ ∅`` with the vectorized Boolean forward pass
     (one adaptive frontier sweep — see :meth:`VectorizedKernel.frontier`)."""
     doc = as_document(document)
     indexed = vva.indexed
-    mask = vva.kernel().frontier(doc, 1 << indexed.initial_id)
+    mask = vva.kernel().frontier(doc, 1 << indexed.initial_id, guard=guard)
     return bool(mask & indexed.accept_mask)
 
 
@@ -640,11 +670,13 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         vva: VectorizedVA,
         document: Document | str,
         block_size: "int | None" = None,
+        guard=None,
     ):
         indexed = vva.indexed
         self.vva = vva
         self.indexed = indexed
         self.document = as_document(document)
+        self._guard = guard
         n = self._n = len(self.document)
         self._letter_ids = None
         self._forward = None
@@ -661,7 +693,9 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         )
         kernel = self._vkernel = vva.kernel()
         self._runs = tuple(_encoded_runs(self.document.runs(), indexed.alphabet))
-        mask = kernel.frontier(self.document, 1 << indexed.initial_id)
+        mask = kernel.frontier(
+            self.document, 1 << indexed.initial_id, guard=guard
+        )
         # Checkpoint for append-extensions (see the base class).
         self._frontier = mask
         final_mask = mask & indexed.accept_mask
@@ -670,7 +704,9 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         self.final = {sid: accept[sid] for sid in iter_bits(final_mask)}
         self._edges = [None] * n
 
-    def extended(self, document: Document | str) -> "VectorizedMatchGraph":
+    def extended(
+        self, document: Document | str, guard=None
+    ) -> "VectorizedMatchGraph":
         """The match graph of ``document`` — an append-extension of this
         graph's document — resumed from the checkpointed frontier (the
         vectorized mirror of the base-class override).
@@ -701,6 +737,7 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         graph.vva = self.vva
         graph.indexed = indexed
         graph.document = doc
+        graph._guard = guard
         graph._n = n
         graph._letter_ids = None
         graph._forward = None
@@ -723,6 +760,8 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         )
         mask = self._frontier
         for lid, start, length in graph._runs[keep:]:
+            if guard is not None:
+                guard.check()
             end = start + length
             if end <= old_n or not mask:
                 continue
@@ -766,6 +805,7 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         forward = self._forward
         if forward is None:
             n = self._n
+            guard = self._guard
             forward = [0] * (n + 1)
             mask = forward[0] = 1 << self.indexed.initial_id
             kernel = self._vkernel
@@ -773,6 +813,8 @@ class VectorizedMatchGraph(IndexedMatchGraph):
             extend = kernel.extend
             node = kernel.node(mask)
             for lid, start, length in self._runs:
+                if guard is not None:
+                    guard.check()
                 if lid < 0 or not node[mask_slot]:
                     break
                 end = start + length
@@ -810,11 +852,14 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         cnodes = self._cnodes
         if cnodes is None:
             kernel = self._vkernel
+            guard = self._guard
             n = self._n
             node = kernel.pred_node(self.final_mask)
             cnodes = [node] * (n + 1)
             if self.final_mask:
                 for lid, start, length in reversed(self._runs):
+                    if guard is not None:
+                        guard.check()
                     i = start + length - 1
                     while i >= start:
                         nxt = node[lid]
@@ -854,6 +899,13 @@ class VectorizedMatchGraph(IndexedMatchGraph):
                     coreach, n_planes
                 )
             self._alive_planes = planes
+            guard = self._guard
+            if (
+                guard is not None
+                and guard.budget is not None
+                and guard.budget.states is not None
+            ):
+                guard.charge_states(int(_popcounts(planes).sum()))
         return planes
 
     @property
@@ -985,6 +1037,9 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         build_options = kernel.batch_options
         fskip = self._forced_skips
         skip_limit = self._SKIP_INDEX_LIMIT
+        guard = self._guard
+        if guard is not None:
+            guard.gauge_cache_bytes(kernel.cache_bytes_estimate())
         emitted = 0
         # Parent-pointer arenas: one slot per *operating* (non-empty
         # opset) step — run stretches and empty steps leave no trace, so
@@ -998,10 +1053,14 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         while stack:
             layer, profile, parent = stack.pop()
             while layer < n:
+                if guard is not None:
+                    guard.tick()
                 lid = letter_ids[layer]
                 a_int = alive[layer + 1]
                 opts = omemo.get((profile, lid, a_int))
                 if opts is None:
+                    if guard is not None:
+                        guard.charge_edge_rows(1)
                     opts = build_options(
                         profile, lid, alive_planes[layer + 1], a_int
                     )
@@ -1024,6 +1083,8 @@ class VectorizedMatchGraph(IndexedMatchGraph):
                             walked = [(layer, profile)]
                             hl, hp = layer + 1, target
                             while hl < n:
+                                if guard is not None:
+                                    guard.tick()
                                 hop = fskip.get((hl, hp))
                                 if hop is not None:
                                     break
@@ -1031,6 +1092,8 @@ class VectorizedMatchGraph(IndexedMatchGraph):
                                 ha = alive[hl + 1]
                                 hopts = omemo.get((hp, hlid, ha))
                                 if hopts is None:
+                                    if guard is not None:
+                                        guard.charge_edge_rows(1)
                                     hopts = build_options(
                                         hp, hlid, alive_planes[hl + 1], ha
                                     )
@@ -1145,10 +1208,13 @@ class VectorizedMatchGraph(IndexedMatchGraph):
         letter_ids = self.letter_ids
         cnodes = self._coreach_nodes()
         n = self._n
+        guard = self._guard
         entries: "list[tuple[int, OpSet]]" = []
         profile = 1 << indexed.initial_id
         layer = 0
         while layer < n:
+            if guard is not None:
+                guard.tick()
             lid = letter_ids[layer]
             cnode = cnodes[layer + 1]
             key = (profile, lid, cnode[id_slot])

@@ -1,0 +1,12 @@
+"""Suite-wide configuration.
+
+``REPRO_FAULTS=ci`` (or an integer seed) activates the deterministic
+fault-injection harness for the whole run: the suite must stay green
+while sqlite contention and shard crashes are being injected, proving
+the retry/reaping/restart paths absorb them.  Unset or ``off``, this is
+a no-op and the suite runs against production behaviour.
+"""
+
+from repro.testing import install_from_env
+
+install_from_env()

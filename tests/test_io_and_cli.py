@@ -181,6 +181,90 @@ class TestTailCli:
         ) == 0
         assert capsys.readouterr().out.strip() == ""
 
+    def test_tail_deleted_mid_run_exits_cleanly(self, tmp_path, capsys):
+        import threading
+
+        path = tmp_path / "log.txt"
+        path.write_text("ab")
+        timer = threading.Timer(0.15, path.unlink)
+        timer.start()
+        try:
+            # Poll 1 sees the file; the deletion lands during the sleep;
+            # the remaining polls find it missing and --max-polls expires.
+            assert main(
+                ["tail", "x{a}b", "--file", str(path),
+                 "--max-polls", "4", "--interval", "0.1"]
+            ) == 2
+        finally:
+            timer.cancel()
+        err = capsys.readouterr().err
+        assert "error:" in err and "missing" in err
+        assert "Traceback" not in err
+
+    def test_tail_survives_rotation_to_shorter_file(self, tmp_path, capsys):
+        import threading
+
+        path = tmp_path / "log.txt"
+        path.write_text("abab")
+
+        def rotate():
+            path.write_text("ab")  # truncate-in-place to shorter content
+
+        timer = threading.Timer(0.15, rotate)
+        timer.start()
+        try:
+            assert main(
+                ["tail", "[ab]*x{a}b[ab]*", "--file", str(path),
+                 "--max-polls", "4", "--interval", "0.1"]
+            ) == 0
+        finally:
+            timer.cancel()
+        out = capsys.readouterr().out.strip().splitlines()
+        # 2 matches from the original content, then the session restarts
+        # on the shorter file and re-emits its single match.
+        assert len(out) == 3
+
+
+class TestGuardCli:
+    def test_extract_partial_budget_truncates_with_note(self, capsys):
+        assert main(
+            ["extract", "[ab]*x{[ab]+}[ab]*", "--text", "abab",
+             "--budget", "mappings=1", "--on-budget", "partial"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "1 mapping(s)" in captured.out
+        assert "truncated" in captured.err
+
+    def test_extract_budget_error_mode_exits_2(self, capsys):
+        assert main(
+            ["extract", "[ab]*x{[ab]+}[ab]*", "--text", "abab",
+             "--budget", "mappings=1"]
+        ) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_extract_bad_budget_spec_is_a_clean_error(self, capsys):
+        assert main(
+            ["extract", "x{a}", "--text", "a", "--budget", "rows=10"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_extract_generous_deadline_is_a_no_op(self, capsys):
+        assert main(
+            ["extract", "x{a}b", "--text", "ab", "--deadline", "60"]
+        ) == 0
+        assert "1 mapping(s)" in capsys.readouterr().out
+
+    def test_batch_partial_budget_notes_truncation(self, tmp_path, capsys):
+        docs = tmp_path / "docs.txt"
+        docs.write_text("abab\nabab\n")
+        assert main(
+            ["batch", "[ab]*x{[ab]+}[ab]*", "--file", str(docs),
+             "--budget", "mappings=12", "--on-budget", "partial"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.err
+        assert "2 document(s)" in captured.out
+
 
 class TestCorpusCli:
     @pytest.fixture
